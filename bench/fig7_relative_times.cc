@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 7: relative execution times of the six Split-C benchmarks,
+ * normalized to the 2-node ATM cluster, split into computation (cpu)
+ * and communication (net) parts.
+ */
+
+#include "bench/splitc_suite.hh"
+
+using namespace unet;
+using namespace unet::bench;
+
+int
+main(int argc, char **argv)
+{
+    bool full = argc > 1 && std::string(argv[1]) == "--full";
+    SuiteScale scale = full ? SuiteScale::full() : SuiteScale{};
+
+    std::printf("Figure 7: relative execution times "
+                "(normalized to 2-node ATM; cpu/net split)\n\n");
+
+    for (const auto &name : suiteBenchmarks()) {
+        double baseline =
+            runSuiteCell(name, true, 2, scale).seconds;
+        std::printf("%s  (baseline 2-node ATM = 1.00 = %.3f s)\n",
+                    name.c_str(), baseline);
+        std::printf("  %-8s %8s %8s %8s %24s\n", "cluster", "rel",
+                    "cpu", "net", "bar");
+        for (int nodes : {2, 4, 8}) {
+            for (bool atm : {true, false}) {
+                SuiteResult r = runSuiteCell(name, atm, nodes, scale);
+                double rel = r.seconds / baseline;
+                double cpu_rel = r.cpuSeconds / baseline;
+                double net_rel = r.netSeconds / baseline;
+                // ASCII bar: '#' for cpu, '.' for net, 20 chars = 1.0.
+                std::string bar(
+                    static_cast<std::size_t>(cpu_rel * 20 + 0.5), '#');
+                bar += std::string(
+                    static_cast<std::size_t>(net_rel * 20 + 0.5), '.');
+                std::printf("  %d %-6s %8.2f %8.2f %8.2f %-24s\n",
+                            nodes, atm ? "ATM" : "FE", rel, cpu_rel,
+                            net_rel, bar.c_str());
+            }
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    return 0;
+}

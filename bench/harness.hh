@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Shared rigs for the paper-reproduction benches.
+ *
+ * These harnesses measure *simulated* time: they print the same rows
+ * and series the paper's figures and tables report, regenerated from
+ * the model.
+ */
+
+#ifndef UNET_BENCH_HARNESS_HH
+#define UNET_BENCH_HARNESS_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atm/switch.hh"
+#include "eth/hub.hh"
+#include "eth/link.hh"
+#include "eth/switch.hh"
+#include "unet/unet_atm.hh"
+#include "unet/unet_fe.hh"
+
+namespace unet::bench {
+
+/** Fabric selection for the raw (non-Split-C) rigs. */
+enum class Fabric { FeHub, FeBay, FeFn100, AtmOc3, AtmTaxi };
+
+inline const char *
+fabricName(Fabric f)
+{
+    switch (f) {
+      case Fabric::FeHub:
+        return "FE hub";
+      case Fabric::FeBay:
+        return "FE Bay28115";
+      case Fabric::FeFn100:
+        return "FE FN100";
+      case Fabric::AtmOc3:
+        return "ATM OC-3c";
+      case Fabric::AtmTaxi:
+        return "ATM TAXI-140";
+    }
+    return "?";
+}
+
+/** Spec overrides for ablation rigs. */
+struct RigOptions
+{
+    UNetFeSpec feSpec;
+    nic::Pca200Spec pcaSpec;
+    eth::SwitchSpec switchSpec = eth::SwitchSpec::bay28115();
+    bool overrideSwitch = false;
+};
+
+/**
+ * Two nodes on a chosen fabric with raw U-Net endpoints — the rig for
+ * the Fig. 5 round-trip and Fig. 6 bandwidth measurements.
+ *
+ * Processes are created by the caller (they own the endpoints); wire()
+ * connects them after construction.
+ */
+class RawPair
+{
+  public:
+    RawPair(sim::Simulation &s, Fabric fabric, RigOptions opts = {})
+        : s(s), fabric(fabric), opts(opts)
+    {
+        host::CpuSpec cpu = host::CpuSpec::pentium120();
+        host::BusSpec bus = host::BusSpec::pci();
+        hostA = std::make_unique<host::Host>(s, "A", cpu, bus);
+        hostB = std::make_unique<host::Host>(s, "B", cpu, bus);
+
+        switch (fabric) {
+          case Fabric::FeHub:
+            hub = std::make_unique<eth::Hub>(s);
+            makeFe(*hub);
+            break;
+          case Fabric::FeBay:
+            sw = std::make_unique<eth::Switch>(
+                s, opts.overrideSwitch ? opts.switchSpec
+                                       : eth::SwitchSpec::bay28115());
+            makeFe(*sw);
+            break;
+          case Fabric::FeFn100:
+            sw = std::make_unique<eth::Switch>(
+                s, eth::SwitchSpec::fn100());
+            makeFe(*sw);
+            break;
+          case Fabric::AtmOc3:
+          case Fabric::AtmTaxi:
+            makeAtm(fabric == Fabric::AtmOc3 ? atm::LinkSpec::oc3()
+                                             : atm::LinkSpec::taxi140());
+            break;
+        }
+    }
+
+    /** Create endpoints owned by the given processes and connect. */
+    void
+    wire(sim::Process &proc_a, sim::Process &proc_b,
+         EndpointConfig cfg = {})
+    {
+        epA = &unetA->createEndpoint(&proc_a, cfg);
+        epB = &unetB->createEndpoint(&proc_b, cfg);
+        if (feA) {
+            UNetFe::connect(*feA, *epA, *feB, *epB, chanA, chanB);
+        } else {
+            UNetAtm::connect(*atmA, *epA, portA, *atmB, *epB, portB,
+                             *signalling, chanA, chanB);
+        }
+    }
+
+    UNet &unetOf(int side) { return side ? *unetB : *unetA; }
+    Endpoint &ep(int side) { return side ? *epB : *epA; }
+    ChannelId chan(int side) const { return side ? chanB : chanA; }
+    host::Host &hostOf(int side) { return side ? *hostB : *hostA; }
+
+    bool isAtm() const { return atmA != nullptr; }
+
+    std::size_t
+    maxMessage() const
+    {
+        // Sweep both fabrics over the same axis; the paper plots up to
+        // the FE maximum (~1.5 KB).
+        return UNetFe::maxMessage;
+    }
+
+  private:
+    void
+    makeFe(eth::Network &net)
+    {
+        nicA = std::make_unique<nic::Dc21140>(
+            *hostA, net, eth::MacAddress::fromIndex(1));
+        nicB = std::make_unique<nic::Dc21140>(
+            *hostB, net, eth::MacAddress::fromIndex(2));
+        auto fa = std::make_unique<UNetFe>(*hostA, *nicA, opts.feSpec);
+        auto fb = std::make_unique<UNetFe>(*hostB, *nicB, opts.feSpec);
+        feA = fa.get();
+        feB = fb.get();
+        unetA = std::move(fa);
+        unetB = std::move(fb);
+    }
+
+    void
+    makeAtm(atm::LinkSpec link_spec)
+    {
+        atmSw = std::make_unique<atm::Switch>(s);
+        signalling = std::make_unique<atm::Signalling>(*atmSw);
+        linkA = std::make_unique<atm::AtmLink>(s, link_spec);
+        linkB = std::make_unique<atm::AtmLink>(s, link_spec);
+        pcaA = std::make_unique<nic::Pca200>(*hostA, *linkA,
+                                             opts.pcaSpec);
+        pcaB = std::make_unique<nic::Pca200>(*hostB, *linkB,
+                                             opts.pcaSpec);
+        portA = atmSw->addPort(*linkA);
+        portB = atmSw->addPort(*linkB);
+        auto ua = std::make_unique<UNetAtm>(*hostA, *pcaA);
+        auto ub = std::make_unique<UNetAtm>(*hostB, *pcaB);
+        atmA = ua.get();
+        atmB = ub.get();
+        unetA = std::move(ua);
+        unetB = std::move(ub);
+    }
+
+    sim::Simulation &s;
+    Fabric fabric;
+    RigOptions opts;
+    std::unique_ptr<host::Host> hostA, hostB;
+    std::unique_ptr<eth::Hub> hub;
+    std::unique_ptr<eth::Switch> sw;
+    std::unique_ptr<nic::Dc21140> nicA, nicB;
+    std::unique_ptr<atm::Switch> atmSw;
+    std::unique_ptr<atm::Signalling> signalling;
+    std::unique_ptr<atm::AtmLink> linkA, linkB;
+    std::unique_ptr<nic::Pca200> pcaA, pcaB;
+    std::unique_ptr<UNet> unetA, unetB;
+    UNetFe *feA = nullptr;
+    UNetFe *feB = nullptr;
+    UNetAtm *atmA = nullptr;
+    UNetAtm *atmB = nullptr;
+    std::size_t portA = 0, portB = 0;
+    Endpoint *epA = nullptr;
+    Endpoint *epB = nullptr;
+    ChannelId chanA = invalidChannel, chanB = invalidChannel;
+};
+
+/**
+ * Compose and post one raw U-Net message of @p size bytes.
+ *
+ * @p force_fragment keeps the send on the zero-copy buffer-area path
+ * even for small messages — the only TX path the paper's U-Net/FE
+ * has (inline sends are a U-Net/ATM single-cell feature).
+ */
+inline bool
+rawSend(UNet &un, sim::Process &proc, Endpoint &ep, ChannelId chan,
+        std::size_t size, std::uint32_t tx_buf_offset,
+        bool force_fragment = false)
+{
+    SendDescriptor sd;
+    sd.channel = chan;
+    if (size <= un.inlineMax() && !force_fragment) {
+        sd.isInline = true;
+        sd.inlineLength = static_cast<std::uint32_t>(size);
+    } else {
+        sd.isInline = false;
+        sd.fragmentCount = 1;
+        sd.fragments[0] = {tx_buf_offset,
+                           static_cast<std::uint32_t>(size)};
+    }
+    return un.send(proc, ep, sd);
+}
+
+/**
+ * Measure the user-level round-trip time for @p size-byte messages
+ * over @p fabric (median-free simple mean over @p rounds after one
+ * warmup).
+ */
+inline double
+roundTripUs(Fabric fabric, std::size_t size, int rounds = 8,
+            RigOptions opts = {})
+{
+    sim::Simulation s;
+    RawPair rig(s, fabric, opts);
+
+    double total_us = 0;
+    int measured = 0;
+
+    sim::Process echo(s, "echo", [&](sim::Process &self) {
+        auto &un = rig.unetOf(1);
+        auto &ep = rig.ep(1);
+        // Receive buffers for the non-inline path.
+        for (int i = 0; i < 8; ++i)
+            un.postFree(self, ep, {static_cast<std::uint32_t>(
+                                       i * 2048),
+                                   2048});
+        auto &cpu = rig.hostOf(1).cpu();
+        RecvDescriptor rd;
+        for (int r = 0; r < rounds + 1; ++r) {
+            if (!ep.wait(self, rd, sim::seconds(1)))
+                return;
+            // The application examines the message and composes the
+            // reply in its buffer area: two real memcpys.
+            cpu.busy(self, cpu.spec().memcpyTime(size));
+            if (!rd.isSmall)
+                for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+                    un.postFree(self, ep,
+                                {rd.buffers[i].offset, 2048});
+            cpu.busy(self, cpu.spec().memcpyTime(size));
+            rawSend(un, self, ep, rig.chan(1), size, 16384,
+                    !rig.isAtm());
+            un.flush(self, ep);
+        }
+    });
+
+    sim::Process ping(s, "ping", [&](sim::Process &self) {
+        auto &un = rig.unetOf(0);
+        auto &ep = rig.ep(0);
+        for (int i = 0; i < 8; ++i)
+            un.postFree(self, ep, {static_cast<std::uint32_t>(
+                                       i * 2048),
+                                   2048});
+        auto &cpu = rig.hostOf(0).cpu();
+        RecvDescriptor rd;
+        for (int r = 0; r < rounds + 1; ++r) {
+            sim::Tick t0 = s.now();
+            // Compose the message in the buffer area.
+            cpu.busy(self, cpu.spec().memcpyTime(size));
+            rawSend(un, self, ep, rig.chan(0), size, 16384,
+                    !rig.isAtm());
+            un.flush(self, ep);
+            if (!ep.wait(self, rd, sim::seconds(1)))
+                return;
+            if (!rd.isSmall)
+                for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+                    un.postFree(self, ep,
+                                {rd.buffers[i].offset, 2048});
+            if (r > 0) { // skip warmup
+                total_us += sim::toMicroseconds(s.now() - t0);
+                ++measured;
+            }
+        }
+    });
+
+    rig.wire(ping, echo);
+    echo.start();
+    ping.start(sim::microseconds(5));
+    s.run();
+    return measured ? total_us / measured : -1.0;
+}
+
+/**
+ * Measure one-way streaming bandwidth in Mbit/s of payload for
+ * @p size-byte messages over @p fabric.
+ */
+inline double
+bandwidthMbps(Fabric fabric, std::size_t size, int messages = 400,
+              RigOptions opts = {})
+{
+    sim::Simulation s;
+    RawPair rig(s, fabric, opts);
+
+    sim::Tick first_arrival = -1, last_arrival = -1;
+    int delivered = 0;
+
+    sim::Process sink(s, "sink", [&](sim::Process &self) {
+        auto &un = rig.unetOf(1);
+        auto &ep = rig.ep(1);
+        for (int i = 0; i < 24; ++i)
+            un.postFree(self, ep, {static_cast<std::uint32_t>(
+                                       i * 2048),
+                                   2048});
+        RecvDescriptor rd;
+        while (delivered < messages) {
+            if (!ep.wait(self, rd, sim::milliseconds(200)))
+                return; // stream dried up (drops); report what we saw
+            if (first_arrival < 0)
+                first_arrival = s.now();
+            last_arrival = s.now();
+            ++delivered;
+            if (!rd.isSmall)
+                for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+                    un.postFree(self, ep,
+                                {rd.buffers[i].offset, 2048});
+        }
+    });
+
+    sim::Process source(s, "source", [&](sim::Process &self) {
+        auto &un = rig.unetOf(0);
+        auto &ep = rig.ep(0);
+        for (int m = 0; m < messages; ++m) {
+            while (!rawSend(un, self, ep, rig.chan(0), size, 16384,
+                            !rig.isAtm())) {
+                // Send queue full: give the device time to drain.
+                self.delay(sim::microseconds(20));
+                un.flush(self, ep);
+            }
+        }
+        un.flush(self, ep);
+        // Keep re-kicking until the queue drains.
+        while (!rig.ep(0).sendQueue().empty()) {
+            self.delay(sim::microseconds(50));
+            un.flush(self, ep);
+        }
+    });
+
+    rig.wire(source, sink);
+    sink.start();
+    source.start(sim::microseconds(5));
+    s.run();
+
+    if (delivered < 2 || last_arrival <= first_arrival)
+        return 0.0;
+    double bits = static_cast<double>(delivered - 1) *
+        static_cast<double>(size) * 8.0;
+    double secs = sim::toSeconds(last_arrival - first_arrival);
+    return bits / secs / 1e6;
+}
+
+/** printf-style row helper. */
+inline void
+row(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::printf("\n");
+}
+
+} // namespace unet::bench
+
+#endif // UNET_BENCH_HARNESS_HH

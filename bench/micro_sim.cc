@@ -1,0 +1,85 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulation substrate
+ * itself (host wall-clock, not simulated time): event queue throughput
+ * and fiber context-switch cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event.hh"
+#include "sim/fiber.hh"
+#include "sim/process.hh"
+
+using namespace unet::sim;
+
+namespace {
+
+void
+BM_EventScheduleFire(benchmark::State &state)
+{
+    EventQueue q;
+    std::int64_t n = 0;
+    for (auto _ : state) {
+        q.scheduleIn(1, [&n] { ++n; });
+        q.step();
+    }
+    benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void
+BM_EventQueueDepth(benchmark::State &state)
+{
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue q;
+        std::int64_t n = 0;
+        for (std::size_t i = 0; i < depth; ++i)
+            q.schedule(static_cast<Tick>(i * 7 % 1000),
+                       [&n] { ++n; });
+        state.ResumeTiming();
+        q.run();
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_EventQueueDepth)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    Fiber f([] {
+        while (true)
+            Fiber::yield();
+    });
+    for (auto _ : state)
+        f.run();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_ProcessDelay(benchmark::State &state)
+{
+    // Cost of one delay()/resume round trip through the event loop.
+    Simulation s;
+    std::int64_t rounds = 0;
+    Process p(s, "bench", [&](Process &self) {
+        while (true) {
+            self.delay(1);
+            ++rounds;
+        }
+    });
+    p.start();
+    for (auto _ : state)
+        s.events().step();
+    benchmark::DoNotOptimize(rounds);
+}
+BENCHMARK(BM_ProcessDelay);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared driver for the Split-C benchmark suite (Table 1, Table 2,
+ * Figure 7).
+ *
+ * The paper's six benchmarks — two matrix-multiply shapes and the
+ * small/large-message variants of sample and radix sort — run on the
+ * two platforms: the Pentium/Fast-Ethernet cluster (Bay 28115 switch)
+ * and the SPARC/ATM cluster (SBA-200 on 140 Mbps TAXI through an
+ * ASX-200).
+ *
+ * Default problem sizes are scaled down so the whole harness finishes
+ * in minutes of host time; pass --full for the paper's 512 K keys per
+ * node and 1024x1024 matrices.
+ */
+
+#ifndef UNET_BENCH_SPLITC_SUITE_HH
+#define UNET_BENCH_SPLITC_SUITE_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/matmul.hh"
+#include "apps/radix_sort.hh"
+#include "apps/sample_sort.hh"
+#include "cluster/cluster.hh"
+
+namespace unet::bench {
+
+/** The six Table-1 rows. */
+inline const std::vector<std::string> &
+suiteBenchmarks()
+{
+    static const std::vector<std::string> names = {
+        "mm 128x128", "mm 16x16",   "ssort sm", "ssort lg",
+        "rsort sm",   "rsort lg",
+    };
+    return names;
+}
+
+/** Result of one (benchmark, platform, nodes) cell. */
+struct SuiteResult
+{
+    double seconds = 0;  ///< execution time (simulated)
+    double cpuSeconds = 0; ///< mean per-node computation time
+    double netSeconds = 0; ///< mean per-node communication time
+    bool verified = false;
+    std::uint64_t eventsFired = 0; ///< DES work (diagnostics)
+};
+
+/** Problem sizes. */
+struct SuiteScale
+{
+    std::size_t keysPerNode = 4096;
+    std::size_t mm128Block = 16; ///< paper: 128
+    std::size_t heapBytes = 24u * 1024 * 1024;
+
+    static SuiteScale
+    full()
+    {
+        SuiteScale s;
+        s.keysPerNode = 512 * 1024;
+        s.mm128Block = 128;
+        s.heapBytes = 96u * 1024 * 1024;
+        return s;
+    }
+};
+
+/** Run one cell of Table 1. @p atm selects the platform. */
+inline SuiteResult
+runSuiteCell(const std::string &name, bool atm, int nodes,
+             const SuiteScale &scale)
+{
+    sim::Simulation s;
+    cluster::Config cfg =
+        atm ? cluster::Config::atmSplitC(nodes)
+            : cluster::Config::feCluster(nodes);
+    cfg.heapBytes = scale.heapBytes;
+    // Watchdog: no scaled cell should take minutes of simulated time;
+    // full-size problems get a generous ceiling.
+    cfg.simTimeLimit = scale.keysPerNode > 100000
+        ? sim::seconds(600) : sim::seconds(60);
+    cluster::Cluster c(s, cfg);
+
+    std::vector<bool> ok(static_cast<std::size_t>(nodes), false);
+
+    auto body = [&](splitc::Runtime &rt, sim::Process &proc) {
+        bool verified = false;
+        if (name == "mm 128x128") {
+            apps::MatmulConfig mc;
+            mc.blocksPerSide = 8;
+            mc.blockSize = scale.mm128Block;
+            verified = apps::runMatmul(rt, proc, mc).verified;
+        } else if (name == "mm 16x16") {
+            verified = apps::runMatmul(rt, proc,
+                                       apps::MatmulConfig::paper16())
+                           .verified;
+        } else if (name == "ssort sm" || name == "ssort lg") {
+            apps::SampleConfig sc;
+            sc.keysPerNode = scale.keysPerNode;
+            sc.largeMessages = name == "ssort lg";
+            verified = apps::runSampleSort(rt, proc, sc).verified;
+        } else if (name == "rsort sm" || name == "rsort lg") {
+            apps::RadixConfig rc;
+            rc.keysPerNode = scale.keysPerNode;
+            rc.largeMessages = name == "rsort lg";
+            verified = apps::runRadixSort(rt, proc, rc).verified;
+        }
+        ok[static_cast<std::size_t>(rt.self())] = verified;
+    };
+
+    SuiteResult result;
+    result.seconds = sim::toSeconds(c.run(body));
+    result.eventsFired = s.events().firedCount();
+    result.verified = true;
+    double cpu = 0, net = 0;
+    for (int i = 0; i < nodes; ++i) {
+        if (!ok[static_cast<std::size_t>(i)])
+            result.verified = false;
+        cpu += sim::toSeconds(c.runtime(i).profile().compute);
+        net += sim::toSeconds(c.runtime(i).profile().comm);
+    }
+    result.cpuSeconds = cpu / nodes;
+    result.netSeconds = net / nodes;
+    return result;
+}
+
+} // namespace unet::bench
+
+#endif // UNET_BENCH_SPLITC_SUITE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table 2: speedup from 2 to 8 nodes for the ATM and Fast Ethernet
+ * clusters.
+ *
+ * For matrix multiply the matrix size is constant, so the time drops
+ * with nodes; for the sorts the keys *per node* are constant, so total
+ * work grows and "speedup" is work-scaled:
+ * (time2 * (8 nodes work / 2 nodes work)) / time8 = 4 * time2 / time8.
+ */
+
+#include "bench/splitc_suite.hh"
+
+using namespace unet;
+using namespace unet::bench;
+
+int
+main(int argc, char **argv)
+{
+    bool full = argc > 1 && std::string(argv[1]) == "--full";
+    SuiteScale scale = full ? SuiteScale::full() : SuiteScale{};
+
+    std::printf("Table 2: speedup from 2 to 8 nodes\n");
+    std::printf("%-12s %9s %9s\n", "benchmark", "ATM", "FE");
+
+    for (const auto &name : suiteBenchmarks()) {
+        bool scaled_work = name.rfind("mm", 0) != 0;
+        double factor = scaled_work ? 4.0 : 1.0;
+
+        std::printf("%-12s", name.c_str());
+        for (bool atm : {true, false}) {
+            double t2 = runSuiteCell(name, atm, 2, scale).seconds;
+            double t8 = runSuiteCell(name, atm, 8, scale).seconds;
+            std::printf(" %9.2f", factor * t2 / t8);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("\n(sorts keep keys/node constant: speedup is "
+                "work-scaled by 4x)\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Protected multiplexing: several processes share one NIC safely.
+ *
+ * U-Net's whole point: "direct access to the network interface without
+ * compromising protection". Two applications on the same host each get
+ * their own endpoint (via the OS service, with resource limits); their
+ * traffic is demultiplexed by port, a rogue process cannot send on an
+ * endpoint it does not own, and per-process endpoint limits hold.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "eth/switch.hh"
+#include "unet/os_service.hh"
+#include "unet/unet_fe.hh"
+
+using namespace unet;
+
+int
+main()
+{
+    sim::Simulation s;
+
+    host::Host left(s, "left", host::CpuSpec::pentium120(),
+                    host::BusSpec::pci());
+    host::Host right(s, "right", host::CpuSpec::pentium120(),
+                     host::BusSpec::pci());
+    eth::Switch sw(s, eth::SwitchSpec::bay28115());
+    nic::Dc21140 nic_l(left, sw, eth::MacAddress::fromIndex(1));
+    nic::Dc21140 nic_r(right, sw, eth::MacAddress::fromIndex(2));
+    UNetFe unet_l(left, nic_l);
+    UNetFe unet_r(right, nic_r);
+
+    OsLimits limits;
+    limits.maxEndpointsPerProcess = 2;
+    OsService os_l(unet_l, limits);
+    OsService os_r(unet_r, limits);
+
+    // Two independent apps on the left host, one receiver each on the
+    // right host.
+    Endpoint *ep_app1 = nullptr, *ep_app2 = nullptr;
+    Endpoint *ep_rx1 = nullptr, *ep_rx2 = nullptr;
+    ChannelId c_app1 = invalidChannel, c_rx1 = invalidChannel;
+    ChannelId c_app2 = invalidChannel, c_rx2 = invalidChannel;
+
+    auto say = [&](const char *who, const char *what) {
+        std::printf("[%8.2f us] %-8s %s\n", sim::toMicroseconds(s.now()),
+                    who, what);
+    };
+
+    auto sendText = [&](sim::Process &self, UNetFe &un, Endpoint &ep,
+                        ChannelId chan, const char *text) {
+        SendDescriptor sd;
+        sd.channel = chan;
+        sd.isInline = true;
+        sd.inlineLength = static_cast<std::uint32_t>(std::strlen(text));
+        std::memcpy(sd.inlineData.data(), text, sd.inlineLength);
+        return un.send(self, ep, sd);
+    };
+
+    sim::Process app1(s, "app1", [&](sim::Process &self) {
+        say("app1", "sending on its own endpoint");
+        sendText(self, unet_l, *ep_app1, c_app1, "from app1");
+
+        say("app1", "trying to hijack app2's endpoint...");
+        bool ok = sendText(self, unet_l, *ep_app2, c_app2, "evil");
+        std::printf("             -> send %s (protection faults so "
+                    "far: %llu)\n",
+                    ok ? "ACCEPTED (bug!)" : "REJECTED",
+                    static_cast<unsigned long long>(
+                        unet_l.protectionFaults()));
+
+        say("app1", "trying to exceed its endpoint limit...");
+        os_l.createEndpoint(self); // #2 (fine)
+        Endpoint *third = os_l.createEndpoint(self);
+        std::printf("             -> third endpoint %s\n",
+                    third ? "GRANTED (bug!)" : "DENIED");
+    });
+
+    sim::Process app2(s, "app2", [&](sim::Process &self) {
+        self.delay(sim::microseconds(50));
+        say("app2", "sending on its own endpoint");
+        sendText(self, unet_l, *ep_app2, c_app2, "from app2");
+    });
+
+    auto receiver = [&](const char *name, Endpoint **ep) {
+        return [&, name, ep](sim::Process &self) {
+            RecvDescriptor rd;
+            while ((*ep)->wait(self, rd, sim::milliseconds(5))) {
+                std::printf("[%8.2f us] %-8s received \"%.*s\"\n",
+                            sim::toMicroseconds(s.now()), name,
+                            static_cast<int>(rd.length),
+                            reinterpret_cast<const char *>(
+                                rd.inlineData.data()));
+            }
+        };
+    };
+
+    sim::Process rx1(s, "rx1", receiver("rx1", &ep_rx1));
+    sim::Process rx2(s, "rx2", receiver("rx2", &ep_rx2));
+
+    ep_app1 = os_l.createEndpoint(app1);
+    ep_app2 = os_l.createEndpoint(app2);
+    ep_rx1 = os_r.createEndpoint(rx1);
+    ep_rx2 = os_r.createEndpoint(rx2);
+    UNetFe::connect(unet_l, *ep_app1, unet_r, *ep_rx1, c_app1, c_rx1);
+    UNetFe::connect(unet_l, *ep_app2, unet_r, *ep_rx2, c_app2, c_rx2);
+
+    rx1.start();
+    rx2.start();
+    app1.start(sim::microseconds(10));
+    app2.start(sim::microseconds(10));
+    s.run();
+
+    std::printf("\nprotection faults recorded: %llu (expected 1)\n",
+                static_cast<unsigned long long>(
+                    unet_l.protectionFaults()));
+    return unet_l.protectionFaults() == 1 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-chunk allocator over a slice of an endpoint buffer area.
+ *
+ * "The management of the transmit and receive buffers is entirely up to
+ * the application" — this is the allocation policy the Active Message
+ * layer (an application of U-Net) chooses: equal-size chunks, free-list
+ * recycling.
+ */
+
+#ifndef UNET_AM_POOL_HH
+#define UNET_AM_POOL_HH
+
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "unet/types.hh"
+
+namespace unet::am {
+
+/** Fixed-size chunk pool addressed by buffer-area offsets. */
+class BufferPool
+{
+  public:
+    /**
+     * @param base       Starting offset within the buffer area.
+     * @param chunk_size Bytes per chunk.
+     * @param count      Number of chunks.
+     */
+    BufferPool(std::uint32_t base, std::uint32_t chunk_size,
+               std::size_t count)
+        : chunkSize(chunk_size)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            freeList.push_back(
+                {base + static_cast<std::uint32_t>(i) * chunk_size,
+                 chunk_size});
+    }
+
+    /** Grab a chunk, or nullopt if the pool is dry. */
+    std::optional<BufferRef>
+    acquire()
+    {
+        if (freeList.empty())
+            return std::nullopt;
+        BufferRef ref = freeList.back();
+        freeList.pop_back();
+        return ref;
+    }
+
+    /** Return a chunk (any length ≤ chunk size is accepted back). */
+    void
+    release(BufferRef ref)
+    {
+        freeList.push_back({ref.offset, chunkSize});
+    }
+
+    std::size_t available() const { return freeList.size(); }
+    std::uint32_t chunkBytes() const { return chunkSize; }
+
+  private:
+    std::uint32_t chunkSize;
+    std::vector<BufferRef> freeList;
+};
+
+} // namespace unet::am
+
+#endif // UNET_AM_POOL_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic workload generation for the sort benchmarks.
+ *
+ * "Both the radix and sample sort benchmarks sort an array of 32-bit
+ * integers over all nodes. Each node has 512K keys with an arbitrary
+ * distribution."
+ */
+
+#ifndef UNET_APPS_KEYS_HH
+#define UNET_APPS_KEYS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace unet::apps {
+
+/** Generate @p count pseudo-random 32-bit keys for @p node. */
+inline std::vector<std::uint32_t>
+makeKeys(int node, std::size_t count, std::uint64_t seed)
+{
+    sim::Random rng(seed * 1000003 + static_cast<std::uint64_t>(node));
+    std::vector<std::uint32_t> keys(count);
+    for (auto &k : keys)
+        k = rng.u32();
+    return keys;
+}
+
+/** Sum of keys modulo 2^64 (order-independent checksum). */
+inline std::uint64_t
+keyChecksum(const std::vector<std::uint32_t> &keys)
+{
+    std::uint64_t sum = 0;
+    for (auto k : keys)
+        sum += k;
+    return sum;
+}
+
+} // namespace unet::apps
+
+#endif // UNET_APPS_KEYS_HH

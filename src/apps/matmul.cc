@@ -1,0 +1,160 @@
+#include "apps/matmul.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace unet::apps {
+
+namespace {
+
+/** Deterministic small-integer matrix entries (exact in doubles). */
+double
+elemA(std::size_t i, std::size_t j)
+{
+    return static_cast<double>((i * 31 + j * 17 + 3) % 7) - 3.0;
+}
+
+double
+elemB(std::size_t i, std::size_t j)
+{
+    return static_cast<double>((i * 13 + j * 29 + 5) % 5) - 2.0;
+}
+
+} // namespace
+
+MatmulStats
+runMatmul(splitc::Runtime &rt, sim::Process &proc,
+          const MatmulConfig &config)
+{
+    using splitc::HeapAddr;
+
+    const std::size_t nb = config.blocksPerSide;
+    const std::size_t b = config.blockSize;
+    const std::size_t block_elems = b * b;
+    const std::size_t block_bytes = block_elems * sizeof(double);
+    const int P = rt.procs();
+    const int self = rt.self();
+    const std::size_t total_blocks = nb * nb;
+    const std::size_t max_owned = (total_blocks + P - 1) / P;
+
+    auto block_owner = [&](std::size_t bi, std::size_t bj) {
+        return static_cast<int>((bi * nb + bj) % static_cast<std::size_t>(P));
+    };
+    auto local_index = [&](std::size_t bi, std::size_t bj) {
+        return (bi * nb + bj) / static_cast<std::size_t>(P);
+    };
+
+    // Symmetric allocation of owned-block storage for A, B, C plus two
+    // scratch blocks for fetched operands.
+    HeapAddr base_a = rt.allocBytes(max_owned * block_bytes, 8);
+    HeapAddr base_b = rt.allocBytes(max_owned * block_bytes, 8);
+    HeapAddr base_c = rt.allocBytes(max_owned * block_bytes, 8);
+    HeapAddr scratch_a = rt.allocBytes(block_bytes, 8);
+    HeapAddr scratch_b = rt.allocBytes(block_bytes, 8);
+
+    auto block_addr = [&](HeapAddr base, std::size_t bi,
+                          std::size_t bj) {
+        return base + static_cast<HeapAddr>(local_index(bi, bj) *
+                                            block_bytes);
+    };
+
+    // Initialize owned blocks of A and B (and zero C).
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+        for (std::size_t bj = 0; bj < nb; ++bj) {
+            if (block_owner(bi, bj) != self)
+                continue;
+            auto *a = rt.localPtr<double>(block_addr(base_a, bi, bj));
+            auto *bb = rt.localPtr<double>(block_addr(base_b, bi, bj));
+            auto *c = rt.localPtr<double>(block_addr(base_c, bi, bj));
+            for (std::size_t r = 0; r < b; ++r) {
+                for (std::size_t col = 0; col < b; ++col) {
+                    std::size_t gi = bi * b + r;
+                    std::size_t gj = bj * b + col;
+                    a[r * b + col] = elemA(gi, gj);
+                    bb[r * b + col] = elemB(gi, gj);
+                    c[r * b + col] = 0.0;
+                }
+            }
+            rt.chargeIntOps(proc, 4 * block_elems); // init loop
+        }
+    }
+    rt.barrier(proc);
+
+    MatmulStats stats;
+    auto *sa = rt.localPtr<double>(scratch_a);
+    auto *sb = rt.localPtr<double>(scratch_b);
+
+    // Compute every owned C block.
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+        for (std::size_t bj = 0; bj < nb; ++bj) {
+            if (block_owner(bi, bj) != self)
+                continue;
+            auto *c = rt.localPtr<double>(block_addr(base_c, bi, bj));
+            for (std::size_t k = 0; k < nb; ++k) {
+                // Fetch A(bi,k) and B(k,bj).
+                int oa = block_owner(bi, k);
+                int ob = block_owner(k, bj);
+                rt.get(proc, oa, block_addr(base_a, bi, k), scratch_a,
+                       static_cast<std::uint32_t>(block_bytes));
+                rt.get(proc, ob, block_addr(base_b, k, bj), scratch_b,
+                       static_cast<std::uint32_t>(block_bytes));
+                rt.sync(proc);
+                stats.blocksFetched += 2;
+
+                // c += sa * sb (2 b^3 flops, actually performed).
+                for (std::size_t r = 0; r < b; ++r) {
+                    for (std::size_t kk = 0; kk < b; ++kk) {
+                        double av = sa[r * b + kk];
+                        const double *brow = &sb[kk * b];
+                        double *crow = &c[r * b];
+                        for (std::size_t col = 0; col < b; ++col)
+                            crow[col] += av * brow[col];
+                    }
+                }
+                rt.chargeFlops(proc,
+                               2ull * block_elems * b);
+            }
+            ++stats.blocksComputed;
+        }
+    }
+    rt.barrier(proc);
+
+    // Checksum the distributed product.
+    double local_sum = 0;
+    for (std::size_t bi = 0; bi < nb; ++bi)
+        for (std::size_t bj = 0; bj < nb; ++bj)
+            if (block_owner(bi, bj) == self) {
+                auto *c =
+                    rt.localPtr<double>(block_addr(base_c, bi, bj));
+                for (std::size_t e = 0; e < block_elems; ++e)
+                    local_sum += c[e];
+            }
+    // Entries are exact small integers; the sum fits an int64.
+    auto global = static_cast<std::int64_t>(rt.allReduceSum(
+        proc, static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(local_sum))));
+    stats.checksum = global;
+
+    if (config.verify) {
+        // sum(C) = sum_k (sum_i A(i,k)) * (sum_j B(k,j)): O(N^2).
+        const std::size_t n = config.matrixSide();
+        double expect = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            double ra = 0, cb = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                ra += elemA(i, k);
+            for (std::size_t j = 0; j < n; ++j)
+                cb += elemB(k, j);
+            expect += ra * cb;
+        }
+        stats.verified =
+            global == static_cast<std::int64_t>(expect);
+        if (!stats.verified)
+            UNET_WARN("matmul checksum mismatch: got ", global,
+                      " want ", static_cast<std::int64_t>(expect));
+    }
+    return stats;
+}
+
+} // namespace unet::apps

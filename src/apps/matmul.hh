@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Blocked parallel matrix multiply (the paper's `mm` benchmark).
+ *
+ * "The matrix multiply application was run twice, once using matrices
+ * of 8 by 8 blocks with 128 by 128 double floats in each block, and
+ * once using 16 by 16 blocks with 16 by 16 double floats in each
+ * block. The main loop ... repeatedly fetches a block from each of the
+ * two matrices to be multiplied, performs the multiplication, and
+ * stores the result locally."
+ *
+ * Blocks are distributed round-robin by global block index; fetches go
+ * through Split-C bulk gets (the large messages that favour ATM's
+ * higher bandwidth), and the arithmetic is charged at the host's
+ * floating-point rate (where the SPARC beats the Pentium) *and*
+ * actually performed, so the product can be verified.
+ */
+
+#ifndef UNET_APPS_MATMUL_HH
+#define UNET_APPS_MATMUL_HH
+
+#include <cstdint>
+
+#include "splitc/runtime.hh"
+
+namespace unet::apps {
+
+/** Problem description. */
+struct MatmulConfig
+{
+    /** Blocks per matrix side (the paper: 8 or 16). */
+    std::size_t blocksPerSide = 8;
+
+    /** Elements per block side (the paper: 128 or 16). */
+    std::size_t blockSize = 128;
+
+    /** Check the product against the analytic checksum. */
+    bool verify = true;
+
+    std::uint64_t seed = 1;
+
+    std::size_t
+    matrixSide() const
+    {
+        return blocksPerSide * blockSize;
+    }
+
+    /** The paper's mm 128x128 configuration (scaled by @p scale). */
+    static MatmulConfig
+    paper128(std::size_t scale_divisor = 1)
+    {
+        MatmulConfig c;
+        c.blocksPerSide = 8;
+        c.blockSize = 128 / scale_divisor;
+        return c;
+    }
+
+    /** The paper's mm 16x16 configuration. */
+    static MatmulConfig
+    paper16()
+    {
+        MatmulConfig c;
+        c.blocksPerSide = 16;
+        c.blockSize = 16;
+        return c;
+    }
+};
+
+/** Outcome of a run on one node. */
+struct MatmulStats
+{
+    bool verified = false;
+    std::int64_t checksum = 0;
+    std::uint64_t blocksComputed = 0;
+    std::uint64_t blocksFetched = 0;
+};
+
+/**
+ * The SPMD benchmark body. Call from every node of a cluster.
+ * @return the node-local stats (checksum is the global one).
+ */
+MatmulStats runMatmul(splitc::Runtime &rt, sim::Process &proc,
+                      const MatmulConfig &config);
+
+} // namespace unet::apps
+
+#endif // UNET_APPS_MATMUL_HH

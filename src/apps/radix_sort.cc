@@ -1,0 +1,262 @@
+#include "apps/radix_sort.hh"
+
+#include <cstring>
+
+#include "apps/keys.hh"
+#include "sim/logging.hh"
+#include "splitc/global_ptr.hh"
+
+namespace unet::apps {
+
+using splitc::GlobalPtr;
+using splitc::HeapAddr;
+
+RadixStats
+runRadixSort(splitc::Runtime &rt, sim::Process &proc,
+             const RadixConfig &config)
+{
+    const int P = rt.procs();
+    const int self = rt.self();
+    const std::size_t per_node = config.keysPerNode;
+    const std::uint32_t bins = 1u << config.radixBits;
+    const int passes = (32 + config.radixBits - 1) / config.radixBits;
+
+    // Symmetric heap layout.
+    HeapAddr keys_a = rt.alloc<std::uint32_t>(per_node);
+    HeapAddr keys_b = rt.alloc<std::uint32_t>(per_node);
+    HeapAddr gather =
+        rt.alloc<std::uint64_t>(static_cast<std::size_t>(P) * bins);
+    HeapAddr my_starts = rt.alloc<std::uint64_t>(bins);
+    HeapAddr stage_counts = 0, stage = 0;
+    if (config.largeMessages) {
+        stage_counts = rt.alloc<std::uint64_t>(
+            static_cast<std::size_t>(P));
+        stage = rt.alloc<std::uint64_t>(
+            static_cast<std::size_t>(P) * per_node);
+    }
+
+    // Local state shared with the small-message handler.
+    struct State
+    {
+        std::uint32_t *next = nullptr;
+        std::uint64_t recvCount = 0;
+    };
+    auto state = std::make_shared<State>();
+
+    // Small-message handler: up to two (position, key) pairs in the
+    // four word arguments — zero payload bytes.
+    am::HandlerId h_keys = rt.registerHandler(
+        [state, &rt](sim::Process &p, am::Token, const am::Args &args,
+                     std::span<const std::uint8_t>) {
+            state->next[args[0]] = args[1];
+            ++state->recvCount;
+            std::uint64_t ops = 2;
+            if (args[2] != 0xFFFFFFFFu) {
+                state->next[args[2]] = args[3];
+                ++state->recvCount;
+                ops += 2;
+            }
+            rt.chargeIntOps(p, ops);
+        });
+
+    // Initialize the local keys.
+    auto initial = makeKeys(self, per_node, config.seed);
+    std::memcpy(rt.heapPtr(keys_a), initial.data(),
+                per_node * sizeof(std::uint32_t));
+    std::uint64_t checksum0 =
+        rt.allReduceSum(proc, keyChecksum(initial));
+
+    RadixStats stats;
+    HeapAddr cur_addr = keys_a, next_addr = keys_b;
+
+    for (int pass = 0; pass < passes; ++pass) {
+        const int shift = pass * config.radixBits;
+        const std::uint32_t mask = bins - 1;
+        auto *cur = rt.localPtr<std::uint32_t>(cur_addr);
+        state->next = rt.localPtr<std::uint32_t>(next_addr);
+        state->recvCount = 0;
+
+        // Step 1: local histogram.
+        std::vector<std::uint64_t> hist(bins, 0);
+        for (std::size_t i = 0; i < per_node; ++i)
+            ++hist[(cur[i] >> shift) & mask];
+        rt.chargeIntOps(proc, 2 * per_node);
+
+        // Step 2: global histogram -> per-(node,bin) start ranks,
+        // computed on node 0.
+        rt.writeBytes(
+            proc, 0,
+            gather + static_cast<HeapAddr>(self) * bins * 8,
+            {reinterpret_cast<const std::uint8_t *>(hist.data()),
+             bins * 8});
+        rt.barrier(proc);
+        if (self == 0) {
+            auto *g = rt.localPtr<std::uint64_t>(gather);
+            std::vector<std::uint64_t> starts(
+                static_cast<std::size_t>(P) * bins);
+            std::uint64_t running = 0;
+            for (std::uint32_t bin = 0; bin < bins; ++bin) {
+                for (int p = 0; p < P; ++p) {
+                    starts[static_cast<std::size_t>(p) * bins + bin] =
+                        running;
+                    running +=
+                        g[static_cast<std::size_t>(p) * bins + bin];
+                }
+            }
+            rt.chargeIntOps(proc,
+                            2ull * bins * static_cast<std::size_t>(P));
+            for (int p = 0; p < P; ++p)
+                rt.writeBytes(
+                    proc, p, my_starts,
+                    {reinterpret_cast<const std::uint8_t *>(
+                         starts.data() +
+                         static_cast<std::size_t>(p) * bins),
+                     bins * 8});
+        }
+        rt.barrier(proc);
+
+        std::vector<std::uint64_t> cursor(bins);
+        std::memcpy(cursor.data(), rt.heapPtr(my_starts), bins * 8);
+
+        // Step 3: key distribution.
+        auto place_local = [&](std::uint64_t pos, std::uint32_t key) {
+            state->next[pos] = key;
+            ++state->recvCount;
+        };
+
+        if (!config.largeMessages) {
+            // Two keys at a time as AM word arguments.
+            struct Pair
+            {
+                std::uint32_t pos;
+                std::uint32_t key;
+            };
+            std::vector<std::vector<Pair>> pending(
+                static_cast<std::size_t>(P));
+            for (std::size_t i = 0; i < per_node; ++i) {
+                std::uint32_t key = cur[i];
+                std::uint32_t bin = (key >> shift) & mask;
+                std::uint64_t rank = cursor[bin]++;
+                int dst = static_cast<int>(rank / per_node);
+                auto pos = static_cast<std::uint32_t>(rank % per_node);
+                rt.chargeIntOps(proc, 4);
+                if (dst == self) {
+                    place_local(pos, key);
+                    continue;
+                }
+                auto &q = pending[static_cast<std::size_t>(dst)];
+                q.push_back({pos, key});
+                if (q.size() == 2) {
+                    rt.requestTo(proc, dst, h_keys,
+                                 {q[0].pos, q[0].key, q[1].pos,
+                                  q[1].key});
+                    ++stats.messages;
+                    stats.keysSentRemote += 2;
+                    q.clear();
+                }
+            }
+            for (int dst = 0; dst < P; ++dst) {
+                auto &q = pending[static_cast<std::size_t>(dst)];
+                if (!q.empty()) {
+                    rt.requestTo(proc, dst, h_keys,
+                                 {q[0].pos, q[0].key, 0xFFFFFFFFu, 0});
+                    ++stats.messages;
+                    ++stats.keysSentRemote;
+                    q.clear();
+                }
+            }
+            // Every node receives exactly per_node keys per pass.
+            rt.pollUntil(proc, [state, per_node] {
+                return state->recvCount >= per_node;
+            });
+        } else {
+            // One bulk message per destination.
+            std::vector<std::vector<std::uint64_t>> outgoing(
+                static_cast<std::size_t>(P));
+            for (std::size_t i = 0; i < per_node; ++i) {
+                std::uint32_t key = cur[i];
+                std::uint32_t bin = (key >> shift) & mask;
+                std::uint64_t rank = cursor[bin]++;
+                int dst = static_cast<int>(rank / per_node);
+                auto pos = static_cast<std::uint32_t>(rank % per_node);
+                rt.chargeIntOps(proc, 4);
+                if (dst == self) {
+                    place_local(pos, key);
+                    continue;
+                }
+                outgoing[static_cast<std::size_t>(dst)].push_back(
+                    (static_cast<std::uint64_t>(pos) << 32) | key);
+            }
+            for (int dst = 0; dst < P; ++dst) {
+                if (dst == self)
+                    continue;
+                const auto &q =
+                    outgoing[static_cast<std::size_t>(dst)];
+                std::uint64_t count = q.size();
+                rt.writeBytes(
+                    proc, dst,
+                    stage_counts + static_cast<HeapAddr>(self) * 8,
+                    {reinterpret_cast<const std::uint8_t *>(&count),
+                     8});
+                if (!q.empty()) {
+                    rt.storeTo(
+                        proc, dst,
+                        stage + static_cast<HeapAddr>(
+                                    static_cast<std::uint64_t>(self) *
+                                    per_node * 8),
+                        {reinterpret_cast<const std::uint8_t *>(
+                             q.data()),
+                         q.size() * 8});
+                    ++stats.messages;
+                    stats.keysSentRemote += q.size();
+                }
+            }
+            rt.allStoreSync(proc);
+            // Apply staged pairs.
+            auto *counts = rt.localPtr<std::uint64_t>(stage_counts);
+            for (int src = 0; src < P; ++src) {
+                if (src == self)
+                    continue;
+                auto *pairs = rt.localPtr<std::uint64_t>(
+                    stage + static_cast<HeapAddr>(
+                                static_cast<std::uint64_t>(src) *
+                                per_node * 8));
+                for (std::uint64_t i = 0; i < counts[src]; ++i) {
+                    place_local(pairs[i] >> 32,
+                                static_cast<std::uint32_t>(pairs[i]));
+                }
+                rt.chargeIntOps(proc, 3 * counts[src]);
+            }
+            if (state->recvCount != per_node)
+                UNET_PANIC("radix pass lost keys: have ",
+                           state->recvCount, " want ", per_node);
+        }
+        rt.barrier(proc);
+        std::swap(cur_addr, next_addr);
+    }
+
+    if (config.verify) {
+        auto *sorted = rt.localPtr<std::uint32_t>(cur_addr);
+        bool ok = true;
+        for (std::size_t i = 1; i < per_node; ++i)
+            if (sorted[i - 1] > sorted[i])
+                ok = false;
+        // Boundary with the right neighbour.
+        if (self + 1 < P) {
+            auto first = rt.read(
+                proc, GlobalPtr<std::uint32_t>(self + 1, cur_addr));
+            if (per_node > 0 && sorted[per_node - 1] > first)
+                ok = false;
+        }
+        std::vector<std::uint32_t> mine(sorted, sorted + per_node);
+        std::uint64_t checksum1 =
+            rt.allReduceSum(proc, keyChecksum(mine));
+        std::uint64_t all_ok =
+            rt.allReduceSum(proc, ok ? 0u : 1u);
+        stats.verified = all_ok == 0 && checksum0 == checksum1;
+        rt.barrier(proc);
+    }
+    return stats;
+}
+
+} // namespace unet::apps

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parallel radix sort (the paper's `rsort` benchmark).
+ *
+ * "The radix sort uses alternating phases of local sort and key
+ * distribution involving irregular all-to-all communication. The
+ * algorithm performs a fixed number of passes over the keys, one for
+ * every digit in the radix. Each pass consists of three steps: first,
+ * every processor computes a local histogram based on its set of local
+ * keys; second, a global histogram is computed ... to determine the
+ * rank of each key in the sorted array; and finally, every processor
+ * sends each of its local keys to the appropriate processor based on
+ * the key's rank."
+ *
+ * Two variants, as in the paper: the small-message version "transfers
+ * two keys at a time" (each key pair rides in the four word arguments
+ * of one Active Message — the traffic that rewards U-Net/FE's low
+ * latency); the large-message version "sends one message containing
+ * all relevant keys to every other processor" (bulk stores that reward
+ * ATM's bandwidth).
+ */
+
+#ifndef UNET_APPS_RADIX_SORT_HH
+#define UNET_APPS_RADIX_SORT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "splitc/runtime.hh"
+
+namespace unet::apps {
+
+/** Problem description. */
+struct RadixConfig
+{
+    /** Keys per node (the paper: 512 K). */
+    std::size_t keysPerNode = 512 * 1024;
+
+    /** Digit width; 8 bits = 4 passes over 32-bit keys. */
+    int radixBits = 8;
+
+    /** Large-message (bulk) or small-message (2 keys/msg) variant. */
+    bool largeMessages = false;
+
+    bool verify = true;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of a run on one node. */
+struct RadixStats
+{
+    bool verified = false;
+    std::uint64_t keysSentRemote = 0;
+    std::uint64_t messages = 0;
+};
+
+/** The SPMD benchmark body. */
+RadixStats runRadixSort(splitc::Runtime &rt, sim::Process &proc,
+                        const RadixConfig &config);
+
+} // namespace unet::apps
+
+#endif // UNET_APPS_RADIX_SORT_HH

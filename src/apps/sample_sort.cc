@@ -1,0 +1,256 @@
+#include "apps/sample_sort.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "apps/keys.hh"
+#include "sim/logging.hh"
+#include "splitc/global_ptr.hh"
+
+namespace unet::apps {
+
+using splitc::GlobalPtr;
+using splitc::HeapAddr;
+
+SampleStats
+runSampleSort(splitc::Runtime &rt, sim::Process &proc,
+              const SampleConfig &config)
+{
+    const int P = rt.procs();
+    const int self = rt.self();
+    const std::size_t per_node = config.keysPerNode;
+    const std::size_t s = config.samplesPerNode;
+    const auto recv_cap = static_cast<std::size_t>(
+        static_cast<double>(per_node) * config.recvSlack) + s + 16;
+
+    // Symmetric heap layout.
+    HeapAddr sample_gather =
+        rt.alloc<std::uint32_t>(static_cast<std::size_t>(P) * s);
+    HeapAddr splitters = rt.alloc<std::uint32_t>(
+        static_cast<std::size_t>(P > 1 ? P - 1 : 1));
+    HeapAddr recv_area = rt.alloc<std::uint32_t>(recv_cap);
+    HeapAddr stage_counts = 0, stage = 0;
+    if (config.largeMessages) {
+        stage_counts =
+            rt.alloc<std::uint64_t>(static_cast<std::size_t>(P));
+        stage = rt.alloc<std::uint32_t>(
+            static_cast<std::size_t>(P) * per_node);
+    }
+
+    struct State
+    {
+        std::uint32_t *recv = nullptr;
+        std::size_t cursor = 0;
+        std::size_t capacity = 0;
+    };
+    auto state = std::make_shared<State>();
+    state->recv = rt.localPtr<std::uint32_t>(recv_area);
+    state->capacity = recv_cap;
+
+    // Small-message handler: up to two keys in the word arguments
+    // (args[2] = number of keys).
+    am::HandlerId h_keys = rt.registerHandler(
+        [state, &rt](sim::Process &p, am::Token, const am::Args &args,
+                     std::span<const std::uint8_t>) {
+            for (am::Word i = 0; i < args[2]; ++i) {
+                if (state->cursor >= state->capacity)
+                    UNET_FATAL("sample sort receive overflow; raise "
+                               "recvSlack");
+                state->recv[state->cursor++] = args[i];
+            }
+            rt.chargeIntOps(p, 2 * args[2]);
+        });
+
+    auto keys = makeKeys(self, per_node, config.seed);
+    std::uint64_t checksum0 =
+        rt.allReduceSum(proc, keyChecksum(keys));
+
+    SampleStats stats;
+
+    // Phase 1: sampling. Evenly strided local samples to node 0.
+    {
+        std::vector<std::uint32_t> samples(s);
+        for (std::size_t i = 0; i < s; ++i)
+            samples[i] = keys[(i * per_node) / s];
+        rt.chargeIntOps(proc, 2 * s);
+        rt.writeBytes(
+            proc, 0,
+            sample_gather + static_cast<HeapAddr>(self) * s * 4,
+            {reinterpret_cast<const std::uint8_t *>(samples.data()),
+             s * 4});
+    }
+    rt.barrier(proc);
+
+    // Phase 2: node 0 sorts the samples and broadcasts splitters.
+    if (self == 0 && P > 1) {
+        auto *all = rt.localPtr<std::uint32_t>(sample_gather);
+        std::size_t count = static_cast<std::size_t>(P) * s;
+        std::sort(all, all + count);
+        rt.chargeIntOps(
+            proc, static_cast<std::uint64_t>(
+                      count * (64 - __builtin_clzll(count | 1)) * 2));
+        auto *split = rt.localPtr<std::uint32_t>(splitters);
+        for (int i = 1; i < P; ++i)
+            split[i - 1] = all[static_cast<std::size_t>(i) * s];
+    }
+    rt.broadcastBytes(proc, 0, splitters,
+                      static_cast<std::uint32_t>((P > 1 ? P - 1 : 1) *
+                                                 4));
+
+    // Phase 3: key distribution by splitter.
+    auto *split = rt.localPtr<std::uint32_t>(splitters);
+    auto dest_of = [&](std::uint32_t key) {
+        // Binary search over P-1 splitters.
+        int lo = 0, hi = P - 1;
+        while (lo < hi) {
+            int mid = (lo + hi) / 2;
+            if (key < split[mid])
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo;
+    };
+
+    if (!config.largeMessages) {
+        std::vector<std::vector<std::uint32_t>> pending(
+            static_cast<std::size_t>(P));
+        for (std::size_t i = 0; i < per_node; ++i) {
+            std::uint32_t key = keys[i];
+            int dst = P > 1 ? dest_of(key) : 0;
+            rt.chargeIntOps(
+                proc,
+                static_cast<std::uint64_t>(
+                    2 + (32 - __builtin_clz(
+                                  static_cast<unsigned>(P) | 1))));
+            if (dst == self) {
+                if (state->cursor >= state->capacity)
+                    UNET_FATAL("sample sort receive overflow");
+                state->recv[state->cursor++] = key;
+                continue;
+            }
+            auto &q = pending[static_cast<std::size_t>(dst)];
+            q.push_back(key);
+            if (q.size() == 2) {
+                rt.requestTo(proc, dst, h_keys, {q[0], q[1], 2, 0});
+                ++stats.messages;
+                stats.keysSentRemote += 2;
+                q.clear();
+            }
+        }
+        for (int dst = 0; dst < P; ++dst) {
+            auto &q = pending[static_cast<std::size_t>(dst)];
+            if (!q.empty()) {
+                rt.requestTo(proc, dst, h_keys, {q[0], 0, 1, 0});
+                ++stats.messages;
+                ++stats.keysSentRemote;
+            }
+        }
+        // Termination: exchange per-destination counts so everyone
+        // knows how many keys to expect.
+        std::vector<std::uint64_t> sent_to(
+            static_cast<std::size_t>(P), 0);
+        for (std::size_t i = 0; i < per_node; ++i)
+            ++sent_to[static_cast<std::size_t>(
+                P > 1 ? dest_of(keys[i]) : 0)];
+        rt.allReduceSumVec(proc, sent_to.data(), sent_to.size());
+        std::uint64_t expect = sent_to[static_cast<std::size_t>(self)];
+        rt.pollUntil(proc, [state, expect] {
+            return state->cursor >= expect;
+        });
+    } else {
+        std::vector<std::vector<std::uint32_t>> outgoing(
+            static_cast<std::size_t>(P));
+        for (std::size_t i = 0; i < per_node; ++i) {
+            std::uint32_t key = keys[i];
+            int dst = P > 1 ? dest_of(key) : 0;
+            rt.chargeIntOps(
+                proc,
+                static_cast<std::uint64_t>(
+                    2 + (32 - __builtin_clz(
+                                  static_cast<unsigned>(P) | 1))));
+            if (dst == self) {
+                state->recv[state->cursor++] = key;
+                continue;
+            }
+            outgoing[static_cast<std::size_t>(dst)].push_back(key);
+        }
+        for (int dst = 0; dst < P; ++dst) {
+            if (dst == self)
+                continue;
+            const auto &q = outgoing[static_cast<std::size_t>(dst)];
+            std::uint64_t count = q.size();
+            rt.writeBytes(
+                proc, dst,
+                stage_counts + static_cast<HeapAddr>(self) * 8,
+                {reinterpret_cast<const std::uint8_t *>(&count), 8});
+            if (!q.empty()) {
+                rt.storeTo(proc, dst,
+                           stage + static_cast<HeapAddr>(
+                                       static_cast<std::uint64_t>(
+                                           self) *
+                                       per_node * 4),
+                           {reinterpret_cast<const std::uint8_t *>(
+                                q.data()),
+                            q.size() * 4});
+                ++stats.messages;
+                stats.keysSentRemote += q.size();
+            }
+        }
+        rt.allStoreSync(proc);
+        auto *counts = rt.localPtr<std::uint64_t>(stage_counts);
+        for (int src = 0; src < P; ++src) {
+            if (src == self)
+                continue;
+            auto *vals = rt.localPtr<std::uint32_t>(
+                stage + static_cast<HeapAddr>(
+                            static_cast<std::uint64_t>(src) *
+                            per_node * 4));
+            for (std::uint64_t i = 0; i < counts[src]; ++i) {
+                if (state->cursor >= state->capacity)
+                    UNET_FATAL("sample sort receive overflow; raise "
+                               "recvSlack");
+                state->recv[state->cursor++] = vals[i];
+            }
+            rt.chargeIntOps(proc, 2 * counts[src]);
+        }
+    }
+    rt.barrier(proc);
+
+    // Phase 4: local sort.
+    stats.keysHeld = state->cursor;
+    std::sort(state->recv, state->recv + state->cursor);
+    rt.chargeIntOps(
+        proc,
+        static_cast<std::uint64_t>(
+            static_cast<double>(state->cursor) *
+            (64 - __builtin_clzll(state->cursor | 1)) * 2));
+    rt.barrier(proc);
+
+    if (config.verify) {
+        bool ok = true;
+        for (std::size_t i = 1; i < state->cursor; ++i)
+            if (state->recv[i - 1] > state->recv[i])
+                ok = false;
+        // Splitter invariants: everything I hold lies in my range.
+        if (P > 1 && state->cursor > 0) {
+            if (self < P - 1 &&
+                state->recv[state->cursor - 1] >= split[self])
+                ok = false;
+            if (self > 0 && state->recv[0] < split[self - 1])
+                ok = false;
+        }
+        std::vector<std::uint32_t> mine(state->recv,
+                                        state->recv + state->cursor);
+        std::uint64_t checksum1 =
+            rt.allReduceSum(proc, keyChecksum(mine));
+        std::uint64_t total =
+            rt.allReduceSum(proc, state->cursor);
+        std::uint64_t bad = rt.allReduceSum(proc, ok ? 0u : 1u);
+        stats.verified = bad == 0 && checksum0 == checksum1 &&
+            total == per_node * static_cast<std::size_t>(P);
+    }
+    return stats;
+}
+
+} // namespace unet::apps

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Parallel sample sort (the paper's `ssort` benchmark).
+ *
+ * "Instead of alternating computation and communication phases, the
+ * sample sort algorithm uses a single key distribution phase. The
+ * algorithm selects a fixed number of samples from keys on each node,
+ * sorts all samples from all nodes on a single processor, and selects
+ * splitters to determine which range of key values should be used on
+ * each node. The splitters are broadcast to all nodes. The main
+ * communication phase consists of sending each key to the appropriate
+ * node based on splitter values. Finally, each node sorts its values
+ * locally. The small-message version of the algorithm sends two values
+ * per message while the large-message version transmits a single bulk
+ * message."
+ */
+
+#ifndef UNET_APPS_SAMPLE_SORT_HH
+#define UNET_APPS_SAMPLE_SORT_HH
+
+#include <cstdint>
+
+#include "splitc/runtime.hh"
+
+namespace unet::apps {
+
+/** Problem description. */
+struct SampleConfig
+{
+    /** Keys per node (the paper: 512 K). */
+    std::size_t keysPerNode = 512 * 1024;
+
+    /** Samples taken per node. */
+    std::size_t samplesPerNode = 64;
+
+    /** Slack factor for the receive array (key imbalance headroom). */
+    double recvSlack = 2.0;
+
+    /** Large-message (bulk) or small-message (2 keys/msg) variant. */
+    bool largeMessages = false;
+
+    bool verify = true;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of a run on one node. */
+struct SampleStats
+{
+    bool verified = false;
+    std::uint64_t keysSentRemote = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t keysHeld = 0; ///< after redistribution
+};
+
+/** The SPMD benchmark body. */
+SampleStats runSampleSort(splitc::Runtime &rt, sim::Process &proc,
+                          const SampleConfig &config);
+
+} // namespace unet::apps
+
+#endif // UNET_APPS_SAMPLE_SORT_HH

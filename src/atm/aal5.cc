@@ -1,0 +1,86 @@
+#include "atm/aal5.hh"
+
+#include <algorithm>
+
+#include "net/crc32.hh"
+#include "sim/logging.hh"
+
+namespace unet::atm::aal5 {
+
+std::vector<Cell>
+segment(std::span<const std::uint8_t> pdu, Vci vci)
+{
+    if (pdu.size() > maxPdu)
+        UNET_PANIC("AAL5 PDU of ", pdu.size(), " bytes exceeds the ",
+                   maxPdu, "-byte maximum");
+
+    // Build the CS-PDU: payload, pad, trailer.
+    std::size_t total = cellCount(pdu.size()) * Cell::payloadBytes;
+    std::vector<std::uint8_t> cs(total, 0);
+    std::copy(pdu.begin(), pdu.end(), cs.begin());
+
+    std::uint8_t *trailer = cs.data() + total - trailerBytes;
+    trailer[0] = 0; // CPCS-UU
+    trailer[1] = 0; // CPI
+    trailer[2] = static_cast<std::uint8_t>(pdu.size() >> 8);
+    trailer[3] = static_cast<std::uint8_t>(pdu.size());
+    // CRC over everything up to (not including) the CRC field itself.
+    std::uint32_t crc =
+        net::crc32(std::span(cs.data(), total - 4));
+    trailer[4] = static_cast<std::uint8_t>(crc >> 24);
+    trailer[5] = static_cast<std::uint8_t>(crc >> 16);
+    trailer[6] = static_cast<std::uint8_t>(crc >> 8);
+    trailer[7] = static_cast<std::uint8_t>(crc);
+
+    // Slice into cells.
+    std::vector<Cell> cells(total / Cell::payloadBytes);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        cells[i].vci = vci;
+        cells[i].endOfPdu = (i == cells.size() - 1);
+        std::copy_n(cs.begin() +
+                        static_cast<std::ptrdiff_t>(i * Cell::payloadBytes),
+                    Cell::payloadBytes, cells[i].payload.begin());
+    }
+    return cells;
+}
+
+std::optional<std::vector<std::uint8_t>>
+Reassembler::addCell(const Cell &cell)
+{
+    buffer.insert(buffer.end(), cell.payload.begin(), cell.payload.end());
+    if (!cell.endOfPdu)
+        return std::nullopt;
+
+    std::vector<std::uint8_t> cs;
+    cs.swap(buffer);
+
+    if (cs.size() < Cell::payloadBytes) {
+        ++_crcErrors;
+        return std::nullopt;
+    }
+
+    const std::uint8_t *trailer = cs.data() + cs.size() - trailerBytes;
+    std::size_t length = (static_cast<std::size_t>(trailer[2]) << 8) |
+        trailer[3];
+    std::uint32_t want =
+        (static_cast<std::uint32_t>(trailer[4]) << 24) |
+        (static_cast<std::uint32_t>(trailer[5]) << 16) |
+        (static_cast<std::uint32_t>(trailer[6]) << 8) |
+        trailer[7];
+    std::uint32_t got =
+        net::crc32(std::span(cs.data(), cs.size() - 4));
+
+    // Length must fit in the cells received (pad < one cell + trailer).
+    bool length_ok = length + trailerBytes <= cs.size() &&
+        length + trailerBytes + Cell::payloadBytes > cs.size();
+
+    if (want != got || !length_ok) {
+        ++_crcErrors;
+        return std::nullopt;
+    }
+
+    cs.resize(length);
+    return cs;
+}
+
+} // namespace unet::atm::aal5

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AAL5 segmentation and reassembly.
+ *
+ * An AAL5 CS-PDU is the payload, zero padding, and an 8-byte trailer
+ * (UU, CPI, 16-bit length, 32-bit CRC over the whole padded PDU), sized
+ * to a multiple of 48 bytes and carried in consecutive cells on one VC;
+ * the last cell is flagged via the PTI user bit. The PCA-200's i960
+ * performs this in firmware with the CRC accumulated in hardware — in
+ * this model the CRC is computed for real, so a corrupted cell genuinely
+ * kills its PDU.
+ */
+
+#ifndef UNET_ATM_AAL5_HH
+#define UNET_ATM_AAL5_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "atm/cell.hh"
+
+namespace unet::atm::aal5 {
+
+/** Trailer size in bytes (UU + CPI + length + CRC-32). */
+constexpr std::size_t trailerBytes = 8;
+
+/** Maximum PDU payload (the paper: "the maximum packet size is
+ *  65 KBytes", i.e. the AAL5 MTU). */
+constexpr std::size_t maxPdu = 65535;
+
+/** Number of cells needed to carry @p pdu_bytes of payload. */
+constexpr std::size_t
+cellCount(std::size_t pdu_bytes)
+{
+    return (pdu_bytes + trailerBytes + Cell::payloadBytes - 1) /
+        Cell::payloadBytes;
+}
+
+/** Bytes on the wire (whole cells) for @p pdu_bytes of payload. */
+constexpr std::size_t
+wireBytes(std::size_t pdu_bytes)
+{
+    return cellCount(pdu_bytes) * Cell::cellBytes;
+}
+
+/**
+ * Segment @p pdu into cells on @p vci, computing the real trailer CRC.
+ * Panics if the PDU exceeds the AAL5 maximum.
+ */
+std::vector<Cell> segment(std::span<const std::uint8_t> pdu, Vci vci);
+
+/**
+ * Per-VC reassembler.
+ *
+ * Feed cells in arrival order; when the end-of-PDU cell arrives the
+ * accumulated CS-PDU is validated (CRC and length) and the payload is
+ * returned. Corrupt or inconsistent PDUs are dropped and counted.
+ */
+class Reassembler
+{
+  public:
+    /**
+     * Add one cell.
+     * @return the completed, validated PDU payload on the final cell;
+     *         std::nullopt while in progress or when validation fails.
+     */
+    std::optional<std::vector<std::uint8_t>> addCell(const Cell &cell);
+
+    /** Cells buffered for the in-progress PDU. */
+    std::size_t cellsBuffered() const { return buffer.size() / 48; }
+
+    /** PDUs discarded due to bad CRC or length. */
+    std::uint64_t crcErrors() const { return _crcErrors; }
+
+  private:
+    std::vector<std::uint8_t> buffer;
+    std::uint64_t _crcErrors = 0;
+};
+
+} // namespace unet::atm::aal5
+
+#endif // UNET_ATM_AAL5_HH

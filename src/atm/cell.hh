@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ATM cells.
+ *
+ * A cell is a 5-byte header plus 48 bytes of payload. The model carries
+ * the fields U-Net needs: the virtual channel identifier (the U-Net/ATM
+ * message tag) and the AAL5 end-of-PDU marker (the PTI user bit). The
+ * payload is real bytes — AAL5 reassembly and its CRC operate on them.
+ */
+
+#ifndef UNET_ATM_CELL_HH
+#define UNET_ATM_CELL_HH
+
+#include <array>
+#include <cstdint>
+
+namespace unet::atm {
+
+/** A virtual channel identifier. */
+using Vci = std::uint16_t;
+
+/** One 53-byte ATM cell. */
+struct Cell
+{
+    static constexpr std::size_t payloadBytes = 48;
+    static constexpr std::size_t headerBytes = 5;
+    static constexpr std::size_t cellBytes = 53;
+
+    /** Virtual channel this cell travels on. */
+    Vci vci = 0;
+
+    /** PTI user bit: set on the final cell of an AAL5 PDU. */
+    bool endOfPdu = false;
+
+    /** The 48 payload bytes. */
+    std::array<std::uint8_t, payloadBytes> payload{};
+};
+
+} // namespace unet::atm
+
+#endif // UNET_ATM_CELL_HH

@@ -1,0 +1,136 @@
+#include "atm/fabric.hh"
+
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace unet::atm {
+
+std::size_t
+Fabric::addSwitch(SwitchSpec spec)
+{
+    switches.push_back(std::make_unique<Switch>(sim, std::move(spec)));
+    return switches.size() - 1;
+}
+
+void
+Fabric::addTrunk(std::size_t sw_a, std::size_t sw_b, LinkSpec link_spec)
+{
+    if (sw_a >= switches.size() || sw_b >= switches.size())
+        UNET_FATAL("trunk references nonexistent switch");
+    if (sw_a == sw_b)
+        UNET_FATAL("trunk endpoints must differ");
+    Trunk trunk;
+    trunk.swA = sw_a;
+    trunk.swB = sw_b;
+    trunk.link = std::make_unique<AtmLink>(sim, std::move(link_spec));
+    trunk.portAtA = switches[sw_a]->addPort(*trunk.link);
+    trunk.portAtB = switches[sw_b]->addPort(*trunk.link);
+    trunks.push_back(std::move(trunk));
+}
+
+Fabric::HostAttachment
+Fabric::attachHost(std::size_t sw, AtmLink &host_link)
+{
+    if (sw >= switches.size())
+        UNET_FATAL("attachment references nonexistent switch");
+    return {sw, switches[sw]->addPort(host_link)};
+}
+
+Vci
+Fabric::allocateVci(const void *link_key)
+{
+    auto [it, inserted] = nextVci.emplace(link_key, 32);
+    (void)inserted;
+    return it->second++;
+}
+
+Vci
+Fabric::allocateHostVci(const HostAttachment &at)
+{
+    auto key = at.switchIndex * 65536 + at.port;
+    auto [it, inserted] = nextHostVci.emplace(key, 32);
+    (void)inserted;
+    return it->second++;
+}
+
+std::vector<std::size_t>
+Fabric::findPath(std::size_t sw_a, std::size_t sw_b) const
+{
+    // BFS over switches; parent[i] = trunk index used to reach i.
+    std::vector<int> parent(switches.size(), -1);
+    std::vector<bool> seen(switches.size(), false);
+    std::deque<std::size_t> frontier{sw_a};
+    seen[sw_a] = true;
+
+    while (!frontier.empty() && !seen[sw_b]) {
+        std::size_t sw = frontier.front();
+        frontier.pop_front();
+        for (std::size_t t = 0; t < trunks.size(); ++t) {
+            const Trunk &trunk = trunks[t];
+            std::size_t peer;
+            if (trunk.swA == sw)
+                peer = trunk.swB;
+            else if (trunk.swB == sw)
+                peer = trunk.swA;
+            else
+                continue;
+            if (seen[peer])
+                continue;
+            seen[peer] = true;
+            parent[peer] = static_cast<int>(t);
+            frontier.push_back(peer);
+        }
+    }
+    if (sw_a != sw_b && !seen[sw_b])
+        UNET_FATAL("no trunk path between switches ", sw_a, " and ",
+                   sw_b);
+
+    std::vector<std::size_t> path;
+    for (std::size_t sw = sw_b; sw != sw_a;) {
+        auto t = static_cast<std::size_t>(parent[sw]);
+        path.push_back(t);
+        sw = trunks[t].swA == sw ? trunks[t].swB : trunks[t].swA;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+Fabric::Vc
+Fabric::connect(HostAttachment a, HostAttachment b)
+{
+    std::vector<std::size_t> path = findPath(a.switchIndex,
+                                             b.switchIndex);
+
+    // Per-hop state walking from a's switch toward b's: the link we
+    // arrived on (key + VCI + ingress port at the current switch).
+    Vci vci_in = allocateHostVci(a); // a's host link
+    Vci vci_at_a = vci_in;
+    std::size_t port_in = a.port;
+    std::size_t sw = a.switchIndex;
+
+    for (std::size_t t : path) {
+        const Trunk &trunk = trunks[t];
+        bool forward = trunk.swA == sw;
+        std::size_t port_out = forward ? trunk.portAtA : trunk.portAtB;
+        std::size_t next_sw = forward ? trunk.swB : trunk.swA;
+        std::size_t next_in = forward ? trunk.portAtB : trunk.portAtA;
+
+        Vci vci_out = allocateVci(trunk.link.get());
+        switches[sw]->addRoute(port_in, vci_in, port_out, vci_out);
+        switches[sw]->addRoute(port_out, vci_out, port_in, vci_in);
+
+        vci_in = vci_out;
+        port_in = next_in;
+        sw = next_sw;
+    }
+
+    // Final hop onto b's host link.
+    Vci vci_at_b = allocateHostVci(b);
+    switches[sw]->addRoute(port_in, vci_in, b.port, vci_at_b);
+    switches[sw]->addRoute(b.port, vci_at_b, port_in, vci_in);
+
+    return {vci_at_a, vci_at_b};
+}
+
+} // namespace unet::atm

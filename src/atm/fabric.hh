@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Multi-switch ATM fabrics.
+ *
+ * The paper's scalability argument for ATM: "U-Net/ATM does not suffer
+ * this problem as virtual circuits are established network-wide."
+ * A Fabric is a graph of cell switches joined by trunk links; connect()
+ * finds a path and installs VCI-rewrite routes hop by hop, so hosts on
+ * different switches get end-to-end virtual circuits — something the
+ * MAC+port tags of U-Net/FE cannot do across routers.
+ */
+
+#ifndef UNET_ATM_FABRIC_HH
+#define UNET_ATM_FABRIC_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "atm/switch.hh"
+
+namespace unet::atm {
+
+/** A routed mesh of ATM switches. */
+class Fabric
+{
+  public:
+    explicit Fabric(sim::Simulation &sim) : sim(sim) {}
+
+    /** Add a switch. @return its index. */
+    std::size_t addSwitch(SwitchSpec spec = SwitchSpec::asx200());
+
+    /** Join two switches with a trunk link. */
+    void addTrunk(std::size_t sw_a, std::size_t sw_b,
+                  LinkSpec link_spec = LinkSpec::oc3());
+
+    /** Where a host hangs off the fabric. */
+    struct HostAttachment
+    {
+        std::size_t switchIndex = 0;
+        std::size_t port = 0;
+    };
+
+    /** Attach a host's link to switch @p sw. */
+    HostAttachment attachHost(std::size_t sw, AtmLink &host_link);
+
+    /** The two half-channel VCIs of an established VC. */
+    struct Vc
+    {
+        Vci vciAtA;
+        Vci vciAtB;
+    };
+
+    /**
+     * Establish a full-duplex VC between two attachments, routing
+     * across trunks (BFS shortest path). Fatal if no path exists.
+     */
+    Vc connect(HostAttachment a, HostAttachment b);
+
+    Switch &switchAt(std::size_t i) { return *switches.at(i); }
+    std::size_t switchCount() const { return switches.size(); }
+
+  private:
+    struct Trunk
+    {
+        std::size_t swA, swB;
+        std::size_t portAtA, portAtB;
+        std::unique_ptr<AtmLink> link;
+    };
+
+    /** Allocate the next VCI on a link (VCIs are per-link, shared by
+     *  both directions of a VC, 0-31 reserved). */
+    Vci allocateVci(const void *link_key);
+
+    /** Allocate the next VCI on a host attachment's link. */
+    Vci allocateHostVci(const HostAttachment &at);
+
+    /** BFS path of trunk indices from sw_a to sw_b. */
+    std::vector<std::size_t> findPath(std::size_t sw_a,
+                                      std::size_t sw_b) const;
+
+    sim::Simulation &sim;
+    std::vector<std::unique_ptr<Switch>> switches;
+    std::vector<Trunk> trunks;
+    std::map<const void *, Vci> nextVci;
+    std::map<std::size_t, Vci> nextHostVci;
+};
+
+} // namespace unet::atm
+
+#endif // UNET_ATM_FABRIC_HH

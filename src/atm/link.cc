@@ -1,0 +1,86 @@
+#include "atm/link.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::atm {
+
+LinkSpec
+LinkSpec::oc3()
+{
+    LinkSpec s;
+    s.name = "OC-3c";
+    // Chosen so the AAL5 payload ceiling is the paper's 138 Mbps:
+    // 138e6 * 53/48 = 152.4e6 effective cell rate (155.52 line rate
+    // minus SONET path overhead).
+    s.cellRateBps = 152.4e6;
+    return s;
+}
+
+LinkSpec
+LinkSpec::taxi140()
+{
+    LinkSpec s;
+    s.name = "TAXI-140";
+    // "The maximum bandwidth here is 120 Mbps, which represents the
+    // maximum achievable bandwidth for the 140 Mbps TAXI link":
+    // 120e6 * 53/48 = 132.5e6 effective cell rate.
+    s.cellRateBps = 132.5e6;
+    return s;
+}
+
+class AtmLink::Side : public CellTap
+{
+  public:
+    Side(AtmLink &link, int index) : link(link), index(index) {}
+
+    void
+    send(Cell cell, std::function<void()> on_done) override
+    {
+        auto &l = link;
+        if (l.attached < 2)
+            UNET_PANIC("cell sent on a link with ", l.attached,
+                       " attachment(s)");
+        sim::Tick start = std::max(l.sim.now(), l.busyUntil[index]);
+        sim::Tick end = start + l._spec.cellTime();
+        l.busyUntil[index] = end;
+
+        CellSink *peer = l.sinks[1 - index];
+        l.sim.schedule(end + l._spec.propDelay, [&l, peer, cell] {
+            ++l._delivered;
+            peer->cellArrived(cell);
+        });
+        if (on_done)
+            l.sim.schedule(end, std::move(on_done));
+    }
+
+    sim::Tick
+    nextFreeAt() const override
+    {
+        return std::max(link.sim.now(), link.busyUntil[index]) +
+            link._spec.cellTime();
+    }
+
+  private:
+    AtmLink &link;
+    int index;
+};
+
+AtmLink::AtmLink(sim::Simulation &sim, LinkSpec spec)
+    : sim(sim), _spec(std::move(spec))
+{
+    sides[0] = std::make_unique<Side>(*this, 0);
+    sides[1] = std::make_unique<Side>(*this, 1);
+}
+
+AtmLink::~AtmLink() = default;
+
+CellTap &
+AtmLink::attach(CellSink &sink)
+{
+    if (attached >= 2)
+        UNET_FATAL("ATM link already has two attachments");
+    sinks[attached] = &sink;
+    return *sides[attached++];
+}
+
+} // namespace unet::atm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * ATM fiber links.
+ *
+ * Links carry cells point-to-point, full duplex, at an *effective* cell
+ * bit-rate that folds in the physical layer's framing overhead:
+ *
+ *  - OC-3c SONET: 155.52 Mbps line rate, but SONET framing plus the
+ *    5-byte cell header cap AAL5 payload throughput at ~138 Mbps
+ *    ("the maximum bandwidth of the link is not 155 Mbps, but rather
+ *    138 Mbps").
+ *  - 140 Mbps TAXI: the SBA-200-era fiber interface; the paper measures
+ *    at most 120 Mbps of payload through it.
+ */
+
+#ifndef UNET_ATM_LINK_HH
+#define UNET_ATM_LINK_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "atm/cell.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace unet::atm {
+
+/** Receiver side of an ATM device. */
+class CellSink
+{
+  public:
+    virtual ~CellSink() = default;
+
+    /** A cell has fully arrived at this device. */
+    virtual void cellArrived(const Cell &cell) = 0;
+};
+
+/** Physical-layer description. */
+struct LinkSpec
+{
+    std::string name = "atm-link";
+
+    /** Effective bit rate at which 53-byte cells serialize. */
+    double cellRateBps = 155.52e6;
+
+    /** One-way propagation delay. */
+    sim::Tick propDelay = sim::nanoseconds(500);
+
+    /** Serialization time of one cell. */
+    sim::Tick
+    cellTime() const
+    {
+        return sim::serializationTime(Cell::cellBytes, cellRateBps);
+    }
+
+    /** AAL5 payload throughput ceiling in bits/second. */
+    double
+    payloadCeilingBps() const
+    {
+        return cellRateBps * Cell::payloadBytes / Cell::cellBytes;
+    }
+
+    /** OC-3c SONET (the PCA-200 measurements in Fig. 5). */
+    static LinkSpec oc3();
+
+    /** 140 Mbps TAXI (the SBA-200 cluster and the Fig. 6 ceiling). */
+    static LinkSpec taxi140();
+};
+
+/** Transmit handle one attached device gets. */
+class CellTap
+{
+  public:
+    virtual ~CellTap() = default;
+
+    /**
+     * Send one cell; cells queue behind each other at the link's cell
+     * rate. @p on_done fires when the cell has left this station.
+     */
+    virtual void send(Cell cell, std::function<void()> on_done = {}) = 0;
+
+    /** When a cell submitted now would finish serializing. */
+    virtual sim::Tick nextFreeAt() const = 0;
+};
+
+/** A bidirectional fiber pair between two devices. */
+class AtmLink
+{
+  public:
+    AtmLink(sim::Simulation &sim, LinkSpec spec = {});
+    ~AtmLink();
+
+    /** Attach a device (maximum two). */
+    CellTap &attach(CellSink &sink);
+
+    const LinkSpec &spec() const { return _spec; }
+
+    std::uint64_t cellsDelivered() const { return _delivered.value(); }
+
+  private:
+    class Side;
+
+    sim::Simulation &sim;
+    LinkSpec _spec;
+    std::array<CellSink *, 2> sinks{};
+    std::array<std::unique_ptr<Side>, 2> sides;
+    std::array<sim::Tick, 2> busyUntil{};
+    int attached = 0;
+    sim::Counter _delivered;
+};
+
+} // namespace unet::atm
+
+#endif // UNET_ATM_LINK_HH

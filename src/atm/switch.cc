@@ -1,0 +1,122 @@
+#include "atm/switch.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::atm {
+
+namespace {
+
+constexpr std::uint32_t
+routeKey(std::size_t port, Vci vci)
+{
+    return static_cast<std::uint32_t>(port << 16) | vci;
+}
+
+} // namespace
+
+/** Switch-side attachment to one host link. */
+struct Switch::Port : public CellSink
+{
+    Port(Switch &sw, std::size_t index) : sw(sw), index(index) {}
+
+    void
+    cellArrived(const Cell &cell) override
+    {
+        sw.cellIn(index, cell);
+    }
+
+    Switch &sw;
+    std::size_t index;
+    CellTap *tap = nullptr;
+
+    /** Cells queued or serializing on the output side. */
+    std::size_t outstanding = 0;
+};
+
+Switch::Switch(sim::Simulation &sim, SwitchSpec spec)
+    : sim(sim), _spec(std::move(spec))
+{
+}
+
+Switch::~Switch() = default;
+
+std::size_t
+Switch::addPort(AtmLink &link)
+{
+    auto port = std::make_unique<Port>(*this, ports.size());
+    port->tap = &link.attach(*port);
+    ports.push_back(std::move(port));
+    return ports.size() - 1;
+}
+
+void
+Switch::addRoute(std::size_t in_port, Vci in_vci, std::size_t out_port,
+                 Vci out_vci)
+{
+    if (in_port >= ports.size() || out_port >= ports.size())
+        UNET_FATAL("route references nonexistent port");
+    auto [it, inserted] =
+        routes.emplace(routeKey(in_port, in_vci),
+                       std::make_pair(out_port, out_vci));
+    if (!inserted)
+        UNET_FATAL("duplicate route for port ", in_port, " VCI ", in_vci);
+}
+
+void
+Switch::removeRoute(std::size_t in_port, Vci in_vci)
+{
+    routes.erase(routeKey(in_port, in_vci));
+}
+
+void
+Switch::cellIn(std::size_t in_port, const Cell &cell)
+{
+    auto it = routes.find(routeKey(in_port, cell.vci));
+    if (it == routes.end()) {
+        ++_unroutable;
+        UNET_WARN(_spec.name, ": no route for port ", in_port, " VCI ",
+                  cell.vci, "; cell dropped");
+        return;
+    }
+    auto [out_port, out_vci] = it->second;
+
+    Cell forwarded = cell;
+    forwarded.vci = out_vci;
+    sim.scheduleIn(_spec.forwardDelay, [this, out_port, forwarded] {
+        Port &out = *ports[out_port];
+        if (out.outstanding >= _spec.queueCells) {
+            ++_dropped;
+            return;
+        }
+        ++out.outstanding;
+        ++_forwarded;
+        out.tap->send(forwarded, [&out] { --out.outstanding; });
+    });
+}
+
+Vci
+Signalling::allocate(std::size_t port)
+{
+    // VCIs 0-31 are reserved for signalling/management.
+    auto [it, inserted] = nextVci.emplace(port, 32);
+    (void)inserted;
+    return it->second++;
+}
+
+Signalling::Vc
+Signalling::connect(std::size_t port_a, std::size_t port_b)
+{
+    Vc vc{allocate(port_a), allocate(port_b)};
+    sw.addRoute(port_a, vc.vciAtA, port_b, vc.vciAtB);
+    sw.addRoute(port_b, vc.vciAtB, port_a, vc.vciAtA);
+    return vc;
+}
+
+void
+Signalling::disconnect(std::size_t port_a, std::size_t port_b, Vc vc)
+{
+    sw.removeRoute(port_a, vc.vciAtA);
+    sw.removeRoute(port_b, vc.vciAtB);
+}
+
+} // namespace unet::atm

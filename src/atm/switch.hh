@@ -1,0 +1,134 @@
+/**
+ * @file
+ * ATM cell switch (FORE ASX-200 class).
+ *
+ * The switch routes cells by (input port, VCI), rewriting the VCI for
+ * the output link. The paper's ASX-200 "forwards cells in about 7 us";
+ * that figure is the per-cell forwarding latency here. Cells are
+ * pipelined: forwarding latency applies per cell, output serialization
+ * is the occupancy. Output contention queues cells; overflow drops
+ * them (AAL5 loses the whole PDU, which the Active Message layer
+ * recovers by retransmission).
+ */
+
+#ifndef UNET_ATM_SWITCH_HH
+#define UNET_ATM_SWITCH_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atm/cell.hh"
+#include "atm/link.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace unet::atm {
+
+/** Static description of a cell switch. */
+struct SwitchSpec
+{
+    std::string name = "ASX-200";
+
+    /** Per-cell forwarding latency (lookup + fabric). */
+    sim::Tick forwardDelay = sim::microseconds(7);
+
+    /** Output buffering per port, in cells. */
+    std::size_t queueCells = 1024;
+
+    static SwitchSpec
+    asx200()
+    {
+        return {};
+    }
+};
+
+/** A VCI-routing cell switch. */
+class Switch
+{
+  public:
+    Switch(sim::Simulation &sim, SwitchSpec spec = SwitchSpec::asx200());
+    ~Switch();
+
+    /**
+     * Attach the switch to one side of @p link (the host NIC takes the
+     * other side). @return the new port's index.
+     */
+    std::size_t addPort(AtmLink &link);
+
+    /**
+     * Install a unidirectional route: cells arriving on
+     * (@p in_port, @p in_vci) leave on @p out_port carrying @p out_vci.
+     */
+    void addRoute(std::size_t in_port, Vci in_vci, std::size_t out_port,
+                  Vci out_vci);
+
+    /** Remove a route (VC teardown). */
+    void removeRoute(std::size_t in_port, Vci in_vci);
+
+    std::size_t portCount() const { return ports.size(); }
+    const SwitchSpec &spec() const { return _spec; }
+
+    /** @name Statistics. @{ */
+    std::uint64_t cellsForwarded() const { return _forwarded.value(); }
+    std::uint64_t cellsUnroutable() const { return _unroutable.value(); }
+    std::uint64_t cellsDropped() const { return _dropped.value(); }
+    /** @} */
+
+  private:
+    struct Port;
+
+    /** A cell arrived from the link on @p in_port. */
+    void cellIn(std::size_t in_port, const Cell &cell);
+
+    sim::Simulation &sim;
+    SwitchSpec _spec;
+    std::vector<std::unique_ptr<Port>> ports;
+
+    /** (port << 16 | vci) -> (out port, out vci). */
+    std::map<std::uint32_t, std::pair<std::size_t, Vci>> routes;
+
+    sim::Counter _forwarded;
+    sim::Counter _unroutable;
+    sim::Counter _dropped;
+};
+
+/**
+ * VC setup for a single-switch star — the OS-mediated "signalling tasks
+ * that are specific to the network technology" the paper delegates to
+ * an operating system service.
+ */
+class Signalling
+{
+  public:
+    explicit Signalling(Switch &sw) : sw(sw) {}
+
+    /** The two half-channels of a full-duplex VC. */
+    struct Vc
+    {
+        /** VCI used by the host on port A (both to send and receive). */
+        Vci vciAtA;
+        /** VCI used by the host on port B. */
+        Vci vciAtB;
+    };
+
+    /**
+     * Establish a full-duplex VC between two switch ports, allocating a
+     * fresh VCI on each and installing both routes.
+     */
+    Vc connect(std::size_t port_a, std::size_t port_b);
+
+    /** Tear the VC down again. */
+    void disconnect(std::size_t port_a, std::size_t port_b, Vc vc);
+
+  private:
+    Vci allocate(std::size_t port);
+
+    Switch &sw;
+    std::map<std::size_t, Vci> nextVci;
+};
+
+} // namespace unet::atm
+
+#endif // UNET_ATM_SWITCH_HH

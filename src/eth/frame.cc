@@ -1,0 +1,78 @@
+#include "eth/frame.hh"
+
+#include <algorithm>
+
+#include "net/crc32.hh"
+#include "sim/logging.hh"
+
+namespace unet::eth {
+
+std::vector<std::uint8_t>
+Frame::serialize() const
+{
+    if (!payloadSizeValid())
+        UNET_PANIC("frame payload of ", payload.size(),
+                   " bytes exceeds the 1500-byte Ethernet maximum");
+
+    std::vector<std::uint8_t> out;
+    out.reserve(frameBytes());
+    out.insert(out.end(), dst.raw().begin(), dst.raw().end());
+    out.insert(out.end(), src.raw().begin(), src.raw().end());
+    out.push_back(static_cast<std::uint8_t>(etherType >> 8));
+    out.push_back(static_cast<std::uint8_t>(etherType));
+    out.insert(out.end(), payload.begin(), payload.end());
+    while (out.size() < headerBytes + minPayload)
+        out.push_back(0); // pad
+
+    std::uint32_t fcs = net::crc32(out);
+    out.push_back(static_cast<std::uint8_t>(fcs));
+    out.push_back(static_cast<std::uint8_t>(fcs >> 8));
+    out.push_back(static_cast<std::uint8_t>(fcs >> 16));
+    out.push_back(static_cast<std::uint8_t>(fcs >> 24));
+    return out;
+}
+
+Frame
+Frame::fromBytes(std::span<const std::uint8_t> raw)
+{
+    if (raw.size() < headerBytes)
+        UNET_PANIC("frame bytes shorter than the Ethernet header");
+    Frame f;
+    std::array<std::uint8_t, 6> mac{};
+    std::copy_n(raw.begin(), 6, mac.begin());
+    f.dst = MacAddress(mac);
+    std::copy_n(raw.begin() + 6, 6, mac.begin());
+    f.src = MacAddress(mac);
+    f.etherType = static_cast<std::uint16_t>((raw[12] << 8) | raw[13]);
+    f.payload.assign(raw.begin() + headerBytes, raw.end());
+    return f;
+}
+
+std::optional<Frame>
+Frame::parse(std::span<const std::uint8_t> raw)
+{
+    if (raw.size() < headerBytes + minPayload + fcsBytes)
+        return std::nullopt;
+
+    std::size_t body = raw.size() - fcsBytes;
+    std::uint32_t want = net::crc32(raw.subspan(0, body));
+    std::uint32_t got = raw[body] |
+        (static_cast<std::uint32_t>(raw[body + 1]) << 8) |
+        (static_cast<std::uint32_t>(raw[body + 2]) << 16) |
+        (static_cast<std::uint32_t>(raw[body + 3]) << 24);
+    if (want != got)
+        return std::nullopt;
+
+    Frame f;
+    std::array<std::uint8_t, 6> mac{};
+    std::copy_n(raw.begin(), 6, mac.begin());
+    f.dst = MacAddress(mac);
+    std::copy_n(raw.begin() + 6, 6, mac.begin());
+    f.src = MacAddress(mac);
+    f.etherType =
+        static_cast<std::uint16_t>((raw[12] << 8) | raw[13]);
+    f.payload.assign(raw.begin() + headerBytes, raw.begin() + body);
+    return f;
+}
+
+} // namespace unet::eth

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ethernet frames.
+ *
+ * Frames carry real bytes: serialize() emits header + payload (padded to
+ * the 46-byte minimum) + a genuine CRC-32 FCS, and parse() validates it.
+ * Wire-time accounting includes the preamble/SFD and the inter-frame
+ * gap, which is what makes Fast Ethernet saturate near 97 Mbps for
+ * 1.5 KB frames (Fig. 6).
+ */
+
+#ifndef UNET_ETH_FRAME_HH
+#define UNET_ETH_FRAME_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "eth/mac_address.hh"
+
+namespace unet::eth {
+
+/** An Ethernet II frame. */
+struct Frame
+{
+    /** @name 802.3 size constants (bytes). @{ */
+    static constexpr std::size_t headerBytes = 14;
+    static constexpr std::size_t fcsBytes = 4;
+    static constexpr std::size_t preambleBytes = 8;
+    static constexpr std::size_t interFrameGapBytes = 12;
+    static constexpr std::size_t minPayload = 46;
+    static constexpr std::size_t maxPayload = 1500;
+    /** @} */
+
+    MacAddress dst;
+    MacAddress src;
+    std::uint16_t etherType = 0;
+    std::vector<std::uint8_t> payload;
+
+    /** Frame length as counted on the wire (header+padded payload+FCS). */
+    std::size_t
+    frameBytes() const
+    {
+        return headerBytes + std::max(payload.size(), minPayload) +
+            fcsBytes;
+    }
+
+    /**
+     * Bytes occupying the medium per frame: preamble + frame + IFG.
+     * Serialization time = wireBytes * 8 / line rate.
+     */
+    std::size_t
+    wireBytes() const
+    {
+        return preambleBytes + frameBytes() + interFrameGapBytes;
+    }
+
+    /** True if the payload length is legal (may still need padding). */
+    bool
+    payloadSizeValid() const
+    {
+        return payload.size() <= maxPayload;
+    }
+
+    /** Serialize header + padded payload + computed FCS. */
+    std::vector<std::uint8_t> serialize() const;
+
+    /**
+     * Parse raw bytes back into a frame, validating the FCS.
+     * @return nullopt if the frame is short or the FCS mismatches.
+     * The returned payload includes any pad bytes (the receiver cannot
+     * tell data from pad; upper layers carry their own length field).
+     */
+    static std::optional<Frame> parse(std::span<const std::uint8_t> raw);
+
+    /**
+     * Assemble a frame from header + payload bytes that carry no FCS —
+     * what a NIC sees after gathering its transmit buffers (the CRC is
+     * generated in hardware on the way out). Panics on short input.
+     */
+    static Frame fromBytes(std::span<const std::uint8_t> raw);
+};
+
+} // namespace unet::eth
+
+#endif // UNET_ETH_FRAME_HH

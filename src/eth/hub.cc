@@ -1,0 +1,149 @@
+#include "eth/hub.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::eth {
+
+struct Hub::Attempt
+{
+    Frame frame;
+    TxCallback onDone;
+    int station = -1;
+    int attempts = 0;
+    sim::Tick startedAt = 0;
+    sim::EventHandle completion;
+    sim::EventHandle startEvent;
+};
+
+class Hub::StationTap : public Tap
+{
+  public:
+    StationTap(Hub &hub, int index) : hub(hub), index(index) {}
+
+    void
+    transmit(Frame frame, TxCallback on_done) override
+    {
+        auto attempt = std::make_shared<Attempt>();
+        attempt->frame = std::move(frame);
+        attempt->onDone = std::move(on_done);
+        attempt->station = index;
+        attempt->attempts = 1;
+        hub.tryStart(attempt);
+    }
+
+  private:
+    Hub &hub;
+    int index;
+};
+
+Hub::Hub(sim::Simulation &sim, HubSpec spec)
+    : sim(sim), spec(spec)
+{
+}
+
+Hub::~Hub() = default;
+
+Tap &
+Hub::attach(Station &station)
+{
+    stations.push_back(&station);
+    taps.push_back(std::make_unique<StationTap>(
+        *this, static_cast<int>(stations.size()) - 1));
+    return *taps.back();
+}
+
+void
+Hub::tryStart(const std::shared_ptr<Attempt> &attempt)
+{
+    sim::Tick now = sim.now();
+
+    if (current) {
+        // Someone is transmitting. Within a slot time of their start we
+        // would not yet sense carrier: collision. Later, we defer.
+        if (now - current->startedAt < spec.slotTime()) {
+            collide(attempt);
+        } else {
+            ++_deferrals;
+            attempt->startEvent = sim.schedule(
+                busyUntil + spec.ifgTime(),
+                [this, attempt] { tryStart(attempt); });
+        }
+        return;
+    }
+
+    if (now < busyUntil) {
+        // Medium still cooling down (jam or IFG); retry when clear.
+        ++_deferrals;
+        attempt->startEvent = sim.schedule(
+            busyUntil + spec.ifgTime(),
+            [this, attempt] { tryStart(attempt); });
+        return;
+    }
+
+    // Medium idle: start transmitting.
+    current = attempt;
+    attempt->startedAt = now;
+    sim::Tick ser = sim::serializationTime(
+        static_cast<std::int64_t>(attempt->frame.wireBytes()),
+        spec.bitRate);
+    busyUntil = now + ser;
+    attempt->completion =
+        sim.schedule(busyUntil, [this, attempt] { finish(attempt); });
+}
+
+void
+Hub::collide(const std::shared_ptr<Attempt> &late)
+{
+    ++_collisions;
+    std::shared_ptr<Attempt> early = current;
+    current = nullptr;
+
+    // Both transmissions abort and jam the medium.
+    early->completion.cancel();
+    busyUntil = sim.now() + spec.jamTime();
+
+    backoff(early);
+    backoff(late);
+}
+
+void
+Hub::backoff(const std::shared_ptr<Attempt> &attempt)
+{
+    if (attempt->attempts >= spec.maxAttempts) {
+        ++_drops;
+        if (attempt->onDone)
+            attempt->onDone(false);
+        return;
+    }
+
+    int exponent = std::min(attempt->attempts, spec.backoffLimit);
+    std::int64_t slots =
+        sim.random().uniform(0, (std::int64_t{1} << exponent) - 1);
+    ++attempt->attempts;
+
+    sim::Tick retry = busyUntil + spec.ifgTime() +
+        slots * spec.slotTime();
+    attempt->startEvent =
+        sim.schedule(retry, [this, attempt] { tryStart(attempt); });
+}
+
+void
+Hub::finish(const std::shared_ptr<Attempt> &attempt)
+{
+    current = nullptr;
+    busyUntil = sim.now() + spec.ifgTime();
+
+    auto shared = std::make_shared<Frame>(std::move(attempt->frame));
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+        if (static_cast<int>(i) == attempt->station)
+            continue;
+        ++_delivered;
+        Station *dst = stations[i];
+        sim.schedule(sim.now() + spec.propDelay,
+                     [dst, shared] { dst->frameArrived(*shared); });
+    }
+    if (attempt->onDone)
+        attempt->onDone(true);
+}
+
+} // namespace unet::eth

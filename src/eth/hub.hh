@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared-medium Fast Ethernet segment (repeater hub) with CSMA/CD.
+ *
+ * All stations contend for one half-duplex 100 Mbps channel. A station
+ * that finds the medium busy defers; two stations starting within a slot
+ * time collide, jam, and retry after truncated binary exponential
+ * backoff (up to 16 attempts, then the frame is dropped and the transmit
+ * callback reports failure). This is the "broadcast hub" configuration
+ * of Fig. 5 and the source of the paper's concern that "contention for
+ * the shared medium might degrade performance as more hosts are added".
+ */
+
+#ifndef UNET_ETH_HUB_HH
+#define UNET_ETH_HUB_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "eth/network.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace unet::eth {
+
+/** Parameters of a shared 802.3 segment. */
+struct HubSpec
+{
+    /** Line rate in bits/second. */
+    double bitRate = 100e6;
+
+    /** One-way propagation delay to any station. */
+    sim::Tick propDelay = sim::nanoseconds(500);
+
+    /** Slot time in bit times (512 for 802.3). */
+    int slotBits = 512;
+
+    /** Inter-frame gap in bit times (96 for 802.3). */
+    int ifgBits = 96;
+
+    /** Jam signal length in bit times (32 for 802.3). */
+    int jamBits = 32;
+
+    /** Attempts before a frame is abandoned (16 for 802.3). */
+    int maxAttempts = 16;
+
+    /** Backoff exponent cap (10 for 802.3). */
+    int backoffLimit = 10;
+
+    sim::Tick
+    slotTime() const
+    {
+        return sim::serializationTime(slotBits, bitRate * 8);
+    }
+
+    sim::Tick
+    ifgTime() const
+    {
+        return sim::serializationTime(ifgBits, bitRate * 8);
+    }
+
+    sim::Tick
+    jamTime() const
+    {
+        return sim::serializationTime(jamBits, bitRate * 8);
+    }
+};
+
+/** A repeater hub: one collision domain shared by all stations. */
+class Hub : public Network
+{
+  public:
+    Hub(sim::Simulation &sim, HubSpec spec = {});
+    ~Hub() override;
+
+    Tap &attach(Station &station) override;
+
+    /** @name Statistics. @{ */
+    std::uint64_t framesDelivered() const { return _delivered.value(); }
+    std::uint64_t collisions() const { return _collisions.value(); }
+    std::uint64_t drops() const { return _drops.value(); }
+    std::uint64_t deferrals() const { return _deferrals.value(); }
+    /** @} */
+
+  private:
+    struct Attempt;
+    class StationTap;
+
+    /** An attempt's start event fired: contend for the medium. */
+    void tryStart(const std::shared_ptr<Attempt> &attempt);
+
+    /** Abort the in-flight transmission and back off both parties. */
+    void collide(const std::shared_ptr<Attempt> &late);
+
+    /** Schedule a backoff retry or give up after maxAttempts. */
+    void backoff(const std::shared_ptr<Attempt> &attempt);
+
+    /** Successful completion: deliver to every other station. */
+    void finish(const std::shared_ptr<Attempt> &attempt);
+
+    sim::Simulation &sim;
+    HubSpec spec;
+    std::vector<Station *> stations;
+    std::vector<std::unique_ptr<StationTap>> taps;
+
+    /** Medium busy (transmission or jam) through this tick. */
+    sim::Tick busyUntil = 0;
+
+    /** The transmission currently on the wire, if any. */
+    std::shared_ptr<Attempt> current;
+
+    sim::Counter _delivered;
+    sim::Counter _collisions;
+    sim::Counter _drops;
+    sim::Counter _deferrals;
+};
+
+} // namespace unet::eth
+
+#endif // UNET_ETH_HUB_HH

@@ -1,0 +1,50 @@
+#include "eth/link.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::eth {
+
+FullDuplexLink::FullDuplexLink(sim::Simulation &sim, double bit_rate,
+                               sim::Tick prop_delay)
+    : sim(sim), bitRate(bit_rate), propDelay(prop_delay)
+{
+    sides[0] = std::make_unique<Side>(*this, 0);
+    sides[1] = std::make_unique<Side>(*this, 1);
+}
+
+Tap &
+FullDuplexLink::attach(Station &station)
+{
+    if (attached >= 2)
+        UNET_FATAL("point-to-point link already has two stations");
+    stations[attached] = &station;
+    return *sides[attached++];
+}
+
+void
+FullDuplexLink::Side::transmit(Frame frame, TxCallback on_done)
+{
+    auto &l = link;
+    if (l.attached < 2)
+        UNET_PANIC("transmit on a link with only ", l.attached,
+                   " station(s)");
+    if (!frame.payloadSizeValid())
+        UNET_PANIC("oversized frame handed to link");
+
+    sim::Tick ser = sim::serializationTime(
+        static_cast<std::int64_t>(frame.wireBytes()), l.bitRate);
+    sim::Tick start = std::max(l.sim.now(), l.busyUntil[index]);
+    sim::Tick end = start + ser;
+    l.busyUntil[index] = end;
+
+    Station *peer = l.stations[1 - index];
+    auto shared = std::make_shared<Frame>(std::move(frame));
+    l.sim.schedule(end + l.propDelay, [&l, peer, shared] {
+        ++l._delivered;
+        peer->frameArrived(*shared);
+    });
+    if (on_done)
+        l.sim.schedule(end, [cb = std::move(on_done)] { cb(true); });
+}
+
+} // namespace unet::eth

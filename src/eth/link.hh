@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Full-duplex point-to-point Ethernet link.
+ *
+ * The paper notes that a switched Fast Ethernet port can be "a
+ * full-duplex link which allows a host to simultaneously send and
+ * receive messages ... and thus doubles the aggregate network
+ * bandwidth". This link gives each direction its own 100 Mbps channel;
+ * it also serves as the dedicated segment between a station and a
+ * switch port.
+ */
+
+#ifndef UNET_ETH_LINK_HH
+#define UNET_ETH_LINK_HH
+
+#include <array>
+#include <memory>
+
+#include "eth/network.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace unet::eth {
+
+/** A two-station link with independent channels per direction. */
+class FullDuplexLink : public Network
+{
+  public:
+    /**
+     * @param sim        Owning simulation.
+     * @param bit_rate   Line rate in bits/second (default 100BaseTX).
+     * @param prop_delay One-way propagation delay.
+     */
+    FullDuplexLink(sim::Simulation &sim, double bit_rate = 100e6,
+                   sim::Tick prop_delay = sim::nanoseconds(500));
+
+    Tap &attach(Station &station) override;
+
+    /** Frames delivered end-to-end (both directions). */
+    std::uint64_t framesDelivered() const { return _delivered.value(); }
+
+  private:
+    class Side : public Tap
+    {
+      public:
+        Side(FullDuplexLink &link, int index)
+            : link(link), index(index)
+        {}
+
+        void transmit(Frame frame, TxCallback on_done) override;
+
+      private:
+        FullDuplexLink &link;
+        int index;
+    };
+
+    sim::Simulation &sim;
+    double bitRate;
+    sim::Tick propDelay;
+    std::array<Station *, 2> stations{};
+    std::array<std::unique_ptr<Side>, 2> sides;
+    std::array<sim::Tick, 2> busyUntil{};
+    int attached = 0;
+    sim::Counter _delivered;
+};
+
+} // namespace unet::eth
+
+#endif // UNET_ETH_LINK_HH

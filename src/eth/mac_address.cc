@@ -1,0 +1,38 @@
+#include "eth/mac_address.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace unet::eth {
+
+MacAddress
+MacAddress::fromString(const std::string &text)
+{
+    std::array<unsigned, 6> v{};
+    int consumed = 0;
+    int matched = std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x%n",
+                              &v[0], &v[1], &v[2], &v[3], &v[4], &v[5],
+                              &consumed);
+    if (matched != 6 || consumed != static_cast<int>(text.size()))
+        UNET_FATAL("malformed MAC address '", text, "'");
+    std::array<std::uint8_t, 6> bytes{};
+    for (int i = 0; i < 6; ++i) {
+        if (v[i] > 0xFF)
+            UNET_FATAL("malformed MAC address '", text, "'");
+        bytes[i] = static_cast<std::uint8_t>(v[i]);
+    }
+    return MacAddress(bytes);
+}
+
+std::string
+MacAddress::toString() const
+{
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  bytes[0], bytes[1], bytes[2], bytes[3], bytes[4],
+                  bytes[5]);
+    return buf;
+}
+
+} // namespace unet::eth

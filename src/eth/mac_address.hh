@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 48-bit IEEE 802 MAC addresses.
+ *
+ * In U-Net/FE a message tag is the pair (MAC address, one-byte U-Net
+ * port ID); the MAC address routes the frame to the right interface and
+ * the port ID demultiplexes to the endpoint.
+ */
+
+#ifndef UNET_ETH_MAC_ADDRESS_HH
+#define UNET_ETH_MAC_ADDRESS_HH
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace unet::eth {
+
+/** A 48-bit Ethernet hardware address. */
+class MacAddress
+{
+  public:
+    /** The all-zero address (invalid / unset). */
+    constexpr MacAddress() = default;
+
+    constexpr explicit MacAddress(std::array<std::uint8_t, 6> b)
+        : bytes(b)
+    {}
+
+    /** Build a locally-administered unicast address from an index. */
+    static MacAddress
+    fromIndex(std::uint32_t index)
+    {
+        return MacAddress({0x02, 0x00,
+                           static_cast<std::uint8_t>(index >> 24),
+                           static_cast<std::uint8_t>(index >> 16),
+                           static_cast<std::uint8_t>(index >> 8),
+                           static_cast<std::uint8_t>(index)});
+    }
+
+    /** Parse "aa:bb:cc:dd:ee:ff"; fatal on malformed input. */
+    static MacAddress fromString(const std::string &text);
+
+    /** The broadcast address ff:ff:ff:ff:ff:ff. */
+    static constexpr MacAddress
+    broadcast()
+    {
+        return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+    }
+
+    bool
+    isBroadcast() const
+    {
+        return *this == broadcast();
+    }
+
+    bool
+    isMulticast() const
+    {
+        return (bytes[0] & 0x01) != 0;
+    }
+
+    std::string toString() const;
+
+    const std::array<std::uint8_t, 6> &raw() const { return bytes; }
+
+    /** Pack into the low 48 bits of a 64-bit integer (for map keys). */
+    std::uint64_t
+    toU64() const
+    {
+        std::uint64_t v = 0;
+        for (auto b : bytes)
+            v = (v << 8) | b;
+        return v;
+    }
+
+    auto operator<=>(const MacAddress &) const = default;
+
+  private:
+    std::array<std::uint8_t, 6> bytes{};
+};
+
+} // namespace unet::eth
+
+#endif // UNET_ETH_MAC_ADDRESS_HH

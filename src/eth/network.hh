@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Attachment interfaces between NICs and Ethernet media.
+ *
+ * A NIC implements Station to receive frames. Attaching to a Network
+ * (point-to-point link, shared hub segment, or switch) yields a Tap the
+ * NIC transmits through. The medium owns all timing: serialization at
+ * line rate, propagation, CSMA/CD deferral and collisions, and switch
+ * queueing. The transmit callback reports success (frame left the wire)
+ * or failure (excessive collisions — 16 attempts on real hardware).
+ */
+
+#ifndef UNET_ETH_NETWORK_HH
+#define UNET_ETH_NETWORK_HH
+
+#include <functional>
+
+#include "eth/frame.hh"
+
+namespace unet::eth {
+
+/** Receiver side of a NIC. */
+class Station
+{
+  public:
+    virtual ~Station() = default;
+
+    /** A frame has fully arrived at this station. */
+    virtual void frameArrived(const Frame &frame) = 0;
+};
+
+/** Completion callback: @c true if sent, @c false if dropped. */
+using TxCallback = std::function<void(bool sent)>;
+
+/** Transmit handle a NIC gets when it attaches to a medium. */
+class Tap
+{
+  public:
+    virtual ~Tap() = default;
+
+    /**
+     * Begin transmitting @p frame. @p on_done fires when the frame has
+     * fully left this station (or the attempt was abandoned). Callers
+     * must not start a second transmit before the first completes; the
+     * DC21140 model serializes its own TX ring.
+     */
+    virtual void transmit(Frame frame, TxCallback on_done) = 0;
+};
+
+/** Anything a station can be plugged into. */
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    /** Attach @p station; the returned tap is owned by the network. */
+    virtual Tap &attach(Station &station) = 0;
+};
+
+} // namespace unet::eth
+
+#endif // UNET_ETH_NETWORK_HH

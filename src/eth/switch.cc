@@ -1,0 +1,190 @@
+#include "eth/switch.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::eth {
+
+using namespace sim::literals;
+
+SwitchSpec
+SwitchSpec::bay28115()
+{
+    SwitchSpec s;
+    s.name = "Bay-28115";
+    s.forwardLatency = 3_us;
+    s.cutThrough = true;
+    s.maxPorts = 16;
+    return s;
+}
+
+SwitchSpec
+SwitchSpec::fn100()
+{
+    SwitchSpec s;
+    s.name = "Cabletron-FN100";
+    // Fig. 5: the FN100 adds ~34 us to the 40-byte round trip versus the
+    // hub; store-and-forward re-serialization accounts for ~2x4.8 us,
+    // the rest is fabric latency.
+    s.forwardLatency = 12_us;
+    s.maxPorts = 8;
+    return s;
+}
+
+/**
+ * One switch port: the dedicated segment to its station plus the
+ * output queue for the switch->station direction.
+ */
+struct Switch::Port
+{
+    Station *station = nullptr;
+    std::unique_ptr<PortTap> tap;
+
+    /** Station->switch channel occupancy (shared if half duplex). */
+    sim::Tick uplinkBusyUntil = 0;
+
+    /** Switch->station channel occupancy. */
+    sim::Tick downlinkBusyUntil = 0;
+
+    /** Frames waiting for the downlink. */
+    std::deque<Switch::QueuedFrame> queue;
+
+    bool pumping = false;
+};
+
+/** Station-side transmit handle for one port. */
+class Switch::PortTap : public Tap
+{
+  public:
+    PortTap(Switch &sw, std::size_t index) : sw(sw), index(index) {}
+
+    void
+    transmit(Frame frame, TxCallback on_done) override
+    {
+        auto &port = *sw.ports[index];
+        sim::Tick ser = sim::serializationTime(
+            static_cast<std::int64_t>(frame.wireBytes()),
+            sw._spec.bitRate);
+
+        // Half-duplex segments share the channel with the downlink; we
+        // model polite deferral (collisions on a two-station segment are
+        // rare and retry quickly, so deferral captures the cost).
+        sim::Tick start = std::max(sw.sim.now(), port.uplinkBusyUntil);
+        if (!sw._spec.fullDuplex)
+            start = std::max(start, port.downlinkBusyUntil);
+        sim::Tick end = start + ser;
+        port.uplinkBusyUntil = end;
+        if (!sw._spec.fullDuplex)
+            port.downlinkBusyUntil = end;
+
+        auto shared = std::make_shared<Frame>(std::move(frame));
+        sw.sim.schedule(end + sw._spec.propDelay, [this, shared] {
+            sw.frameIn(index, std::move(*shared));
+        });
+        if (on_done)
+            sw.sim.schedule(end, [cb = std::move(on_done)] { cb(true); });
+    }
+
+  private:
+    Switch &sw;
+    std::size_t index;
+};
+
+Switch::Switch(sim::Simulation &sim, SwitchSpec spec)
+    : sim(sim), _spec(std::move(spec))
+{
+}
+
+Switch::~Switch() = default;
+
+Tap &
+Switch::attach(Station &station)
+{
+    if (_spec.maxPorts && ports.size() >= _spec.maxPorts)
+        UNET_FATAL(_spec.name, " has only ", _spec.maxPorts, " ports");
+    auto port = std::make_unique<Port>();
+    port->station = &station;
+    port->tap = std::make_unique<PortTap>(*this, ports.size());
+    ports.push_back(std::move(port));
+    return *ports.back()->tap;
+}
+
+void
+Switch::frameIn(std::size_t in_port, Frame frame)
+{
+    // Learn the source address.
+    macTable[frame.src.toU64()] = in_port;
+
+    sim.scheduleIn(_spec.forwardLatency,
+                   [this, in_port, f = std::move(frame)]() mutable {
+        auto it = f.dst.isBroadcast() || f.dst.isMulticast()
+            ? macTable.end() : macTable.find(f.dst.toU64());
+        if (it != macTable.end()) {
+            if (it->second != in_port) {
+                ++_forwarded;
+                enqueue(it->second, f);
+            }
+            // Destination on the ingress port: filter (drop silently).
+        } else {
+            ++_flooded;
+            for (std::size_t p = 0; p < ports.size(); ++p)
+                if (p != in_port)
+                    enqueue(p, f);
+        }
+    });
+}
+
+void
+Switch::enqueue(std::size_t out_port, const Frame &frame)
+{
+    auto &port = *ports[out_port];
+    if (port.queue.size() >= _spec.queueFrames) {
+        ++_dropped;
+        return;
+    }
+    port.queue.push_back({frame, sim.now()});
+    pump(out_port);
+}
+
+void
+Switch::pump(std::size_t out_port)
+{
+    auto &port = *ports[out_port];
+    if (port.pumping || port.queue.empty())
+        return;
+
+    QueuedFrame qf = std::move(port.queue.front());
+    port.queue.pop_front();
+    Frame frame = std::move(qf.frame);
+
+    sim::Tick ser = sim::serializationTime(
+        static_cast<std::int64_t>(frame.wireBytes()), _spec.bitRate);
+    sim::Tick start = std::max(sim.now(), port.downlinkBusyUntil);
+    if (!_spec.fullDuplex)
+        start = std::max(start, port.uplinkBusyUntil);
+    sim::Tick end;
+    if (_spec.cutThrough && start == sim.now() &&
+        qf.arrived == sim.now()) {
+        // Output trailed the input: the tail leaves just after it
+        // arrived. Only legal for a frame being forwarded the moment
+        // it arrived — anything that waited must re-serialize.
+        end = start + _spec.cutThroughLag;
+    } else {
+        // Buffered (store-and-forward): full re-serialization.
+        end = start + ser;
+    }
+    port.downlinkBusyUntil = end;
+    if (!_spec.fullDuplex)
+        port.uplinkBusyUntil = end;
+
+    port.pumping = true;
+    auto shared = std::make_shared<Frame>(std::move(frame));
+    sim.schedule(end + _spec.propDelay,
+                 [this, out_port, shared] {
+        auto &p = *ports[out_port];
+        p.station->frameArrived(*shared);
+        p.pumping = false;
+        pump(out_port);
+    });
+}
+
+} // namespace unet::eth

@@ -1,0 +1,74 @@
+#include "host/bus.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace unet::host {
+
+using namespace sim::literals;
+
+BusSpec
+BusSpec::pci()
+{
+    BusSpec s;
+    s.name = "PCI";
+    // 32-bit 33 MHz PCI peaks at 132 MB/s; sustained DMA is lower.
+    s.bytesPerSec = 110e6;
+    s.transactionSetup = 0.25_us;
+    s.burstBytes = 96;
+    s.perBurstOverhead = 40_ns;
+    return s;
+}
+
+BusSpec
+BusSpec::sbus()
+{
+    BusSpec s;
+    s.name = "SBus";
+    s.bytesPerSec = 45e6;
+    s.transactionSetup = 0.6_us;
+    s.burstBytes = 32;
+    s.perBurstOverhead = 100_ns;
+    return s;
+}
+
+Bus::Bus(sim::Simulation &sim, BusSpec spec)
+    : sim(sim), _spec(std::move(spec))
+{
+    if (_spec.burstBytes == 0)
+        UNET_FATAL("bus '", _spec.name, "' has zero burst size");
+    if (_spec.bytesPerSec <= 0)
+        UNET_FATAL("bus '", _spec.name, "' has no bandwidth");
+}
+
+sim::Tick
+Bus::transferTime(std::size_t bytes) const
+{
+    if (bytes == 0)
+        return _spec.transactionSetup;
+    std::size_t bursts = (bytes + _spec.burstBytes - 1) / _spec.burstBytes;
+    return _spec.transactionSetup +
+        static_cast<sim::Tick>(bursts - 1) * _spec.perBurstOverhead +
+        sim::serializationTime(static_cast<std::int64_t>(bytes),
+                               _spec.bytesPerSec * 8.0);
+}
+
+void
+Bus::dma(std::size_t bytes, std::function<void()> on_done)
+{
+    sim::Tick start = std::max(sim.now(), busyUntil);
+    busyUntil = start + transferTime(bytes);
+    ++_transactions;
+    _bytesMoved += bytes;
+    if (on_done)
+        sim.schedule(busyUntil, std::move(on_done));
+}
+
+sim::Tick
+Bus::estimateCompletion(std::size_t bytes) const
+{
+    return std::max(sim.now(), busyUntil) + transferTime(bytes);
+}
+
+} // namespace unet::host

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * I/O bus model (PCI and SBus) with DMA transactions.
+ *
+ * Network interfaces are bus masters: they move frame/cell payloads
+ * between host memory and on-board FIFOs via DMA. The bus serializes
+ * transactions and charges a setup cost plus per-burst overhead plus
+ * streaming time. The paper notes the PCA-200 DMAs "in 32-byte bursts on
+ * the Sbus and 96-byte bursts on the PCI bus".
+ */
+
+#ifndef UNET_HOST_BUS_HH
+#define UNET_HOST_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace unet::host {
+
+/** Static description of an I/O bus. */
+struct BusSpec
+{
+    std::string name;
+
+    /** Peak streaming bandwidth in bytes/second. */
+    double bytesPerSec = 0;
+
+    /** Fixed per-transaction cost (arbitration, address phase). */
+    sim::Tick transactionSetup = 0;
+
+    /** Burst granularity in bytes. */
+    std::size_t burstBytes = 0;
+
+    /** Re-arbitration overhead per burst after the first. */
+    sim::Tick perBurstOverhead = 0;
+
+    /** 32-bit 33 MHz PCI (96-byte bursts per the paper). */
+    static BusSpec pci();
+
+    /** SBus as on the SPARCstations (32-byte bursts). */
+    static BusSpec sbus();
+};
+
+/** A host's I/O bus: a serial DMA resource. */
+class Bus
+{
+  public:
+    Bus(sim::Simulation &sim, BusSpec spec);
+
+    const BusSpec &spec() const { return _spec; }
+
+    /** Pure transfer time for @p bytes, ignoring queueing. */
+    sim::Tick transferTime(std::size_t bytes) const;
+
+    /**
+     * Start a DMA of @p bytes. @p on_done fires when the last byte has
+     * crossed the bus. Transactions queue behind each other.
+     */
+    void dma(std::size_t bytes, std::function<void()> on_done);
+
+    /**
+     * When a DMA submitted now would complete (for pipelining
+     * calculations); does not reserve the bus.
+     */
+    sim::Tick estimateCompletion(std::size_t bytes) const;
+
+    /** @name Statistics. @{ */
+    const sim::Counter &transactions() const { return _transactions; }
+    std::uint64_t bytesMoved() const { return _bytesMoved; }
+    /** @} */
+
+  private:
+    sim::Simulation &sim;
+    BusSpec _spec;
+    sim::Tick busyUntil = 0;
+    sim::Counter _transactions;
+    std::uint64_t _bytesMoved = 0;
+};
+
+} // namespace unet::host
+
+#endif // UNET_HOST_BUS_HH

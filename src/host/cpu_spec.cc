@@ -1,0 +1,102 @@
+#include "host/cpu_spec.hh"
+
+namespace unet::host {
+
+using namespace sim::literals;
+
+sim::Tick
+CpuSpec::memcpyTime(std::size_t bytes) const
+{
+    return memcpySetup +
+        sim::serializationTime(static_cast<std::int64_t>(bytes),
+                               memcpyBytesPerSec * 8.0);
+}
+
+CpuSpec
+CpuSpec::pentium120()
+{
+    CpuSpec s;
+    s.name = "Pentium-120";
+    s.clockMhz = 120;
+    // Fig. 3: trap overhead is ~20% of the 4.2 us send path; the paper
+    // quotes "under 1 us for a null trap on a 120 MHz Pentium".
+    s.trapEntryCost = 0.69_us;
+    s.trapExitCost = 0.15_us;
+    // "The latency between frame data arriving in memory and the
+    // invocation of the interrupt handler is roughly 2 us."
+    s.interruptDispatch = 2.0_us;
+    s.interruptEntryCost = 0.38_us;  // Fig. 4 step 1
+    s.interruptExitCost = 0.40_us;   // Fig. 4 step 7
+    // "The Pentium memory-copy speed is about 70 Mbytes/sec"; the Fig. 4
+    // copy slope of 1.42 us / 100 bytes matches 70 MB/s, and the
+    // quoted 1.32 us to copy a 40-byte message implies ~0.75 us of
+    // fixed memcpy overhead.
+    s.memcpyBytesPerSec = 70e6;
+    s.memcpySetup = 0.75_us;
+    // Application-level throughput calibration: the Pentium wins integer
+    // codes, the SPARC wins floating point (paper section 5.2).
+    s.intOpCost = 9_ns;
+    s.flopCost = 35_ns;
+    s.pioStoreCost = 0.25_us;
+    return s;
+}
+
+CpuSpec
+CpuSpec::pentium90()
+{
+    CpuSpec s = pentium120();
+    s.name = "Pentium-90";
+    s.clockMhz = 90;
+    const double scale = 120.0 / 90.0;
+    s.trapEntryCost = static_cast<sim::Tick>(s.trapEntryCost * scale);
+    s.trapExitCost = static_cast<sim::Tick>(s.trapExitCost * scale);
+    s.interruptEntryCost =
+        static_cast<sim::Tick>(s.interruptEntryCost * scale);
+    s.interruptExitCost =
+        static_cast<sim::Tick>(s.interruptExitCost * scale);
+    s.memcpyBytesPerSec = 70e6 / scale;
+    s.intOpCost = static_cast<sim::Tick>(s.intOpCost * scale);
+    s.flopCost = static_cast<sim::Tick>(s.flopCost * scale);
+    return s;
+}
+
+CpuSpec
+CpuSpec::sparc20()
+{
+    CpuSpec s;
+    s.name = "SPARCstation-20";
+    s.clockMhz = 60;
+    // The SPARC host only posts send descriptors (1.5 us PIO) and polls
+    // receive queues; it never runs U-Net in the kernel, so trap costs
+    // are the (slower) SunOS ones and barely matter.
+    s.trapEntryCost = 2.0_us;
+    s.trapExitCost = 1.0_us;
+    s.interruptDispatch = 3.0_us;
+    s.interruptEntryCost = 1.0_us;
+    s.interruptExitCost = 1.0_us;
+    s.memcpyBytesPerSec = 55e6;
+    s.memcpySetup = 0.3_us;
+    // SuperSPARC: weaker integer, stronger FP than the Pentium.
+    s.intOpCost = 18_ns;
+    s.flopCost = 17_ns;
+    // "the host stores the U-Net send descriptor into the i960-resident
+    // transmit queue using a double-word store": ~1.5 us processor
+    // overhead total for a send.
+    s.pioStoreCost = 0.37_us;
+    return s;
+}
+
+CpuSpec
+CpuSpec::sparc10()
+{
+    CpuSpec s = sparc20();
+    s.name = "SPARCstation-10";
+    s.clockMhz = 40;
+    const double scale = 60.0 / 40.0;
+    s.memcpyBytesPerSec = 55e6 / scale;
+    s.intOpCost = static_cast<sim::Tick>(s.intOpCost * scale);
+    s.flopCost = static_cast<sim::Tick>(s.flopCost * scale);
+    return s;
+}
+
+} // namespace unet::host

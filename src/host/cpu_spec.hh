@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cost models for the host processors used in the paper.
+ *
+ * The paper's experimental platforms are Pentium-90/120 PCs (U-Net/FE,
+ * Linux) and SPARCstation 10/20s (U-Net/ATM, SunOS). All the published
+ * overheads that drive the results — trap cost, interrupt dispatch
+ * latency, memcpy bandwidth, relative integer vs floating-point
+ * throughput — live here as calibration constants.
+ */
+
+#ifndef UNET_HOST_CPU_SPEC_HH
+#define UNET_HOST_CPU_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace unet::host {
+
+/** Static description of a host processor. */
+struct CpuSpec
+{
+    /** Human-readable model name. */
+    std::string name;
+
+    /** Core clock in MHz (scales the published Pentium-120 costs). */
+    double clockMhz = 0;
+
+    /** Cost of entering the kernel through the fast trap gate. */
+    sim::Tick trapEntryCost = 0;
+
+    /** Cost of returning from the fast trap to user space. */
+    sim::Tick trapExitCost = 0;
+
+    /**
+     * Latency from a device raising an interrupt (data already in host
+     * memory) to the first instruction of the handler. The paper reports
+     * roughly 2 us on the Pentium/Linux platform.
+     */
+    sim::Tick interruptDispatch = 0;
+
+    /** Handler entry overhead (Fig. 4 step 1). */
+    sim::Tick interruptEntryCost = 0;
+
+    /** Return-from-interrupt overhead (Fig. 4 step 7). */
+    sim::Tick interruptExitCost = 0;
+
+    /** Kernel memcpy bandwidth (70 MB/s on the Pentium). */
+    double memcpyBytesPerSec = 0;
+
+    /** Fixed memcpy call overhead independent of size. */
+    sim::Tick memcpySetup = 0;
+
+    /** Average cost of one integer ALU operation in application code. */
+    sim::Tick intOpCost = 0;
+
+    /** Average cost of one floating-point operation in application code. */
+    sim::Tick flopCost = 0;
+
+    /** Cost of a programmed-I/O word store across the I/O bus. */
+    sim::Tick pioStoreCost = 0;
+
+    /** Time to copy @p bytes with the kernel memcpy. */
+    sim::Tick memcpyTime(std::size_t bytes) const;
+
+    /** Null trap round-trip (entry + exit), for reporting. */
+    sim::Tick nullTrapCost() const { return trapEntryCost + trapExitCost; }
+
+    /** @name The paper's four host platforms. @{ */
+    static CpuSpec pentium120();
+    static CpuSpec pentium90();
+    static CpuSpec sparc20();
+    static CpuSpec sparc10();
+    /** @} */
+};
+
+} // namespace unet::host
+
+#endif // UNET_HOST_CPU_SPEC_HH

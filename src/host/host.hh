@@ -1,0 +1,84 @@
+/**
+ * @file
+ * One simulated workstation: CPU + memory + I/O bus + interrupt plumbing.
+ *
+ * A Host is the hardware a NIC plugs into and an operating-system module
+ * (the U-Net/FE kernel agent or the U-Net/ATM device driver) runs on.
+ */
+
+#ifndef UNET_HOST_HOST_HH
+#define UNET_HOST_HOST_HH
+
+#include <memory>
+#include <string>
+
+#include "host/bus.hh"
+#include "host/cpu.hh"
+#include "host/cpu_spec.hh"
+#include "host/interrupts.hh"
+#include "host/memory.hh"
+#include "sim/process.hh"
+#include "sim/simulation.hh"
+
+namespace unet::host {
+
+/** A complete workstation node. */
+class Host
+{
+  public:
+    /**
+     * @param sim      Owning simulation.
+     * @param name     Diagnostic name ("node0").
+     * @param cpu_spec Processor model.
+     * @param bus_spec I/O bus model.
+     * @param mem_size Host memory arena size in bytes.
+     */
+    Host(sim::Simulation &sim, std::string name, CpuSpec cpu_spec,
+         BusSpec bus_spec, std::size_t mem_size = 8 * 1024 * 1024)
+        : _sim(sim), _name(std::move(name)),
+          _cpu(sim, std::move(cpu_spec), _name + ".cpu"),
+          _bus(sim, std::move(bus_spec)), _memory(mem_size)
+    {}
+
+    Host(const Host &) = delete;
+    Host &operator=(const Host &) = delete;
+
+    sim::Simulation &simulation() { return _sim; }
+    const std::string &name() const { return _name; }
+    Cpu &cpu() { return _cpu; }
+    Bus &bus() { return _bus; }
+    Memory &memory() { return _memory; }
+
+    /** Create an interrupt line wired to this host's CPU. */
+    std::unique_ptr<InterruptLine>
+    makeInterruptLine(const std::string &line_name)
+    {
+        return std::make_unique<InterruptLine>(
+            _sim, _cpu, _name + "." + line_name);
+    }
+
+    /** Charge fast-trap entry to the calling process. */
+    void
+    trapEnter(sim::Process &proc)
+    {
+        _cpu.busy(proc, _cpu.spec().trapEntryCost);
+    }
+
+    /** Charge fast-trap exit to the calling process. */
+    void
+    trapExit(sim::Process &proc)
+    {
+        _cpu.busy(proc, _cpu.spec().trapExitCost);
+    }
+
+  private:
+    sim::Simulation &_sim;
+    std::string _name;
+    Cpu _cpu;
+    Bus _bus;
+    Memory _memory;
+};
+
+} // namespace unet::host
+
+#endif // UNET_HOST_HOST_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Device interrupt delivery.
+ *
+ * An InterruptLine connects a device to a handler registered by the
+ * kernel. Asserting the line delivers the handler after the CPU's
+ * dispatch latency (~2 us on the paper's Pentium/Linux platform).
+ * Assertions while a delivery is pending coalesce into one delivery —
+ * handlers are expected to drain their device rings, exactly as the
+ * paper's U-Net/FE handler consumes all pending frames per interrupt.
+ */
+
+#ifndef UNET_HOST_INTERRUPTS_HH
+#define UNET_HOST_INTERRUPTS_HH
+
+#include <functional>
+#include <string>
+
+#include "host/cpu.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace unet::host {
+
+/** One device interrupt line wired to a CPU. */
+class InterruptLine
+{
+  public:
+    InterruptLine(sim::Simulation &sim, Cpu &cpu, std::string name)
+        : sim(sim), cpu(cpu), _name(std::move(name))
+    {}
+
+    /** Register the handler (the kernel module does this once). */
+    void
+    connect(std::function<void()> handler)
+    {
+        this->handler = std::move(handler);
+    }
+
+    /** Device-side: raise the interrupt. */
+    void
+    assertLine()
+    {
+        ++_asserted;
+        if (pending)
+            return; // coalesced with the in-flight delivery
+        if (!handler)
+            UNET_PANIC("interrupt '", _name, "' asserted with no handler");
+        pending = true;
+        sim.scheduleIn(cpu.spec().interruptDispatch, [this] {
+            pending = false;
+            ++_delivered;
+            handler();
+        });
+    }
+
+    /** @name Statistics. @{ */
+    std::uint64_t asserted() const { return _asserted.value(); }
+    std::uint64_t delivered() const { return _delivered.value(); }
+    /** @} */
+
+  private:
+    sim::Simulation &sim;
+    Cpu &cpu;
+    std::string _name;
+    std::function<void()> handler;
+    bool pending = false;
+    sim::Counter _asserted;
+    sim::Counter _delivered;
+};
+
+} // namespace unet::host
+
+#endif // UNET_HOST_INTERRUPTS_HH

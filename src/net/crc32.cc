@@ -1,0 +1,56 @@
+#include "net/crc32.hh"
+
+#include <array>
+
+namespace unet::net {
+
+namespace {
+
+/** Reflected polynomial for CRC-32 (0x04C11DB7 bit-reversed). */
+constexpr std::uint32_t reflectedPoly = 0xEDB88320u;
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (reflectedPoly ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> table = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t state, std::span<const std::uint8_t> data)
+{
+    for (std::uint8_t byte : data)
+        state = table[(state ^ byte) & 0xFF] ^ (state >> 8);
+    return state;
+}
+
+std::uint32_t
+crc32(std::span<const std::uint8_t> data)
+{
+    return crc32Finish(crc32Update(0xFFFFFFFFu, data));
+}
+
+std::uint32_t
+crc32Reference(std::span<const std::uint8_t> data)
+{
+    std::uint32_t state = 0xFFFFFFFFu;
+    for (std::uint8_t byte : data) {
+        state ^= byte;
+        for (int bit = 0; bit < 8; ++bit)
+            state = (state & 1) ? (reflectedPoly ^ (state >> 1))
+                                : (state >> 1);
+    }
+    return state ^ 0xFFFFFFFFu;
+}
+
+} // namespace unet::net

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CRC-32 as used by IEEE 802.3 Ethernet and ATM AAL5.
+ *
+ * Both standards use the same reflected CRC-32 (polynomial 0x04C11DB7,
+ * initial value 0xFFFFFFFF, final complement), so one implementation
+ * serves the Ethernet FCS and the AAL5 trailer CRC. A table-driven fast
+ * path is validated against a bitwise reference in the tests.
+ */
+
+#ifndef UNET_NET_CRC32_HH
+#define UNET_NET_CRC32_HH
+
+#include <cstdint>
+#include <span>
+
+namespace unet::net {
+
+/** Table-driven CRC-32 over @p data. */
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/** Incremental form: continue a CRC with more data.
+ *
+ * Start with state 0xFFFFFFFF; finish by complementing.
+ */
+std::uint32_t crc32Update(std::uint32_t state,
+                          std::span<const std::uint8_t> data);
+
+/** Finalize an incremental CRC state. */
+constexpr std::uint32_t
+crc32Finish(std::uint32_t state)
+{
+    return state ^ 0xFFFFFFFFu;
+}
+
+/** Bit-at-a-time reference implementation (slow; for verification). */
+std::uint32_t crc32Reference(std::span<const std::uint8_t> data);
+
+} // namespace unet::net
+
+#endif // UNET_NET_CRC32_HH

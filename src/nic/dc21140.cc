@@ -1,0 +1,128 @@
+#include "nic/dc21140.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::nic {
+
+Dc21140::Dc21140(host::Host &host, eth::Network &network,
+                 eth::MacAddress address, Dc21140Spec spec)
+    : host(host), _spec(spec), _address(address),
+      tap(&network.attach(*this)),
+      irq(host.makeInterruptLine("dc21140")),
+      txRing(spec.txRingSize), rxRing(spec.rxRingSize)
+{
+}
+
+void
+Dc21140::pollDemand()
+{
+    if (txActive)
+        return; // engine already running; it will see new descriptors
+    txActive = true;
+    host.simulation().scheduleIn(_spec.txPollDelay,
+                                 [this] { txFetchNext(); });
+}
+
+void
+Dc21140::txFetchNext()
+{
+    // The engine works up to txPrefetchDepth frames ahead of the wire:
+    // the on-chip FIFO lets the next descriptor fetch and buffer DMA
+    // overlap the current transmission (without this, back-to-back
+    // frames would be separated by a full DMA and the device could
+    // never saturate the link).
+    if (txFetching || txInFlight >= _spec.txPrefetchDepth)
+        return;
+
+    TxDescriptor &desc = txRing[txHead];
+    if (!desc.own) {
+        // Ring drained: suspend until the next poll demand.
+        if (txInFlight == 0)
+            txActive = false;
+        return;
+    }
+    txFetching = true;
+    txHead = (txHead + 1) % txRing.size();
+
+    // Fetch the descriptor, then gather the frame buffers, via DMA.
+    host.bus().dma(_spec.descriptorBytes, [this, &desc] {
+        std::size_t total = desc.buf1Length + desc.buf2Length;
+        host.bus().dma(total, [this, &desc, total] {
+            // Gather real bytes from host memory.
+            std::vector<std::uint8_t> bytes;
+            bytes.reserve(total);
+            auto b1 = host.memory().read(desc.buf1Offset,
+                                         desc.buf1Length);
+            bytes.insert(bytes.end(), b1.begin(), b1.end());
+            if (desc.buf2Length) {
+                auto b2 = host.memory().read(desc.buf2Offset,
+                                             desc.buf2Length);
+                bytes.insert(bytes.end(), b2.begin(), b2.end());
+            }
+            eth::Frame frame = eth::Frame::fromBytes(bytes);
+
+            host.simulation().scheduleIn(
+                _spec.perFrameProcessing, [this, &desc, frame] {
+                _lastTxWireStart = host.simulation().now();
+                ++txInFlight;
+                tap->transmit(frame, [this, &desc](bool sent) {
+                    // Status writeback.
+                    desc.own = false;
+                    desc.transmitted = sent;
+                    desc.aborted = !sent;
+                    if (sent)
+                        ++_framesSent;
+                    else
+                        ++_txAborted;
+                    if (desc.interruptOnComplete)
+                        irq->assertLine();
+                    --txInFlight;
+                    txFetchNext();
+                });
+                // Prefetch the next frame while this one serializes.
+                txFetching = false;
+                txFetchNext();
+            });
+        });
+    });
+}
+
+void
+Dc21140::frameArrived(const eth::Frame &frame)
+{
+    // Perfect filtering: our unicast address or broadcast only.
+    if (frame.dst != _address && !frame.dst.isBroadcast())
+        return;
+
+    RxDescriptor &desc = rxRing[_rxHead];
+    if (!desc.own) {
+        // No buffer posted: the frame is missed.
+        ++_rxMissed;
+        return;
+    }
+
+    auto bytes = frame.serialize();
+    if (bytes.size() > desc.bufLength) {
+        UNET_WARN("dc21140: ", bytes.size(), "-byte frame exceeds the ",
+                  desc.bufLength, "-byte receive buffer; dropped");
+        ++_rxMissed;
+        return;
+    }
+
+    // Reception DMA is pipelined with the wire; charge the residual
+    // plus the bus transaction for the tail of the frame.
+    desc.own = false; // the NIC is filling it now
+    _rxHead = (_rxHead + 1) % rxRing.size();
+    host.simulation().scheduleIn(_spec.rxResidualDma,
+                                 [this, &desc, bytes] {
+        host.bus().dma(bytes.size() % 128 + 32, [this, &desc, bytes] {
+            host.memory().write(desc.bufOffset, bytes);
+            desc.complete = true;
+            desc.frameLength = static_cast<std::uint32_t>(bytes.size());
+            ++_framesRecv;
+            irq->assertLine();
+        });
+    });
+}
+
+} // namespace unet::nic

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * DECchip DC21140 Fast Ethernet controller model.
+ *
+ * The DC21140 is "a PCI bus master capable of transferring complete
+ * frames to and from host memory via DMA. It includes a few on-chip
+ * control and status registers, a DMA engine, and a 32-bit Ethernet CRC
+ * generator/checker. The board maintains circular send and receive
+ * rings, containing descriptors which point to buffers for data
+ * transmission and reception in host memory."
+ *
+ * The model reproduces that interface: descriptor rings with ownership
+ * bits, two buffer pointers per transmit descriptor (kernel header +
+ * user payload — the zero-copy trick of U-Net/FE), a transmit poll
+ * demand register, and a receive interrupt. "The design of the DC21140
+ * assumes that a single operating system agent will multiplex access to
+ * the hardware" — that agent is unet::UNetFe.
+ */
+
+#ifndef UNET_NIC_DC21140_HH
+#define UNET_NIC_DC21140_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "eth/frame.hh"
+#include "eth/network.hh"
+#include "host/host.hh"
+#include "sim/stats.hh"
+
+namespace unet::nic {
+
+/** Timing and sizing parameters for the DC21140 model. */
+struct Dc21140Spec
+{
+    std::size_t txRingSize = 64;
+    std::size_t rxRingSize = 64;
+
+    /** Size of each pre-posted receive buffer. */
+    std::size_t rxBufferBytes = 1536;
+
+    /** Poll-demand processing before the first descriptor fetch. */
+    sim::Tick txPollDelay = sim::nanoseconds(400);
+
+    /** Descriptor size moved across the bus per fetch/writeback. */
+    std::size_t descriptorBytes = 16;
+
+    /**
+     * Residual latency from last wire byte to data visible in host
+     * memory (reception DMA is pipelined with the wire).
+     */
+    sim::Tick rxResidualDma = sim::microsecondsF(2.0);
+
+    /** Internal per-frame processing in the NIC state machine. */
+    sim::Tick perFrameProcessing = sim::nanoseconds(250);
+
+    /** Frames the TX engine works ahead of the wire (the on-chip FIFO
+     *  lets descriptor fetch + DMA overlap the current
+     *  transmission). */
+    std::size_t txPrefetchDepth = 2;
+};
+
+/** Transmit descriptor (lives in host memory, modeled in place). */
+struct TxDescriptor
+{
+    /** Ownership: true = NIC may transmit this entry. */
+    bool own = false;
+
+    /** First buffer (kernel header) offset/length in host memory. */
+    std::uint32_t buf1Offset = 0;
+    std::uint32_t buf1Length = 0;
+
+    /** Second buffer (user payload), length 0 if unused. */
+    std::uint32_t buf2Offset = 0;
+    std::uint32_t buf2Length = 0;
+
+    /** Raise the interrupt when this frame has been sent. */
+    bool interruptOnComplete = false;
+
+    /** Status writeback: set once the frame left the wire. */
+    bool transmitted = false;
+
+    /** Status writeback: frame abandoned (excessive collisions). */
+    bool aborted = false;
+};
+
+/** Receive descriptor (lives in host memory, modeled in place). */
+struct RxDescriptor
+{
+    /** Ownership: true = NIC may fill this entry. */
+    bool own = false;
+
+    /** Pre-posted buffer in host memory. */
+    std::uint32_t bufOffset = 0;
+    std::uint32_t bufLength = 0;
+
+    /** Status writeback. */
+    bool complete = false;
+    std::uint32_t frameLength = 0;
+};
+
+/** The NIC device. */
+class Dc21140 : public eth::Station
+{
+  public:
+    /**
+     * @param host    Host whose bus/memory/interrupts we use.
+     * @param network Medium to attach to (hub, switch, or link).
+     * @param address This interface's MAC address.
+     */
+    Dc21140(host::Host &host, eth::Network &network,
+            eth::MacAddress address, Dc21140Spec spec = {});
+
+    const eth::MacAddress &address() const { return _address; }
+    const Dc21140Spec &spec() const { return _spec; }
+    host::InterruptLine &interrupt() { return *irq; }
+
+    /** @name Driver-visible descriptor rings. @{ */
+    TxDescriptor &txDesc(std::size_t i) { return txRing.at(i); }
+    const TxDescriptor &txDesc(std::size_t i) const
+    { return txRing.at(i); }
+    RxDescriptor &rxDesc(std::size_t i) { return rxRing.at(i); }
+    std::size_t txRingSize() const { return txRing.size(); }
+    std::size_t rxRingSize() const { return rxRing.size(); }
+
+    /** Index of the next TX descriptor the driver should fill. */
+    std::size_t txTail() const { return _txTail; }
+
+    /** Advance the driver's TX fill pointer. */
+    void
+    bumpTxTail()
+    {
+        _txTail = (_txTail + 1) % txRing.size();
+    }
+
+    /** Index of the next RX descriptor the NIC will fill. */
+    std::size_t rxHead() const { return _rxHead; }
+    /** @} */
+
+    /**
+     * CSR1 transmit poll demand: kick the TX engine. The driver charges
+     * its own PIO cost; this starts the device-side state machine.
+     */
+    void pollDemand();
+
+    /** @name Statistics. @{ */
+    /** When the most recent frame began serializing onto the wire. */
+    sim::Tick lastTxWireStart() const { return _lastTxWireStart; }
+    std::uint64_t framesSent() const { return _framesSent.value(); }
+    std::uint64_t framesReceived() const { return _framesRecv.value(); }
+    std::uint64_t rxMissed() const { return _rxMissed.value(); }
+    std::uint64_t txAborted() const { return _txAborted.value(); }
+    /** @} */
+
+    /** eth::Station: a frame arrived from the medium. */
+    void frameArrived(const eth::Frame &frame) override;
+
+  private:
+    /** Fetch and process the next TX descriptor, or idle. */
+    void txFetchNext();
+
+    host::Host &host;
+    Dc21140Spec _spec;
+    eth::MacAddress _address;
+    eth::Tap *tap;
+    std::unique_ptr<host::InterruptLine> irq;
+
+    std::vector<TxDescriptor> txRing;
+    std::vector<RxDescriptor> rxRing;
+    std::size_t txHead = 0;  ///< next descriptor the NIC processes
+    std::size_t _txTail = 0; ///< next descriptor the driver fills
+    std::size_t _rxHead = 0; ///< next descriptor the NIC fills
+    bool txActive = false;
+    bool txFetching = false;    ///< a descriptor fetch is in progress
+    std::size_t txInFlight = 0; ///< frames handed to the wire
+
+    sim::Tick _lastTxWireStart = 0;
+    sim::Counter _framesSent;
+    sim::Counter _framesRecv;
+    sim::Counter _rxMissed;
+    sim::Counter _txAborted;
+};
+
+} // namespace unet::nic
+
+#endif // UNET_NIC_DC21140_HH

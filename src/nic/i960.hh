@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The PCA-200's on-board i960 co-processor as a serial resource.
+ *
+ * The 25 MHz i960 runs the U-Net firmware. It is much slower than the
+ * host ("the i960 co-processor ... is significantly slower than the
+ * Pentium host and its use slows down the latency times"), and all
+ * firmware work — transmit queue polling, segmentation, per-cell
+ * receive handling — contends for it. Work items queue FIFO; each
+ * completes its cost after every earlier item finishes.
+ */
+
+#ifndef UNET_NIC_I960_HH
+#define UNET_NIC_I960_HH
+
+#include <functional>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace unet::nic {
+
+/** The on-board co-processor: a FIFO-serialized work resource. */
+class I960
+{
+  public:
+    explicit I960(sim::Simulation &sim) : sim(sim) {}
+
+    /**
+     * Execute @p cost of firmware work; @p on_done fires when it
+     * completes (after all previously queued work).
+     */
+    void
+    run(sim::Tick cost, std::function<void()> on_done)
+    {
+        if (cost < 0)
+            UNET_PANIC("negative i960 work");
+        sim::Tick start = std::max(sim.now(), _busyUntil);
+        _busyUntil = start + cost;
+        _busyTime += cost;
+        ++_workItems;
+        if (on_done)
+            sim.schedule(_busyUntil, std::move(on_done));
+    }
+
+    /** When currently queued work will drain. */
+    sim::Tick busyUntil() const { return _busyUntil; }
+
+    /** True if the co-processor has queued or running work. */
+    bool busy() const { return sim.now() < _busyUntil; }
+
+    /** @name Statistics. @{ */
+    sim::Tick busyTime() const { return _busyTime; }
+    std::uint64_t workItems() const { return _workItems.value(); }
+    /** @} */
+
+  private:
+    sim::Simulation &sim;
+    sim::Tick _busyUntil = 0;
+    sim::Tick _busyTime = 0;
+    sim::Counter _workItems;
+};
+
+} // namespace unet::nic
+
+#endif // UNET_NIC_I960_HH

@@ -1,0 +1,296 @@
+#include "nic/pca200.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::nic {
+
+using namespace sim::literals;
+
+Pca200::Pca200(host::Host &host, atm::AtmLink &link, Pca200Spec spec)
+    : host(host), _spec(spec), coproc(host.simulation()),
+      tap(&link.attach(*this))
+{
+}
+
+void
+Pca200::attachEndpoint(Endpoint *ep)
+{
+    endpoints[ep].ep = ep;
+}
+
+void
+Pca200::installVci(atm::Vci vci, Endpoint *ep, ChannelId chan)
+{
+    auto [it, inserted] = vcs.try_emplace(vci);
+    if (!inserted)
+        UNET_FATAL("VCI ", vci, " already installed on this PCA-200");
+    it->second.ep = ep;
+    it->second.channel = chan;
+}
+
+void
+Pca200::removeVci(atm::Vci vci)
+{
+    vcs.erase(vci);
+}
+
+void
+Pca200::doorbell(Endpoint *ep)
+{
+    auto it = endpoints.find(ep);
+    if (it == endpoints.end())
+        UNET_PANIC("doorbell for unattached endpoint");
+    scheduleTxService(it->second);
+}
+
+void
+Pca200::scheduleTxService(EpState &state)
+{
+    if (state.txScheduled)
+        return;
+    state.txScheduled = true;
+
+    // Weighted polling: "endpoints with recent activity are polled more
+    // frequently given that they are most likely to correspond to a
+    // running process".
+    sim::Tick now = host.simulation().now();
+    bool active = state.lastActive >= 0 &&
+        now - state.lastActive < _spec.activityWindow;
+    sim::Tick latency = active ? _spec.txPollActive : _spec.txPollIdle;
+    host.simulation().scheduleIn(latency,
+                                 [this, &state] { serviceTx(state); });
+}
+
+void
+Pca200::serviceTx(EpState &state)
+{
+    auto desc = state.ep->sendQueue().pop();
+    if (!desc) {
+        state.txScheduled = false;
+        return;
+    }
+    transmitMessage(state, *desc);
+}
+
+void
+Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
+{
+    Endpoint &ep = *state.ep;
+    if (!ep.channelValid(desc.channel)) {
+        UNET_WARN("pca200: send on invalid channel ", desc.channel,
+                  "; dropped");
+        serviceTx(state);
+        return;
+    }
+    atm::Vci vci = ep.channel(desc.channel).vci;
+
+    // Gather the payload: inline from the (NIC-resident) descriptor or
+    // by DMA from the user buffer area in host memory.
+    std::vector<std::uint8_t> payload;
+    if (desc.isInline) {
+        payload.assign(desc.inlineData.begin(),
+                       desc.inlineData.begin() + desc.inlineLength);
+    } else {
+        for (std::uint8_t i = 0; i < desc.fragmentCount; ++i) {
+            auto span = ep.buffers().span(desc.fragments[i]);
+            payload.insert(payload.end(), span.begin(), span.end());
+        }
+    }
+
+    auto cells = std::make_shared<std::vector<atm::Cell>>(
+        atm::aal5::segment(payload, vci));
+
+    auto start_cells = [this, &state, cells] {
+        // Emit cells one at a time; each costs i960 segmentation work
+        // and then paces onto the fiber.
+        auto emit = std::make_shared<std::function<void(std::size_t)>>();
+        *emit = [this, &state, cells, emit](std::size_t idx) {
+            coproc.run(_spec.txPerCell, [this, &state, cells, emit,
+                                         idx] {
+                tap->send((*cells)[idx]);
+                ++_cellsSent;
+                if (idx + 1 < cells->size()) {
+                    (*emit)(idx + 1);
+                } else {
+                    ++_msgsSent;
+                    state.lastActive = host.simulation().now();
+                    serviceTx(state); // next queued message, if any
+                }
+            });
+        };
+        (*emit)(0);
+    };
+
+    // Per-message firmware work, then (for buffer-area sends) the DMA
+    // from host memory, then segmentation.
+    std::size_t dma_bytes = desc.isInline ? 0 : payload.size();
+    coproc.run(_spec.txPerMessage, [this, dma_bytes, start_cells] {
+        if (dma_bytes)
+            host.bus().dma(dma_bytes, start_cells);
+        else
+            start_cells();
+    });
+}
+
+void
+Pca200::cellArrived(const atm::Cell &cell)
+{
+    ++_cellsRecv;
+    if (rxFifo.size() >= _spec.rxFifoCells) {
+        ++_fifoOverflow;
+        return;
+    }
+    rxFifo.push_back(cell);
+    if (!rxServiceScheduled) {
+        rxServiceScheduled = true;
+        host.simulation().scheduleIn(_spec.rxPollLatency,
+                                     [this] { serviceRxFifo(); });
+    }
+}
+
+void
+Pca200::serviceRxFifo()
+{
+    if (rxFifo.empty()) {
+        rxServiceScheduled = false;
+        return;
+    }
+    atm::Cell cell = rxFifo.front();
+    rxFifo.pop_front();
+    handleCell(cell);
+}
+
+void
+Pca200::handleCell(const atm::Cell &cell)
+{
+    auto next = [this] { serviceRxFifo(); };
+
+    auto it = vcs.find(cell.vci);
+    if (it == vcs.end()) {
+        ++_badVci;
+        coproc.run(0.5_us, next);
+        return;
+    }
+    VcState &vc = it->second;
+
+    // Single-cell fast path: "Receiving single-cell messages is
+    // special-cased ... directly transferred into the next empty
+    // receive queue entry".
+    if (!vc.firstCellSeen && cell.endOfPdu &&
+        _spec.singleCellOptimization) {
+        auto payload = vc.reasm.addCell(cell);
+        coproc.run(_spec.rxSingleCell, [this, &vc, payload, next] {
+            if (!payload) {
+                ++_crcDrops;
+            } else if (payload->size() > smallMessageMax) {
+                // A single cell always fits the inline descriptor.
+                UNET_PANIC("single-cell PDU larger than inline area");
+            } else {
+                // DMA descriptor + data into the host-resident queue.
+                host.bus().dma(64, [this, &vc, payload] {
+                    RecvDescriptor rd;
+                    rd.channel = vc.channel;
+                    rd.length =
+                        static_cast<std::uint32_t>(payload->size());
+                    rd.isSmall = true;
+                    std::copy(payload->begin(), payload->end(),
+                              rd.inlineData.begin());
+                    if (vc.ep->deliver(rd))
+                        ++_msgsDeliv;
+                });
+            }
+            next();
+        });
+        return;
+    }
+
+    // Multi-cell path.
+    sim::Tick cost = _spec.rxPerCell;
+    if (!vc.firstCellSeen) {
+        vc.firstCellSeen = true;
+        cost += _spec.rxFirstCellExtra;
+    }
+    if (cell.endOfPdu)
+        cost += _spec.rxLastCellExtra;
+
+    auto payload = vc.reasm.addCell(cell);
+
+    if (!vc.poisoned) {
+        // Ensure buffer space for this cell's 48 bytes.
+        std::uint32_t capacity = 0;
+        for (const auto &b : vc.buffers)
+            capacity += b.length;
+        if (vc.filled + atm::Cell::payloadBytes > capacity) {
+            auto buf = vc.buffers.size() < maxFragments
+                ? vc.ep->freeQueue().pop() : std::nullopt;
+            if (!buf) {
+                ++_noBuffer;
+                vc.poisoned = true;
+            } else {
+                vc.buffers.push_back(*buf);
+            }
+        }
+        if (!vc.poisoned) {
+            vc.filled += atm::Cell::payloadBytes;
+            // Cell payload DMA into the user buffer area (charged here;
+            // the bytes land when the PDU completes).
+            host.bus().dma(atm::Cell::payloadBytes, nullptr);
+        }
+    }
+
+    bool end = cell.endOfPdu;
+    coproc.run(cost, [this, &vc, end, payload, next] {
+        if (end) {
+            if (!payload || vc.poisoned) {
+                if (!payload)
+                    ++_crcDrops;
+                // Return any claimed buffers.
+                for (const auto &b : vc.buffers)
+                    vc.ep->freeQueue().push(b);
+            } else {
+                completePdu(vc, std::move(*payload));
+            }
+            vc.buffers.clear();
+            vc.filled = 0;
+            vc.firstCellSeen = false;
+            vc.poisoned = false;
+        }
+        next();
+    });
+}
+
+void
+Pca200::completePdu(VcState &vc, std::vector<std::uint8_t> payload)
+{
+    RecvDescriptor rd;
+    rd.channel = vc.channel;
+    rd.length = static_cast<std::uint32_t>(payload.size());
+    rd.isSmall = false;
+
+    std::size_t written = 0;
+    std::size_t bi = 0;
+    for (; bi < vc.buffers.size() && written < payload.size(); ++bi) {
+        BufferRef buf = vc.buffers[bi];
+        std::uint32_t chunk = std::min<std::uint32_t>(
+            buf.length,
+            static_cast<std::uint32_t>(payload.size() - written));
+        vc.ep->buffers().write(
+            {buf.offset, chunk},
+            std::span(payload.data() + written, chunk));
+        rd.buffers[rd.bufferCount++] = {buf.offset, chunk};
+        written += chunk;
+    }
+    // Any wholly unused buffers go back to the free queue.
+    for (; bi < vc.buffers.size(); ++bi)
+        vc.ep->freeQueue().push(vc.buffers[bi]);
+
+    if (vc.ep->deliver(rd)) {
+        ++_msgsDeliv;
+    } else {
+        // Receive queue full: the message is lost; recycle its buffers.
+        for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+            vc.ep->freeQueue().push(rd.buffers[i]);
+    }
+}
+
+} // namespace unet::nic

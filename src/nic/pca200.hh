@@ -1,0 +1,176 @@
+/**
+ * @file
+ * FORE Systems PCA-200 ATM adapter running U-Net firmware.
+ *
+ * The PCA-200 "includes an on-board processor which performs the
+ * segmentation and reassembly of packets as well as transfers data
+ * to/from host memory using DMA". The U-Net implementation "uses custom
+ * firmware to implement the U-Net architecture directly on the
+ * PCA-200": this class *is* that firmware, executing on the modeled
+ * i960 (nic::I960) against the shared unet::Endpoint structures.
+ *
+ * Queue placement follows the paper: send and free queues live in
+ * NIC memory (host pushes via PIO, i960 polls them for free), receive
+ * queues live in host memory (i960 pushes via DMA, host polls for
+ * free). Transmit polling is weighted — "endpoints with recent
+ * activity are polled more frequently". Single-cell receives go
+ * straight into the receive-queue entry, skipping buffer allocation.
+ */
+
+#ifndef UNET_NIC_PCA200_HH
+#define UNET_NIC_PCA200_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "atm/aal5.hh"
+#include "atm/link.hh"
+#include "host/host.hh"
+#include "nic/i960.hh"
+#include "sim/stats.hh"
+#include "unet/endpoint.hh"
+
+namespace unet::nic {
+
+/** Timing parameters for the PCA-200 firmware model. */
+struct Pca200Spec
+{
+    /** Poll latency for endpoints with recent send activity. */
+    sim::Tick txPollActive = sim::microseconds(1);
+
+    /** Poll latency for idle endpoints. */
+    sim::Tick txPollIdle = sim::microseconds(6);
+
+    /** Activity window: endpoints used within this are "active". */
+    sim::Tick activityWindow = sim::milliseconds(1);
+
+    /** i960 per-message transmit work (descriptor read, VCI lookup,
+     *  DMA setup). Single-cell send totals ~10 us with one cell. */
+    sim::Tick txPerMessage = sim::microseconds(8);
+
+    /** i960 per-cell transmit work (segmentation, FIFO push). */
+    sim::Tick txPerCell = sim::microseconds(2);
+
+    /** Latency from cell-in-FIFO to firmware attention when idle. */
+    sim::Tick rxPollLatency = sim::nanoseconds(1500);
+
+    /** i960 cost of a complete single-cell receive (the paper's
+     *  "approximately 13 us" for a 40-byte message). */
+    sim::Tick rxSingleCell = sim::microseconds(13);
+
+    /** i960 per-cell receive work on the multi-cell path. */
+    sim::Tick rxPerCell = sim::microsecondsF(2.2);
+
+    /** Extra first-cell work: allocate a buffer from the free queue
+     *  in NIC memory and set up the reassembly state. */
+    sim::Tick rxFirstCellExtra = sim::microseconds(12);
+
+    /** Extra last-cell work: CRC check (hardware), build + DMA the
+     *  multi-buffer receive descriptor to host memory. */
+    sim::Tick rxLastCellExtra = sim::microseconds(12);
+
+    /** Input FIFO depth in cells. */
+    std::size_t rxFifoCells = 256;
+
+    /** Single-cell receives bypass buffer allocation and go straight
+     *  into the receive-queue entry (ablation knob). */
+    bool singleCellOptimization = true;
+};
+
+/** The adapter + firmware. */
+class Pca200 : public atm::CellSink
+{
+  public:
+    /**
+     * @param host Host whose bus and memory the adapter masters.
+     * @param link Fiber to attach to.
+     */
+    Pca200(host::Host &host, atm::AtmLink &link, Pca200Spec spec = {});
+
+    const Pca200Spec &spec() const { return _spec; }
+    I960 &i960() { return coproc; }
+
+    /** @name Driver (host) interface — via the command queue. @{ */
+
+    /** Make the firmware service this endpoint's queues. */
+    void attachEndpoint(Endpoint *ep);
+
+    /** Install receive demux: cells on @p vci go to (@p ep, @p chan). */
+    void installVci(atm::Vci vci, Endpoint *ep, ChannelId chan);
+
+    /** Remove a receive demux entry. */
+    void removeVci(atm::Vci vci);
+
+    /** Doorbell: the host pushed onto @p ep's (NIC-resident) send
+     *  queue. The i960 will poll it per the weighted schedule. */
+    void doorbell(Endpoint *ep);
+
+    /** @} */
+
+    /** @name Statistics. @{ */
+    std::uint64_t cellsSent() const { return _cellsSent.value(); }
+    std::uint64_t cellsReceived() const { return _cellsRecv.value(); }
+    std::uint64_t messagesSent() const { return _msgsSent.value(); }
+    std::uint64_t messagesDelivered() const { return _msgsDeliv.value(); }
+    std::uint64_t fifoOverflows() const { return _fifoOverflow.value(); }
+    std::uint64_t noBufferDrops() const { return _noBuffer.value(); }
+    std::uint64_t badVciCells() const { return _badVci.value(); }
+    std::uint64_t crcDrops() const { return _crcDrops.value(); }
+    /** @} */
+
+    /** atm::CellSink: a cell arrived from the fiber. */
+    void cellArrived(const atm::Cell &cell) override;
+
+  private:
+    struct EpState
+    {
+        Endpoint *ep = nullptr;
+        sim::Tick lastActive = -1;
+        bool txScheduled = false;
+    };
+
+    /** Per-VC receive reassembly state. */
+    struct VcState
+    {
+        Endpoint *ep = nullptr;
+        ChannelId channel = invalidChannel;
+        atm::aal5::Reassembler reasm;
+        std::vector<BufferRef> buffers;
+        std::uint32_t filled = 0;
+        bool firstCellSeen = false;
+        bool poisoned = false; ///< dropping until end-of-PDU
+    };
+
+    void scheduleTxService(EpState &state);
+    void serviceTx(EpState &state);
+    void transmitMessage(EpState &state, const SendDescriptor &desc);
+    void serviceRxFifo();
+    void handleCell(const atm::Cell &cell);
+    void completePdu(VcState &vc, std::vector<std::uint8_t> payload);
+
+    host::Host &host;
+    Pca200Spec _spec;
+    I960 coproc;
+    atm::CellTap *tap;
+
+    std::map<Endpoint *, EpState> endpoints;
+    std::map<atm::Vci, VcState> vcs;
+
+    std::deque<atm::Cell> rxFifo;
+    bool rxServiceScheduled = false;
+
+    sim::Counter _cellsSent;
+    sim::Counter _cellsRecv;
+    sim::Counter _msgsSent;
+    sim::Counter _msgsDeliv;
+    sim::Counter _fifoOverflow;
+    sim::Counter _noBuffer;
+    sim::Counter _badVci;
+    sim::Counter _crcDrops;
+};
+
+} // namespace unet::nic
+
+#endif // UNET_NIC_PCA200_HH

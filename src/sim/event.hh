@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are arbitrary callbacks scheduled at an absolute tick. Events
+ * scheduled for the same tick fire in scheduling order (FIFO), which keeps
+ * runs deterministic. Scheduled events can be cancelled through the
+ * EventHandle returned at scheduling time.
+ */
+
+#ifndef UNET_SIM_EVENT_HH
+#define UNET_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace unet::sim {
+
+/**
+ * A cancellable reference to a scheduled event.
+ *
+ * Handles are cheap to copy; cancelling an already-fired or
+ * already-cancelled event is a harmless no-op. A default-constructed
+ * handle refers to nothing.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if this handle refers to an event that has not yet fired. */
+    bool pending() const;
+
+    /** Cancel the referenced event if it is still pending. */
+    void cancel();
+
+  private:
+    friend class EventQueue;
+
+    struct Record
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        bool cancelled = false;
+        bool fired = false;
+        std::function<void()> action;
+    };
+
+    explicit EventHandle(std::shared_ptr<Record> rec)
+        : record(std::move(rec))
+    {}
+
+    std::shared_ptr<Record> record;
+};
+
+/**
+ * Priority queue of timed events plus the simulated clock.
+ *
+ * The clock only advances when events fire; scheduling in the past is a
+ * simulator bug and panics.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events that have fired so far. */
+    std::uint64_t firedCount() const { return _firedCount; }
+
+    /** Number of events currently pending (including cancelled ones). */
+    std::size_t pendingCount() const { return heap.size(); }
+
+    /**
+     * Schedule @p action to fire at absolute time @p when.
+     *
+     * @param when   Absolute tick; must be >= now().
+     * @param action Callback invoked when the event fires.
+     * @return a handle that can cancel the event.
+     */
+    EventHandle schedule(Tick when, std::function<void()> action);
+
+    /** Schedule @p action to fire @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Tick delay, std::function<void()> action)
+    {
+        return schedule(_now + delay, std::move(action));
+    }
+
+    /**
+     * Fire the next pending event, advancing the clock to its time.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. @return the final simulated time. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or the clock would pass @p limit.
+     * Events scheduled at exactly @p limit do fire.
+     * @return the final simulated time.
+     */
+    Tick runUntil(Tick limit);
+
+    /** True if no uncancelled event is pending. */
+    bool empty() const;
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::shared_ptr<EventHandle::Record> record;
+
+        bool
+        operator>(const HeapEntry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap;
+
+    Tick _now = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t _firedCount = 0;
+};
+
+} // namespace unet::sim
+
+#endif // UNET_SIM_EVENT_HH

@@ -1,0 +1,73 @@
+#include "sim/fiber.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::sim {
+
+namespace {
+
+thread_local Fiber *currentFiber = nullptr;
+
+} // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
+    : body(std::move(body)), stack(stack_size)
+{
+    if (!this->body)
+        UNET_PANIC("fiber constructed with empty body");
+}
+
+Fiber::~Fiber() = default;
+
+Fiber *
+Fiber::current()
+{
+    return currentFiber;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = currentFiber;
+    self->body();
+    self->done = true;
+    // Return to whoever ran us; swapcontext back out of the fiber.
+    currentFiber = nullptr;
+    swapcontext(&self->context, &self->returnContext);
+}
+
+void
+Fiber::run()
+{
+    if (done)
+        UNET_PANIC("run() on a finished fiber");
+    if (currentFiber)
+        UNET_PANIC("nested Fiber::run() is not supported");
+
+    if (!started) {
+        if (getcontext(&context) != 0)
+            UNET_PANIC("getcontext failed");
+        context.uc_stack.ss_sp = stack.data();
+        context.uc_stack.ss_size = stack.size();
+        context.uc_link = nullptr;
+        makecontext(&context, reinterpret_cast<void (*)()>(&trampoline), 0);
+        started = true;
+    }
+
+    currentFiber = this;
+    swapcontext(&returnContext, &context);
+    currentFiber = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = currentFiber;
+    if (!self)
+        UNET_PANIC("Fiber::yield() outside any fiber");
+    currentFiber = nullptr;
+    swapcontext(&self->context, &self->returnContext);
+    currentFiber = self;
+}
+
+} // namespace unet::sim

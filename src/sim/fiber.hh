@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cooperative user-level fibers built on ucontext.
+ *
+ * Fibers let application code in the simulator (ping-pong loops, Split-C
+ * benchmarks) be written as blocking straight-line code. Exactly one
+ * fiber runs at a time on a single OS thread; the event loop resumes a
+ * fiber with run() and the fiber returns control with yield(). There is
+ * no preemption and no shared-state race by construction.
+ */
+
+#ifndef UNET_SIM_FIBER_HH
+#define UNET_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace unet::sim {
+
+/**
+ * A single cooperative fiber.
+ *
+ * The body runs on its own stack. run() switches into the fiber until it
+ * either calls yield() or returns; finished() reports completion.
+ * Destroying an unfinished fiber is allowed (its stack is simply freed),
+ * but the body will not run further — destructors of locals on the fiber
+ * stack do NOT execute, so bodies should not own resources across yields
+ * unless the fiber is run to completion.
+ */
+class Fiber
+{
+  public:
+    /**
+     * @param body       Function executed on the fiber.
+     * @param stack_size Stack size in bytes (default 256 KiB).
+     */
+    explicit Fiber(std::function<void()> body,
+                   std::size_t stack_size = 256 * 1024);
+
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch into the fiber until it yields or finishes.
+     * Must not be called from inside any fiber (no nesting) and must not
+     * be called on a finished fiber.
+     */
+    void run();
+
+    /**
+     * Return control to the caller of run(). Must be called from inside
+     * this fiber (i.e. from the currently running fiber).
+     */
+    static void yield();
+
+    /** True once the body has returned. */
+    bool finished() const { return done; }
+
+    /** The fiber currently executing, or nullptr if in the main context. */
+    static Fiber *current();
+
+  private:
+    static void trampoline();
+
+    std::function<void()> body;
+    std::vector<unsigned char> stack;
+    ucontext_t context;
+    ucontext_t returnContext;
+    bool started = false;
+    bool done = false;
+};
+
+} // namespace unet::sim
+
+#endif // UNET_SIM_FIBER_HH

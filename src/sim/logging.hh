@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated: a simulator bug.
+ *            Aborts (dumps core / enters the debugger).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   — something is modelled approximately or looks suspicious but
+ *            the run continues.
+ * inform() — normal operating messages.
+ */
+
+#ifndef UNET_SIM_LOGGING_HH
+#define UNET_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace unet::sim {
+
+/** Verbosity levels for the message sink. */
+enum class LogLevel { Silent, Warnings, Info, Debug };
+
+/** Set the global verbosity (default: Warnings). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into a string via operator<<. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace unet::sim
+
+/** Report a simulator bug and abort. */
+#define UNET_PANIC(...)                                                     \
+    ::unet::sim::detail::panicImpl(__FILE__, __LINE__,                      \
+        ::unet::sim::detail::format(__VA_ARGS__))
+
+/** Report a user error and exit(1). */
+#define UNET_FATAL(...)                                                     \
+    ::unet::sim::detail::fatalImpl(__FILE__, __LINE__,                      \
+        ::unet::sim::detail::format(__VA_ARGS__))
+
+/** Report a suspicious condition; the run continues. */
+#define UNET_WARN(...)                                                      \
+    ::unet::sim::detail::warnImpl(::unet::sim::detail::format(__VA_ARGS__))
+
+/** Report normal status. */
+#define UNET_INFORM(...)                                                    \
+    ::unet::sim::detail::informImpl(                                        \
+        ::unet::sim::detail::format(__VA_ARGS__))
+
+/** Developer-level tracing, compiled in but gated by LogLevel::Debug. */
+#define UNET_DEBUG(...)                                                     \
+    ::unet::sim::detail::debugImpl(::unet::sim::detail::format(__VA_ARGS__))
+
+#endif // UNET_SIM_LOGGING_HH

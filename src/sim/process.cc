@@ -1,0 +1,119 @@
+#include "sim/process.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace unet::sim {
+
+namespace {
+
+thread_local Process *currentProcess = nullptr;
+
+} // namespace
+
+void
+WaitChannel::notifyAll()
+{
+    // Swap out the waiter list first: a woken process may immediately
+    // block on this channel again and must not be woken twice.
+    std::vector<Process *> woken;
+    woken.swap(waiters);
+    for (Process *p : woken) {
+        p->wokenByNotify = true;
+        p->timeoutEvent.cancel();
+        p->simulation().scheduleIn(0, [p] { p->resume(); });
+    }
+}
+
+Process::Process(Simulation &sim, std::string name,
+                 std::function<void(Process &)> body,
+                 std::size_t stack_size)
+    : sim(sim), _name(std::move(name)), body(std::move(body)),
+      stackSize(stack_size)
+{
+    if (!this->body)
+        UNET_PANIC("process '", _name, "' constructed with empty body");
+}
+
+Process::~Process() = default;
+
+Process *
+Process::current()
+{
+    return currentProcess;
+}
+
+void
+Process::start(Tick delay)
+{
+    if (started)
+        UNET_PANIC("process '", _name, "' started twice");
+    started = true;
+    fiber = std::make_unique<Fiber>([this] { body(*this); }, stackSize);
+    sim.scheduleIn(delay, [this] { resume(); });
+}
+
+void
+Process::resume()
+{
+    if (fiber->finished())
+        UNET_PANIC("resuming finished process '", _name, "'");
+    Process *prev = currentProcess;
+    currentProcess = this;
+    fiber->run();
+    currentProcess = prev;
+}
+
+void
+Process::suspend()
+{
+    Fiber::yield();
+}
+
+void
+Process::delay(Tick d)
+{
+    if (currentProcess != this)
+        UNET_PANIC("delay() called from outside process '", _name, "'");
+    if (d < 0)
+        UNET_PANIC("negative delay in process '", _name, "'");
+    sim.scheduleIn(d, [this] { resume(); });
+    suspend();
+}
+
+void
+Process::waitOn(WaitChannel &ch)
+{
+    if (currentProcess != this)
+        UNET_PANIC("waitOn() called from outside process '", _name, "'");
+    wokenByNotify = false;
+    ch.waiters.push_back(this);
+    suspend();
+}
+
+bool
+Process::waitOn(WaitChannel &ch, Tick timeout)
+{
+    if (currentProcess != this)
+        UNET_PANIC("waitOn() called from outside process '", _name, "'");
+    wokenByNotify = false;
+    ch.waiters.push_back(this);
+    timeoutEvent = sim.scheduleIn(timeout, [this, &ch] {
+        // Timed out: remove ourselves from the waiter list and resume.
+        auto &w = ch.waiters;
+        w.erase(std::remove(w.begin(), w.end(), this), w.end());
+        resume();
+    });
+    suspend();
+    timeoutEvent.cancel();
+    return wokenByNotify;
+}
+
+void
+Process::yieldNow()
+{
+    delay(0);
+}
+
+} // namespace unet::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Blocking processes on top of fibers and the event queue.
+ *
+ * A Process runs a body function on a fiber. Inside the body, delay()
+ * advances simulated time and waitOn() blocks until a WaitChannel is
+ * notified (optionally with a timeout). This is the substrate on which
+ * user applications — ping-pong loops, Split-C programs — are written as
+ * ordinary sequential code.
+ */
+
+#ifndef UNET_SIM_PROCESS_HH
+#define UNET_SIM_PROCESS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/fiber.hh"
+#include "sim/simulation.hh"
+#include "sim/time.hh"
+
+namespace unet::sim {
+
+class Process;
+
+/**
+ * A condition processes can block on.
+ *
+ * notifyAll() wakes every currently-blocked process; each resumes at the
+ * current tick, in the order it blocked. There is no stored "signal":
+ * a notify with no waiters is lost, so callers must re-check their
+ * predicate after waking (standard condition-variable discipline).
+ */
+class WaitChannel
+{
+  public:
+    /** Wake all processes currently blocked on this channel. */
+    void notifyAll();
+
+    /** Number of processes currently blocked. */
+    std::size_t waiterCount() const { return waiters.size(); }
+
+  private:
+    friend class Process;
+    std::vector<Process *> waiters;
+};
+
+/**
+ * A simulated thread of control.
+ *
+ * The body runs when start() is called (or after the given delay) and
+ * interleaves with the rest of the simulation whenever it blocks.
+ */
+class Process
+{
+  public:
+    /**
+     * @param sim        Owning simulation.
+     * @param name       Diagnostic name.
+     * @param body       Code to run; receives this process.
+     * @param stack_size Fiber stack in bytes (default 256 KiB); raise
+     *                   it for deeply nested handler chains.
+     */
+    Process(Simulation &sim, std::string name,
+            std::function<void(Process &)> body,
+            std::size_t stack_size = 256 * 1024);
+
+    ~Process();
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    /** Begin execution @p delay ticks from now. */
+    void start(Tick delay = 0);
+
+    /** True once the body has returned. */
+    bool finished() const { return fiber && fiber->finished(); }
+
+    const std::string &name() const { return _name; }
+
+    Simulation &simulation() { return sim; }
+
+    /** The process currently executing, or nullptr. */
+    static Process *current();
+
+    /**
+     * @name Blocking operations — only callable from inside the body.
+     * @{
+     */
+
+    /** Advance simulated time by @p d while "running". */
+    void delay(Tick d);
+
+    /** Block until @p ch is notified. */
+    void waitOn(WaitChannel &ch);
+
+    /**
+     * Block until @p ch is notified or @p timeout elapses.
+     * @return true if notified, false on timeout.
+     */
+    bool waitOn(WaitChannel &ch, Tick timeout);
+
+    /** Yield to other same-tick activity and resume immediately. */
+    void yieldNow();
+
+    /** @} */
+
+  private:
+    friend class WaitChannel;
+
+    /** Resume the fiber from the event loop. */
+    void resume();
+
+    /** Yield out of the fiber back to the event loop. */
+    void suspend();
+
+    Simulation &sim;
+    std::string _name;
+    std::function<void(Process &)> body;
+    std::size_t stackSize;
+    std::unique_ptr<Fiber> fiber;
+    bool started = false;
+
+    // Wakeup bookkeeping for waitOn with timeout.
+    bool wokenByNotify = false;
+    EventHandle timeoutEvent;
+};
+
+} // namespace unet::sim
+
+#endif // UNET_SIM_PROCESS_HH

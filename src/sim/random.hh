@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random numbers for the simulator.
+ *
+ * All stochastic behaviour (Ethernet backoff, workload key generation,
+ * loss injection) draws from a seeded Random instance so that runs are
+ * reproducible bit-for-bit.
+ */
+
+#ifndef UNET_SIM_RANDOM_HH
+#define UNET_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+
+namespace unet::sim {
+
+/** A seeded PRNG with the handful of draws the simulator needs. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 1) : engine(seed) {}
+
+    /** Re-seed the generator. */
+    void seed(std::uint64_t s) { engine.seed(s); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniform(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+        return dist(engine);
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t
+    u32()
+    {
+        return static_cast<std::uint32_t>(engine());
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t u64() { return engine(); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        return dist(engine);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform01() < p;
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        std::exponential_distribution<double> dist(1.0 / mean);
+        return dist(engine);
+    }
+
+    /** Access the raw engine (for std::shuffle and friends). */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace unet::sim
+
+#endif // UNET_SIM_RANDOM_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Top-level simulation context: the event queue plus shared services.
+ *
+ * Every model component receives a Simulation& at construction. There are
+ * no global singletons, so tests can run many independent simulations in
+ * one binary.
+ */
+
+#ifndef UNET_SIM_SIMULATION_HH
+#define UNET_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event.hh"
+#include "sim/random.hh"
+#include "sim/time.hh"
+
+namespace unet::sim {
+
+/** Shared simulation context: clock, event queue, and PRNG. */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1) : rng(seed) {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** The event queue. */
+    EventQueue &events() { return queue; }
+
+    /** The shared deterministic PRNG. */
+    Random &random() { return rng; }
+
+    /** Current simulated time. */
+    Tick now() const { return queue.now(); }
+
+    /** Schedule @p action at absolute time @p when. */
+    EventHandle
+    schedule(Tick when, std::function<void()> action)
+    {
+        return queue.schedule(when, std::move(action));
+    }
+
+    /** Schedule @p action @p delay ticks from now. */
+    EventHandle
+    scheduleIn(Tick delay, std::function<void()> action)
+    {
+        return queue.scheduleIn(delay, std::move(action));
+    }
+
+    /** Run to completion. @return final time. */
+    Tick run() { return queue.run(); }
+
+    /** Run until @p limit. @return final time. */
+    Tick runUntil(Tick limit) { return queue.runUntil(limit); }
+
+  private:
+    EventQueue queue;
+    Random rng;
+};
+
+} // namespace unet::sim
+
+#endif // UNET_SIM_SIMULATION_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Simulated time for the discrete-event kernel.
+ *
+ * Ticks are signed 64-bit picoseconds, giving sub-bit-time resolution at
+ * 100 Mbps / 155 Mbps line rates and a maximum simulated horizon of about
+ * 106 days, far beyond any experiment in this repository.
+ */
+
+#ifndef UNET_SIM_TIME_HH
+#define UNET_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace unet::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::int64_t;
+
+/** The maximum representable tick; used as "never". */
+constexpr Tick maxTick = INT64_MAX;
+
+/** Construct a tick count from picoseconds. */
+constexpr Tick
+picoseconds(std::int64_t t)
+{
+    return t;
+}
+
+/** Construct a tick count from nanoseconds. */
+constexpr Tick
+nanoseconds(std::int64_t t)
+{
+    return t * 1000;
+}
+
+/** Construct a tick count from microseconds. */
+constexpr Tick
+microseconds(std::int64_t t)
+{
+    return t * 1000 * 1000;
+}
+
+/** Construct a tick count from milliseconds. */
+constexpr Tick
+milliseconds(std::int64_t t)
+{
+    return t * 1000 * 1000 * 1000;
+}
+
+/** Construct a tick count from seconds. */
+constexpr Tick
+seconds(std::int64_t t)
+{
+    return t * 1000 * 1000 * 1000 * 1000;
+}
+
+/** Convert a (possibly fractional) microsecond count to ticks. */
+constexpr Tick
+microsecondsF(double t)
+{
+    return static_cast<Tick>(t * 1e6);
+}
+
+/** Convert a (possibly fractional) nanosecond count to ticks. */
+constexpr Tick
+nanosecondsF(double t)
+{
+    return static_cast<Tick>(t * 1e3);
+}
+
+/** Convert ticks to fractional microseconds (for reporting). */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Convert ticks to fractional milliseconds (for reporting). */
+constexpr double
+toMilliseconds(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/** Convert ticks to fractional seconds (for reporting). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / 1e12;
+}
+
+/**
+ * Time needed to serialize @p bytes onto a medium running at
+ * @p bits_per_sec. Rounded to the nearest tick.
+ */
+constexpr Tick
+serializationTime(std::int64_t bytes, double bits_per_sec)
+{
+    return static_cast<Tick>(static_cast<double>(bytes) * 8.0 * 1e12 /
+                             bits_per_sec + 0.5);
+}
+
+namespace literals {
+
+constexpr Tick operator""_ps(unsigned long long t)
+{ return picoseconds(static_cast<std::int64_t>(t)); }
+
+constexpr Tick operator""_ns(unsigned long long t)
+{ return nanoseconds(static_cast<std::int64_t>(t)); }
+
+constexpr Tick operator""_us(unsigned long long t)
+{ return microseconds(static_cast<std::int64_t>(t)); }
+
+constexpr Tick operator""_ms(unsigned long long t)
+{ return milliseconds(static_cast<std::int64_t>(t)); }
+
+constexpr Tick operator""_s(unsigned long long t)
+{ return seconds(static_cast<std::int64_t>(t)); }
+
+constexpr Tick operator""_us(long double t)
+{ return microsecondsF(static_cast<double>(t)); }
+
+constexpr Tick operator""_ns(long double t)
+{ return nanosecondsF(static_cast<double>(t)); }
+
+} // namespace literals
+
+} // namespace unet::sim
+
+#endif // UNET_SIM_TIME_HH

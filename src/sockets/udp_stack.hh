@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The baseline U-Net is measured against: traditional in-kernel
+ * sockets.
+ *
+ * "U-Net circumvents the traditional UNIX networking architecture" —
+ * this module *is* that traditional architecture, modeled on a
+ * mid-90s BSD/Linux UDP path over the same DC21140 device: a full
+ * system call per send/receive, a user/kernel copy on each side,
+ * IP+UDP header processing and checksumming in the kernel, socket
+ * buffers with drop-on-overflow, and a scheduler wakeup to unblock a
+ * sleeping receiver. The Beowulf cluster in the paper's related work
+ * ran exactly this stack ("all network access is through the kernel
+ * sockets interface").
+ *
+ * The bench `baseline_sockets` puts this side by side with U-Net/FE
+ * on identical hardware.
+ */
+
+#ifndef UNET_SOCKETS_UDP_STACK_HH
+#define UNET_SOCKETS_UDP_STACK_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nic/dc21140.hh"
+#include "sim/process.hh"
+
+namespace unet::sockets {
+
+/** Cost model of the in-kernel path (mid-90s Pentium/Linux class). */
+struct UdpStackSpec
+{
+    /** Full system-call entry+exit (vs the sub-µs U-Net fast trap). */
+    sim::Tick syscallCost = sim::microseconds(8);
+
+    /** UDP/IP output processing: headers, routing, socket lookup. */
+    sim::Tick txProtocol = sim::microseconds(14);
+
+    /** IP input + UDP demultiplex on receive. */
+    sim::Tick rxProtocol = sim::microseconds(18);
+
+    /** Internet checksum touches every payload byte. */
+    double checksumBytesPerSec = 150e6;
+
+    /** Driver work to hand a packet to the DC21140. */
+    sim::Tick driverTx = sim::microseconds(6);
+
+    /** Driver work inside the receive interrupt. */
+    sim::Tick driverRx = sim::microseconds(8);
+
+    /** Scheduler latency to wake a process blocked in recvfrom(). */
+    sim::Tick wakeupLatency = sim::microseconds(40);
+
+    /** Per-socket receive buffer; overflow drops (UDP semantics). */
+    std::size_t socketBufferBytes = 64 * 1024;
+
+    /** IP (20) + UDP (8) header bytes per packet. */
+    static constexpr std::size_t headerBytes = 28;
+
+    /** Largest UDP payload in one Ethernet frame (no fragmentation). */
+    static constexpr std::size_t maxPayload =
+        eth::Frame::maxPayload - headerBytes;
+};
+
+class UdpStack;
+
+/** A bound UDP socket. */
+class Socket
+{
+  public:
+    /** One received datagram. */
+    struct Datagram
+    {
+        eth::MacAddress srcMac;
+        std::uint16_t srcPort = 0;
+        std::vector<std::uint8_t> data;
+    };
+
+    /**
+     * sendto(2): blocking syscall; the payload is copied into a kernel
+     * buffer and transmitted. @return false if the payload exceeds one
+     * frame (this model does not fragment).
+     */
+    bool sendTo(sim::Process &proc, eth::MacAddress dst_mac,
+                std::uint16_t dst_port,
+                std::span<const std::uint8_t> data);
+
+    /**
+     * recvfrom(2): blocking syscall; waits for a datagram or times
+     * out. @return the datagram, or std::nullopt on timeout.
+     */
+    std::optional<Datagram> recvFrom(sim::Process &proc,
+                                     sim::Tick timeout = sim::maxTick);
+
+    std::uint16_t port() const { return _port; }
+
+    /** Datagrams dropped because the socket buffer was full. */
+    std::uint64_t drops() const { return _drops.value(); }
+
+  private:
+    friend class UdpStack;
+
+    Socket(UdpStack &stack, const sim::Process *owner,
+           std::uint16_t port)
+        : stack(stack), owner(owner), _port(port)
+    {}
+
+    UdpStack &stack;
+    const sim::Process *owner;
+    std::uint16_t _port;
+    std::deque<Datagram> queue;
+    std::size_t queuedBytes = 0;
+    sim::WaitChannel readable;
+    sim::Counter _drops;
+};
+
+/** The per-host in-kernel UDP/IP stack driving a DC21140. */
+class UdpStack
+{
+  public:
+    UdpStack(host::Host &host, nic::Dc21140 &nic,
+             UdpStackSpec spec = {});
+
+    /** socket(2)+bind(2): create a socket on @p port (0 = ephemeral). */
+    Socket &createSocket(const sim::Process *owner,
+                         std::uint16_t port = 0);
+
+    const UdpStackSpec &spec() const { return _spec; }
+    host::Host &host() { return _host; }
+    eth::MacAddress address() const { return _nic.address(); }
+
+    /** @name Statistics. @{ */
+    std::uint64_t packetsSent() const { return _sent.value(); }
+    std::uint64_t packetsDelivered() const { return _delivered.value(); }
+    std::uint64_t noPortDrops() const { return _noPort.value(); }
+    /** @} */
+
+  private:
+    friend class Socket;
+
+    /** The blocking sendto path (runs in the caller's context). */
+    bool transmit(sim::Process &proc, Socket &socket,
+                  eth::MacAddress dst_mac, std::uint16_t dst_port,
+                  std::span<const std::uint8_t> data);
+
+    /** DC21140 receive interrupt handler. */
+    void rxInterrupt();
+
+    host::Host &_host;
+    nic::Dc21140 &_nic;
+    UdpStackSpec _spec;
+
+    std::map<std::uint16_t, std::unique_ptr<Socket>> sockets;
+    std::uint16_t nextEphemeral = 32768;
+
+    /** Kernel packet buffers, one per TX ring slot. */
+    std::vector<std::size_t> mbufOffset;
+
+    std::size_t kernelRxHead = 0;
+
+    sim::Counter _sent;
+    sim::Counter _delivered;
+    sim::Counter _noPort;
+};
+
+} // namespace unet::sockets
+
+#endif // UNET_SOCKETS_UDP_STACK_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Split-C global pointers.
+ *
+ * "The Split-C language allows processes to transfer data through the
+ * use of global pointers — a virtual address coupled with a process
+ * identifier. Dereferencing a global pointer allows a process to read
+ * or write data in the address space of other nodes cooperating in the
+ * parallel application."
+ */
+
+#ifndef UNET_SPLITC_GLOBAL_PTR_HH
+#define UNET_SPLITC_GLOBAL_PTR_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace unet::splitc {
+
+/** Address within a node's Split-C heap. */
+using HeapAddr = std::uint32_t;
+
+/** A typed (node, address) pair. */
+template <typename T>
+struct GlobalPtr
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "global pointers move raw bytes");
+
+    int node = -1;
+    HeapAddr addr = 0;
+
+    GlobalPtr() = default;
+    GlobalPtr(int node, HeapAddr addr) : node(node), addr(addr) {}
+
+    bool valid() const { return node >= 0; }
+
+    /** Element arithmetic, like a C pointer. */
+    GlobalPtr
+    operator+(std::uint64_t elems) const
+    {
+        return {node,
+                static_cast<HeapAddr>(addr + elems * sizeof(T))};
+    }
+
+    bool operator==(const GlobalPtr &) const = default;
+};
+
+} // namespace unet::splitc
+
+#endif // UNET_SPLITC_GLOBAL_PTR_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Per-node computation/communication time accounting.
+ *
+ * The paper's Figure 7 splits each benchmark's execution time into
+ * "computation (cpu) and communication (net) intensive parts"; this is
+ * the instrumentation that produces those two numbers.
+ */
+
+#ifndef UNET_SPLITC_PROFILE_HH
+#define UNET_SPLITC_PROFILE_HH
+
+#include "sim/time.hh"
+
+namespace unet::splitc {
+
+/** Accumulated compute vs communication time on one node. */
+struct Profile
+{
+    /** Time charged through the charge*() calls (application work). */
+    sim::Tick compute = 0;
+
+    /** Wall time spent inside blocking communication operations. */
+    sim::Tick comm = 0;
+
+    void
+    reset()
+    {
+        compute = 0;
+        comm = 0;
+    }
+};
+
+} // namespace unet::splitc
+
+#endif // UNET_SPLITC_PROFILE_HH

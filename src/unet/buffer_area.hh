@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Endpoint buffer areas.
+ *
+ * A buffer area is a pinned, contiguous region of host memory holding
+ * message data. It is mapped into exactly one process ("the buffer
+ * areas and message queues for distinct endpoints are disjoint") and
+ * into the NIC's DMA space, so transmits are zero-copy. Management of
+ * the space is entirely up to the application; U-Net only checks
+ * bounds.
+ */
+
+#ifndef UNET_UNET_BUFFER_AREA_HH
+#define UNET_UNET_BUFFER_AREA_HH
+
+#include <span>
+
+#include "host/memory.hh"
+#include "unet/types.hh"
+
+namespace unet {
+
+/** A process's message-data region inside host memory. */
+class BufferArea
+{
+  public:
+    /**
+     * Carve a buffer area out of @p memory.
+     * @param memory Host memory arena.
+     * @param bytes  Size of the area.
+     */
+    BufferArea(host::Memory &memory, std::size_t bytes)
+        : memory(memory), base(memory.alloc(bytes, 64)), _size(bytes)
+    {}
+
+    std::size_t size() const { return _size; }
+
+    /** Host-memory offset of the area (for DMA programming). */
+    std::size_t baseOffset() const { return base; }
+
+    /** True if @p ref lies entirely inside the area. */
+    bool
+    contains(BufferRef ref) const
+    {
+        return static_cast<std::size_t>(ref.offset) + ref.length <= _size;
+    }
+
+    /** Mutable view of a fragment (application composing a message). */
+    std::span<std::uint8_t>
+    span(BufferRef ref)
+    {
+        checkBounds(ref);
+        return memory.region(base + ref.offset, ref.length);
+    }
+
+    /** Read-only view of a fragment. */
+    std::span<const std::uint8_t>
+    span(BufferRef ref) const
+    {
+        checkBounds(ref);
+        return static_cast<const host::Memory &>(memory)
+            .region(base + ref.offset, ref.length);
+    }
+
+    /** Copy @p data into the area at @p ref (app-side compose). */
+    void
+    write(BufferRef ref, std::span<const std::uint8_t> data)
+    {
+        if (data.size() > ref.length)
+            UNET_PANIC("write larger than fragment");
+        auto dst = span({ref.offset,
+                         static_cast<std::uint32_t>(data.size())});
+        std::copy(data.begin(), data.end(), dst.begin());
+    }
+
+  private:
+    void
+    checkBounds(BufferRef ref) const
+    {
+        if (!contains(ref))
+            UNET_PANIC("buffer reference [", ref.offset, "+", ref.length,
+                       "] outside ", _size, "-byte buffer area");
+    }
+
+    host::Memory &memory;
+    std::size_t base;
+    std::size_t _size;
+};
+
+} // namespace unet
+
+#endif // UNET_UNET_BUFFER_AREA_HH

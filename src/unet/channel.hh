@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Communication channels and message tags.
+ *
+ * A channel joins a pair of endpoints and carries the substrate-specific
+ * message tag: (MAC address, U-Net port) for Fast Ethernet, a VCI for
+ * ATM. Applications obtain channels from the OS service, which performs
+ * route discovery, signalling, and authorization; afterwards the channel
+ * id indexes this table on every send and is reported on every receive.
+ */
+
+#ifndef UNET_UNET_CHANNEL_HH
+#define UNET_UNET_CHANNEL_HH
+
+#include "atm/cell.hh"
+#include "eth/mac_address.hh"
+#include "unet/types.hh"
+
+namespace unet {
+
+/** Per-endpoint channel table entry. */
+struct ChannelInfo
+{
+    bool valid = false;
+
+    /** @name U-Net/FE tag: destination interface + port. @{ */
+    eth::MacAddress remoteMac;
+    PortId remotePort = 0;
+    /** @} */
+
+    /** @name U-Net/ATM tag: VCI to send on (== VCI received on). @{ */
+    atm::Vci vci = 0;
+    /** @} */
+};
+
+} // namespace unet
+
+#endif // UNET_UNET_CHANNEL_HH

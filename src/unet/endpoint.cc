@@ -1,0 +1,110 @@
+#include "unet/endpoint.hh"
+
+namespace unet {
+
+Endpoint::Endpoint(sim::Simulation &sim, host::Memory &memory,
+                   const EndpointConfig &config,
+                   const sim::Process *owner, std::size_t id)
+    : sim(sim), _config(config), _owner(owner), _id(id),
+      _buffers(memory, config.bufferAreaBytes),
+      _sendQueue(config.sendQueueDepth),
+      _recvQueue(config.recvQueueDepth),
+      _freeQueue(config.freeQueueDepth)
+{
+}
+
+ChannelId
+Endpoint::addChannel(const ChannelInfo &info)
+{
+    if (channels.size() >= _config.maxChannels)
+        UNET_FATAL("endpoint ", _id, " exceeds its channel limit of ",
+                   _config.maxChannels);
+    channels.push_back(info);
+    channels.back().valid = true;
+    return static_cast<ChannelId>(channels.size() - 1);
+}
+
+const ChannelInfo &
+Endpoint::channel(ChannelId id) const
+{
+    if (!channelValid(id))
+        UNET_PANIC("invalid channel ", id, " on endpoint ", _id);
+    return channels[id];
+}
+
+bool
+Endpoint::channelValid(ChannelId id) const
+{
+    return id < channels.size() && channels[id].valid;
+}
+
+bool
+Endpoint::poll(RecvDescriptor &out)
+{
+    auto desc = _recvQueue.pop();
+    if (!desc)
+        return false;
+    out = *desc;
+    return true;
+}
+
+bool
+Endpoint::wait(sim::Process &proc, RecvDescriptor &out, sim::Tick timeout)
+{
+    while (true) {
+        if (poll(out))
+            return true;
+        if (timeout == sim::maxTick) {
+            proc.waitOn(_rxAvailable);
+        } else {
+            sim::Tick before = sim.now();
+            if (!proc.waitOn(_rxAvailable, timeout))
+                return poll(out); // one last check after the timeout
+            timeout -= sim.now() - before;
+            if (timeout < 0)
+                timeout = 0;
+        }
+    }
+}
+
+void
+Endpoint::setUpcall(std::function<void(const RecvDescriptor &)> handler,
+                    sim::Tick latency)
+{
+    upcall = std::move(handler);
+    upcallLatency = latency;
+    if (upcall && !_recvQueue.empty())
+        scheduleUpcall();
+}
+
+bool
+Endpoint::deliver(const RecvDescriptor &desc)
+{
+    if (!_recvQueue.push(desc)) {
+        ++_rxQueueDrops;
+        return false;
+    }
+    _rxAvailable.notifyAll();
+    if (upcall)
+        scheduleUpcall();
+    return true;
+}
+
+void
+Endpoint::scheduleUpcall()
+{
+    if (upcallPending)
+        return;
+    upcallPending = true;
+    sim.scheduleIn(upcallLatency, [this] {
+        upcallPending = false;
+        // Consume all pending messages in a single activation.
+        RecvDescriptor desc;
+        while (!_recvQueue.empty()) {
+            desc = *_recvQueue.pop();
+            upcall(desc);
+        }
+    });
+}
+
+} // namespace unet

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * U-Net endpoints.
+ *
+ * An endpoint is "an application's handle into the network": a buffer
+ * area plus send, receive, and free descriptor rings (Figure 1), and a
+ * channel table filled in by the OS service. Endpoints are created
+ * through the OS service and owned by exactly one process; protection
+ * checks compare the calling process against the owner.
+ *
+ * The three receive models of the paper are supported: polling
+ * (poll()), blocking (wait(), the "UNIX select" model), and upcalls
+ * (setUpcall(), the signal-handler model, which consumes every pending
+ * message per invocation to amortize the upcall cost).
+ */
+
+#ifndef UNET_UNET_ENDPOINT_HH
+#define UNET_UNET_ENDPOINT_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/process.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "unet/buffer_area.hh"
+#include "unet/channel.hh"
+#include "unet/queues.hh"
+#include "unet/types.hh"
+
+namespace unet {
+
+/** One application's handle into the network. */
+class Endpoint
+{
+  public:
+    /**
+     * Built by the OS service, not directly by applications.
+     *
+     * @param sim    Owning simulation.
+     * @param memory Host memory the buffer area is pinned in.
+     * @param config Queue depths and buffer-area size.
+     * @param owner  Owning process (protection domain).
+     * @param id     Endpoint index within its U-Net instance.
+     */
+    Endpoint(sim::Simulation &sim, host::Memory &memory,
+             const EndpointConfig &config, const sim::Process *owner,
+             std::size_t id);
+
+    Endpoint(const Endpoint &) = delete;
+    Endpoint &operator=(const Endpoint &) = delete;
+
+    std::size_t id() const { return _id; }
+    const sim::Process *owner() const { return _owner; }
+    const EndpointConfig &config() const { return _config; }
+
+    /** @name Figure-1 building blocks. @{ */
+    Ring<SendDescriptor> &sendQueue() { return _sendQueue; }
+    const Ring<SendDescriptor> &sendQueue() const { return _sendQueue; }
+    Ring<RecvDescriptor> &recvQueue() { return _recvQueue; }
+    Ring<BufferRef> &freeQueue() { return _freeQueue; }
+    BufferArea &buffers() { return _buffers; }
+    /** @} */
+
+    /** @name Channel table (maintained by the OS service). @{ */
+    ChannelId addChannel(const ChannelInfo &info);
+    const ChannelInfo &channel(ChannelId id) const;
+    bool channelValid(ChannelId id) const;
+    std::size_t channelCount() const { return channels.size(); }
+    /** @} */
+
+    /** @name Receive models. @{ */
+
+    /** Non-blocking poll: pop the next receive descriptor if present. */
+    bool poll(RecvDescriptor &out);
+
+    /**
+     * Block until a message is available (select()-style), then pop it.
+     * @return false if @p timeout expired first.
+     */
+    bool wait(sim::Process &proc, RecvDescriptor &out,
+              sim::Tick timeout = sim::maxTick);
+
+    /**
+     * Register an upcall invoked when the receive queue becomes
+     * non-empty. All pending messages are consumed in one activation.
+     * @param latency models signal-delivery cost before the first
+     *        message is handled.
+     */
+    void setUpcall(std::function<void(const RecvDescriptor &)> handler,
+                   sim::Tick latency);
+
+    /** Condition notified whenever the receive queue gains an entry. */
+    sim::WaitChannel &rxAvailable() { return _rxAvailable; }
+
+    /**
+     * Servicer-side: push a receive descriptor and fire notifications.
+     * @return false if the receive queue was full (message dropped).
+     */
+    bool deliver(const RecvDescriptor &desc);
+
+    /** @} */
+
+    /** Messages dropped because the receive queue was full. */
+    std::uint64_t rxQueueDrops() const { return _rxQueueDrops.value(); }
+
+  private:
+    void scheduleUpcall();
+
+    sim::Simulation &sim;
+    EndpointConfig _config;
+    const sim::Process *_owner;
+    std::size_t _id;
+
+    BufferArea _buffers;
+    Ring<SendDescriptor> _sendQueue;
+    Ring<RecvDescriptor> _recvQueue;
+    Ring<BufferRef> _freeQueue;
+
+    std::vector<ChannelInfo> channels;
+
+    sim::WaitChannel _rxAvailable;
+    std::function<void(const RecvDescriptor &)> upcall;
+    sim::Tick upcallLatency = 0;
+    bool upcallPending = false;
+
+    sim::Counter _rxQueueDrops;
+};
+
+} // namespace unet
+
+#endif // UNET_UNET_ENDPOINT_HH

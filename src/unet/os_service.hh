@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The operating-system service side of U-Net.
+ *
+ * "Creation of user endpoints and communication channels is managed by
+ * the operating system ... to enforce protection boundaries between
+ * processes and to properly manage system resources." The OS service
+ * validates endpoint/channel system calls against per-process resource
+ * limits and an authorization hook, and charges the (slow) system-call
+ * path — connection setup is off the critical path by design.
+ */
+
+#ifndef UNET_UNET_OS_SERVICE_HH
+#define UNET_UNET_OS_SERVICE_HH
+
+#include <functional>
+#include <map>
+
+#include "sim/process.hh"
+#include "unet/unet.hh"
+
+namespace unet {
+
+/** Resource limits enforced per process. */
+struct OsLimits
+{
+    std::size_t maxEndpointsPerProcess = 8;
+    std::size_t maxChannelsPerEndpoint = 64;
+};
+
+/** Per-host endpoint/channel management service. */
+class OsService
+{
+  public:
+    /**
+     * @param impl         The U-Net implementation on this host.
+     * @param limits       Resource limits.
+     * @param syscall_cost Processor time charged per management call
+     *                     (a full system call, not the fast trap).
+     */
+    OsService(UNet &impl, OsLimits limits = {},
+              sim::Tick syscall_cost = sim::microseconds(15))
+        : impl(impl), limits(limits), syscallCost(syscall_cost)
+    {}
+
+    UNet &unet() { return impl; }
+
+    /**
+     * System call: create an endpoint owned by the calling process.
+     * Fails (returns nullptr) if the per-process limit is exceeded.
+     */
+    Endpoint *
+    createEndpoint(sim::Process &proc, const EndpointConfig &cfg = {})
+    {
+        chargeSyscall(proc);
+        auto &count = endpointCount[&proc];
+        if (count >= limits.maxEndpointsPerProcess)
+            return nullptr;
+        ++count;
+        EndpointConfig limited = cfg;
+        limited.maxChannels = std::min(cfg.maxChannels,
+                                       limits.maxChannelsPerEndpoint);
+        return &impl.createEndpoint(&proc, limited);
+    }
+
+    /**
+     * Authorization hook consulted during channel creation: return
+     * false to deny the requesting process access to the destination.
+     * Default allows everything (a single-user cluster).
+     */
+    void
+    setAuthorizer(std::function<bool(const sim::Process &,
+                                     const Endpoint &)> fn)
+    {
+        authorizer = std::move(fn);
+    }
+
+    /** Run the authorization check for a channel request. */
+    bool
+    authorize(const sim::Process &proc, const Endpoint &ep) const
+    {
+        return !authorizer || authorizer(proc, ep);
+    }
+
+    /**
+     * Charge one management system call to @p proc. Creation calls
+     * issued during simulation set-up (outside any running process) are
+     * free — they model boot-time configuration.
+     */
+    void
+    chargeSyscall(sim::Process &proc)
+    {
+        if (sim::Process::current() == &proc)
+            impl.host().cpu().busy(proc, syscallCost);
+    }
+
+  private:
+    UNet &impl;
+    OsLimits limits;
+    sim::Tick syscallCost;
+    std::map<const sim::Process *, std::size_t> endpointCount;
+    std::function<bool(const sim::Process &, const Endpoint &)> authorizer;
+};
+
+} // namespace unet
+
+#endif // UNET_UNET_OS_SERVICE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fixed-capacity descriptor rings.
+ *
+ * U-Net message queues are bounded rings shared between the application
+ * and the agent servicing them (kernel or NIC co-processor). A full
+ * send queue pushes back on the sender; a full receive queue makes the
+ * servicer drop messages (upper layers — Active Messages — retransmit).
+ */
+
+#ifndef UNET_UNET_QUEUES_HH
+#define UNET_UNET_QUEUES_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace unet {
+
+/** A bounded FIFO ring of descriptors. */
+template <typename T>
+class Ring
+{
+  public:
+    explicit Ring(std::size_t capacity)
+        : slots(capacity), _capacity(capacity)
+    {
+        if (capacity == 0)
+            UNET_PANIC("ring with zero capacity");
+    }
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    bool full() const { return count == _capacity; }
+
+    /** Push a descriptor; @return false (and count it) if full. */
+    bool
+    push(const T &item)
+    {
+        if (full()) {
+            ++_rejected;
+            return false;
+        }
+        slots[tail] = item;
+        tail = (tail + 1) % _capacity;
+        ++count;
+        ++_pushed;
+        return true;
+    }
+
+    /** Pop the oldest descriptor, if any. */
+    std::optional<T>
+    pop()
+    {
+        if (empty())
+            return std::nullopt;
+        T item = slots[head];
+        head = (head + 1) % _capacity;
+        --count;
+        return item;
+    }
+
+    /** Peek at the oldest descriptor; ring must not be empty. */
+    const T &
+    front() const
+    {
+        if (empty())
+            UNET_PANIC("front() on empty ring");
+        return slots[head];
+    }
+
+    /** @name Statistics. @{ */
+    std::uint64_t pushed() const { return _pushed.value(); }
+    std::uint64_t rejected() const { return _rejected.value(); }
+    /** @} */
+
+  private:
+    std::vector<T> slots;
+    std::size_t _capacity;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    std::size_t count = 0;
+    sim::Counter _pushed;
+    sim::Counter _rejected;
+};
+
+} // namespace unet
+
+#endif // UNET_UNET_QUEUES_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The U-Net architecture interface.
+ *
+ * UNet "virtualizes the network interface in such a way that ... every
+ * application [has] the illusion of owning the interface". The two
+ * implementations (UNetFe, UNetAtm) expose the same operations; they
+ * differ in who services the queues (kernel trap handler vs NIC
+ * firmware) and in what the doorbell costs the host processor.
+ */
+
+#ifndef UNET_UNET_UNET_HH
+#define UNET_UNET_UNET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/host.hh"
+#include "sim/stats.hh"
+#include "unet/endpoint.hh"
+#include "unet/types.hh"
+
+namespace unet {
+
+/** Abstract U-Net instance on one host. */
+class UNet
+{
+  public:
+    explicit UNet(host::Host &host) : _host(host) {}
+    virtual ~UNet() = default;
+
+    UNet(const UNet &) = delete;
+    UNet &operator=(const UNet &) = delete;
+
+    /** Implementation name for reporting. */
+    virtual std::string name() const = 0;
+
+    /** Largest message that can travel inline in a descriptor (the
+     *  small-message optimization threshold of this substrate). */
+    virtual std::size_t inlineMax() const = 0;
+
+    /** Largest single U-Net message on this substrate. */
+    virtual std::size_t maxMessageBytes() const = 0;
+
+    /**
+     * Create an endpoint owned by @p owner. Called via the OS service
+     * (a system call); applications do not call this directly.
+     */
+    virtual Endpoint &createEndpoint(const sim::Process *owner,
+                                     const EndpointConfig &config) = 0;
+
+    /**
+     * Post a send: push @p desc onto the endpoint's send queue and ring
+     * the implementation's doorbell (fast trap / PIO store), charging
+     * the calling process its share of processor time.
+     *
+     * @return false if the descriptor was rejected (full queue, invalid
+     *         channel, or protection fault).
+     */
+    virtual bool send(sim::Process &proc, Endpoint &ep,
+                      const SendDescriptor &desc) = 0;
+
+    /**
+     * Hand a receive buffer to the free queue.
+     * @return false if the free queue is full.
+     */
+    virtual bool postFree(sim::Process &proc, Endpoint &ep,
+                          BufferRef buf) = 0;
+
+    /**
+     * Re-kick the servicing agent for descriptors still sitting in the
+     * send queue (e.g. after device-ring backpressure). A no-op when
+     * the queue is already being drained autonomously.
+     */
+    virtual void flush(sim::Process &proc, Endpoint &ep) = 0;
+
+    /**
+     * Number of posted send descriptors whose payload bytes have NOT
+     * yet been read out of the buffer area (still in the send queue or
+     * in a device ring). While this is non-zero, an application must
+     * not overwrite buffer-area regions referenced by posted
+     * descriptors — the contract any zero-copy interface imposes.
+     */
+    virtual std::size_t txBacklog(const Endpoint &ep) const = 0;
+
+    host::Host &host() { return _host; }
+
+    /** Sends rejected because the caller does not own the endpoint. */
+    std::uint64_t protectionFaults() const { return _protFaults.value(); }
+
+    /** Endpoints created on this instance. */
+    const std::vector<std::unique_ptr<Endpoint>> &
+    endpoints() const
+    {
+        return _endpoints;
+    }
+
+  protected:
+    /** Owner check shared by implementations. */
+    bool
+    checkOwner(const sim::Process &proc, const Endpoint &ep)
+    {
+        if (ep.owner() != &proc) {
+            ++_protFaults;
+            return false;
+        }
+        return true;
+    }
+
+    host::Host &_host;
+    std::vector<std::unique_ptr<Endpoint>> _endpoints;
+    sim::Counter _protFaults;
+};
+
+} // namespace unet
+
+#endif // UNET_UNET_UNET_HH

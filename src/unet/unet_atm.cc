@@ -1,0 +1,103 @@
+#include "unet/unet_atm.hh"
+
+#include "sim/logging.hh"
+
+namespace unet {
+
+UNetAtm::UNetAtm(host::Host &host, nic::Pca200 &nic, UNetAtmSpec spec)
+    : UNet(host), _spec(spec), _nic(nic)
+{
+}
+
+Endpoint &
+UNetAtm::createEndpoint(const sim::Process *owner,
+                        const EndpointConfig &config)
+{
+    _endpoints.push_back(std::make_unique<Endpoint>(
+        _host.simulation(), _host.memory(), config, owner,
+        _endpoints.size()));
+    Endpoint *ep = _endpoints.back().get();
+    // Command-queue registration: the driver tells the firmware about
+    // the endpoint's queues and buffer area.
+    _nic.attachEndpoint(ep);
+    return *ep;
+}
+
+bool
+UNetAtm::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
+{
+    if (!checkOwner(proc, ep))
+        return false;
+    if (desc.totalLength() > maxMessage)
+        UNET_PANIC("U-Net/ATM message of ", desc.totalLength(),
+                   " bytes exceeds the AAL5 maximum");
+    if (!ep.channelValid(desc.channel)) {
+        UNET_WARN("U-Net/ATM: send on invalid channel ", desc.channel);
+        return false;
+    }
+
+    // "the host stores the U-Net send descriptor into the i960-resident
+    // transmit queue using a double-word store"
+    _host.cpu().busy(proc, _spec.sendPost);
+    if (!ep.sendQueue().push(desc))
+        return false;
+    ++_posted;
+    _nic.doorbell(&ep);
+    return true;
+}
+
+bool
+UNetAtm::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
+{
+    if (!checkOwner(proc, ep))
+        return false;
+    if (!ep.buffers().contains(buf))
+        UNET_PANIC("free buffer outside the endpoint buffer area");
+    _host.cpu().busy(proc, _spec.freePost);
+    return ep.freeQueue().push(buf);
+}
+
+ChannelId
+UNetAtm::addChannelTo(Endpoint &ep, atm::Vci vci)
+{
+    ChannelInfo info;
+    info.vci = vci;
+    ChannelId id = ep.addChannel(info);
+    _nic.installVci(vci, &ep, id);
+    return id;
+}
+
+void
+UNetAtm::connect(UNetAtm &a, Endpoint &ep_a, std::size_t port_a,
+                 UNetAtm &b, Endpoint &ep_b, std::size_t port_b,
+                 atm::Signalling &signalling, ChannelId &chan_a,
+                 ChannelId &chan_b)
+{
+    auto vc = signalling.connect(port_a, port_b);
+    chan_a = a.addChannelTo(ep_a, vc.vciAtA);
+    chan_b = b.addChannelTo(ep_b, vc.vciAtB);
+}
+
+void
+UNetAtm::connectDirect(UNetAtm &a, Endpoint &ep_a, UNetAtm &b,
+                       Endpoint &ep_b, atm::Vci vci, ChannelId &chan_a,
+                       ChannelId &chan_b)
+{
+    chan_a = a.addChannelTo(ep_a, vci);
+    chan_b = b.addChannelTo(ep_b, vci);
+}
+
+void
+UNetAtm::connectFabric(UNetAtm &a, Endpoint &ep_a,
+                       atm::Fabric::HostAttachment at_a, UNetAtm &b,
+                       Endpoint &ep_b,
+                       atm::Fabric::HostAttachment at_b,
+                       atm::Fabric &fabric, ChannelId &chan_a,
+                       ChannelId &chan_b)
+{
+    auto vc = fabric.connect(at_a, at_b);
+    chan_a = a.addChannelTo(ep_a, vc.vciAtA);
+    chan_b = b.addChannelTo(ep_b, vc.vciAtB);
+}
+
+} // namespace unet

@@ -1,0 +1,401 @@
+#include "unet/unet_fe.hh"
+
+#include "sim/logging.hh"
+
+namespace unet {
+
+namespace {
+
+std::uint64_t
+tagKey(const eth::MacAddress &mac, PortId port)
+{
+    return (mac.toU64() << 8) | port;
+}
+
+} // namespace
+
+UNetFe::UNetFe(host::Host &host, nic::Dc21140 &nic, UNetFeSpec spec)
+    : UNet(host), _spec(spec), _nic(nic)
+{
+    // Kernel header buffers: one per TX ring slot, large enough for the
+    // Ethernet + U-Net headers plus an inline small message.
+    const std::size_t header_buf_bytes =
+        eth::Frame::headerBytes + unetHeaderBytes +
+        _spec.extraHeaderBytes() + smallMessageMax;
+    headerBufOffset.resize(nic.txRingSize());
+    for (auto &off : headerBufOffset)
+        off = host.memory().alloc(header_buf_bytes, 8);
+
+    // Kernel receive buffers: pre-post the whole device RX ring
+    // ("these are fixed buffers allocated by the device driver and are
+    // used in FIFO order").
+    for (std::size_t i = 0; i < nic.rxRingSize(); ++i) {
+        auto &desc = nic.rxDesc(i);
+        desc.bufOffset = static_cast<std::uint32_t>(
+            host.memory().alloc(nic.spec().rxBufferBytes, 8));
+        desc.bufLength =
+            static_cast<std::uint32_t>(nic.spec().rxBufferBytes);
+        desc.own = true;
+    }
+
+    nic.interrupt().connect([this] { rxInterrupt(); });
+}
+
+Endpoint &
+UNetFe::createEndpoint(const sim::Process *owner,
+                       const EndpointConfig &config)
+{
+    if (portMap.size() >= 256)
+        UNET_FATAL("U-Net/FE port space (one byte) exhausted");
+    _endpoints.push_back(std::make_unique<Endpoint>(
+        _host.simulation(), _host.memory(), config, owner,
+        _endpoints.size()));
+    Endpoint *ep = _endpoints.back().get();
+
+    EpState &state = epState[ep];
+    state.ep = ep;
+    state.port = nextPort++;
+    portMap[state.port] = &state;
+    return *ep;
+}
+
+PortId
+UNetFe::portOf(const Endpoint &ep) const
+{
+    auto it = epState.find(&ep);
+    if (it == epState.end())
+        UNET_PANIC("endpoint not created by this U-Net/FE instance");
+    return it->second.port;
+}
+
+ChannelId
+UNetFe::addChannelTo(Endpoint &ep, eth::MacAddress remote_mac,
+                     PortId remote_port)
+{
+    auto it = epState.find(&ep);
+    if (it == epState.end())
+        UNET_PANIC("endpoint not created by this U-Net/FE instance");
+
+    ChannelInfo info;
+    info.remoteMac = remote_mac;
+    info.remotePort = remote_port;
+    ChannelId id = ep.addChannel(info);
+    it->second.demux[tagKey(remote_mac, remote_port)] = id;
+    return id;
+}
+
+void
+UNetFe::connect(UNetFe &a, Endpoint &ep_a, UNetFe &b, Endpoint &ep_b,
+                ChannelId &chan_a, ChannelId &chan_b)
+{
+    chan_a = a.addChannelTo(ep_a, b._nic.address(), b.portOf(ep_b));
+    chan_b = b.addChannelTo(ep_b, a._nic.address(), a.portOf(ep_a));
+}
+
+bool
+UNetFe::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
+{
+    if (!checkOwner(proc, ep))
+        return false;
+    if (desc.totalLength() > maxMessage - _spec.extraHeaderBytes())
+        UNET_PANIC("U-Net/FE message of ", desc.totalLength(),
+                   " bytes exceeds the ",
+                   maxMessage - _spec.extraHeaderBytes(),
+                   "-byte maximum");
+    if (!desc.isInline && desc.fragmentCount > 1)
+        UNET_PANIC("U-Net/FE model supports one buffer fragment per "
+                   "send (plus the kernel header)");
+
+    auto &cpu = _host.cpu();
+    cpu.busy(proc, _spec.userDescriptorPush);
+    if (!ep.sendQueue().push(desc))
+        return false;
+
+    // Fast trap into the kernel; the service routine runs in the
+    // caller's context (this is host processor overhead, the U-Net/FE
+    // trade-off).
+    if (txTrace)
+        txTrace->emplace_back("trap entry",
+                              cpu.spec().trapEntryCost);
+    _host.trapEnter(proc);
+    serviceSendQueue(proc, ep);
+    if (txTrace)
+        txTrace->emplace_back("return from trap",
+                              cpu.spec().trapExitCost);
+    _host.trapExit(proc);
+    return true;
+}
+
+void
+UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
+{
+    auto &cpu = _host.cpu();
+    auto &mem = _host.memory();
+    EpState &state = epState.at(&ep);
+
+    while (!ep.sendQueue().empty()) {
+        // Stop (leaving descriptors queued) when the device ring is
+        // full; a later trap retries them. This is the backpressure an
+        // application sees as a slowly draining send queue.
+        std::size_t slot = _nic.txTail();
+        auto &ring_desc = _nic.txDesc(slot);
+        if (ring_desc.own)
+            break;
+
+        SendDescriptor desc = *ep.sendQueue().pop();
+        sim::Tick cost = 0;
+
+        step(txTrace, "check U-Net send parameters",
+             _spec.txCheckParams, cost);
+        if (!ep.channelValid(desc.channel)) {
+            UNET_WARN("U-Net/FE: send on invalid channel ",
+                      desc.channel, "; dropped");
+            cpu.busy(proc, cost);
+            continue;
+        }
+        const ChannelInfo &chan = ep.channel(desc.channel);
+
+        step(txTrace, "Ethernet header set-up",
+             _spec.txEthHeaderSetup, cost);
+        std::uint32_t msg_len = desc.totalLength();
+        std::vector<std::uint8_t> header;
+        header.reserve(eth::Frame::headerBytes + unetHeaderBytes +
+                       _spec.extraHeaderBytes() + smallMessageMax);
+        const auto &dst = chan.remoteMac.raw();
+        const auto &src = _nic.address().raw();
+        header.insert(header.end(), dst.begin(), dst.end());
+        header.insert(header.end(), src.begin(), src.end());
+        header.push_back(static_cast<std::uint8_t>(_spec.etherType >> 8));
+        header.push_back(static_cast<std::uint8_t>(_spec.etherType));
+        if (_spec.ipv4Encapsulation) {
+            // IPv4 header (contents unmodeled; sizing and cost are).
+            header.insert(header.end(), UNetFeSpec::ipv4HeaderBytes, 0);
+            cost += _spec.ipv4Cost;
+        }
+        header.push_back(chan.remotePort);          // dst U-Net port
+        header.push_back(state.port);               // src U-Net port
+        header.push_back(static_cast<std::uint8_t>(msg_len >> 8));
+        header.push_back(static_cast<std::uint8_t>(msg_len));
+        header.push_back(0);
+        header.push_back(0);
+
+        if (desc.isInline) {
+            // Small message: the kernel copies the payload into the
+            // header buffer (it arrived inline in the descriptor).
+            header.insert(header.end(), desc.inlineData.begin(),
+                          desc.inlineData.begin() + desc.inlineLength);
+            cost += cpu.spec().memcpyTime(desc.inlineLength);
+        }
+        mem.write(headerBufOffset[slot], header);
+
+        step(txTrace, "device send ring descriptor set-up",
+             _spec.txRingDescSetup, cost);
+        ring_desc.buf1Offset =
+            static_cast<std::uint32_t>(headerBufOffset[slot]);
+        ring_desc.buf1Length = static_cast<std::uint32_t>(header.size());
+        if (!desc.isInline && desc.fragmentCount == 1) {
+            BufferRef frag = desc.fragments[0];
+            ring_desc.buf2Offset = static_cast<std::uint32_t>(
+                ep.buffers().baseOffset() + frag.offset);
+            ring_desc.buf2Length = frag.length;
+        } else {
+            ring_desc.buf2Length = 0;
+        }
+        ring_desc.transmitted = false;
+        ring_desc.aborted = false;
+        ring_desc.own = true;
+        _nic.bumpTxTail();
+
+        step(txTrace, "issue poll demand", _spec.txPollDemand, cost);
+        step(txTrace, "free send ring descriptor of previous message",
+             _spec.txFreePrevRing, cost);
+        step(txTrace, "free U-Net send queue entry of previous message",
+             _spec.txFreePrevQueue, cost);
+
+        // Charge the accumulated kernel time, then kick the device at
+        // the point the poll demand lands.
+        cpu.busy(proc, cost);
+        _nic.pollDemand();
+        ++_sent;
+    }
+}
+
+std::size_t
+UNetFe::txBacklog(const Endpoint &ep) const
+{
+    std::size_t backlog = ep.sendQueue().size();
+    // Ring descriptors still owned by the NIC may not have gathered
+    // their buffers yet; counting them all is conservative but safe.
+    for (std::size_t i = 0; i < _nic.txRingSize(); ++i)
+        if (_nic.txDesc(i).own)
+            ++backlog;
+    return backlog;
+}
+
+void
+UNetFe::flush(sim::Process &proc, Endpoint &ep)
+{
+    if (!checkOwner(proc, ep) || ep.sendQueue().empty())
+        return;
+    _host.trapEnter(proc);
+    serviceSendQueue(proc, ep);
+    _host.trapExit(proc);
+}
+
+bool
+UNetFe::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
+{
+    if (!checkOwner(proc, ep))
+        return false;
+    if (!ep.buffers().contains(buf))
+        UNET_PANIC("free buffer outside the endpoint buffer area");
+    _host.cpu().busy(proc, _spec.userFreePost);
+    return ep.freeQueue().push(buf);
+}
+
+void
+UNetFe::rxInterrupt()
+{
+    auto &cpu = _host.cpu();
+    auto &mem = _host.memory();
+
+    sim::Tick cost = 0;
+    std::vector<std::function<void()>> effects;
+    step(rxTrace, "interrupt handler entry", _spec.rxHandlerEntry, cost);
+
+    while (true) {
+        auto &ring_desc = _nic.rxDesc(kernelRxHead);
+        if (!ring_desc.complete)
+            break;
+        step(rxTrace, "poll device recv ring", _spec.rxPollRing, cost);
+
+        auto raw = mem.read(ring_desc.bufOffset, ring_desc.frameLength);
+        auto frame = eth::Frame::parse(raw);
+
+        // Re-arm the ring slot right away (FIFO reuse).
+        ring_desc.complete = false;
+        ring_desc.own = true;
+        kernelRxHead = (kernelRxHead + 1) % _nic.rxRingSize();
+
+        std::size_t skip = _spec.extraHeaderBytes();
+        if (_spec.ipv4Encapsulation)
+            cost += _spec.ipv4Cost;
+        if (!frame ||
+            frame->payload.size() < unetHeaderBytes + skip) {
+            ++_badFrame;
+            continue;
+        }
+
+        PortId dst_port = frame->payload[skip + 0];
+        PortId src_port = frame->payload[skip + 1];
+        std::uint32_t msg_len =
+            (static_cast<std::uint32_t>(frame->payload[skip + 2])
+             << 8) |
+            frame->payload[skip + 3];
+        if (msg_len + unetHeaderBytes + skip > frame->payload.size()) {
+            ++_badFrame;
+            continue;
+        }
+
+        step(rxTrace, "demux to correct endpoint", _spec.rxDemux, cost);
+        auto pit = portMap.find(dst_port);
+        if (pit == portMap.end()) {
+            ++_unknownPort;
+            continue;
+        }
+        EpState &state = *pit->second;
+        auto cit = state.demux.find(tagKey(frame->src, src_port));
+        if (cit == state.demux.end()) {
+            ++_noChannel;
+            continue;
+        }
+        ChannelId chan = cit->second;
+        Endpoint *ep = state.ep;
+
+        std::vector<std::uint8_t> payload(
+            frame->payload.begin() +
+                static_cast<std::ptrdiff_t>(unetHeaderBytes + skip),
+            frame->payload.begin() +
+                static_cast<std::ptrdiff_t>(unetHeaderBytes + skip +
+                                            msg_len));
+
+        if (msg_len <= smallMessageMax &&
+            _spec.smallMessageOptimization) {
+            // "small messages (under 64 bytes) are copied directly into
+            // the U-Net receive descriptor itself"
+            step(rxTrace, "alloc+init U-Net recv descriptor",
+                 _spec.rxInitDescr, cost);
+            if (_spec.chargeRxCopy)
+                step(rxTrace, "copy message",
+                     cpu.spec().memcpyTime(msg_len), cost);
+            RecvDescriptor rd;
+            rd.channel = chan;
+            rd.length = msg_len;
+            rd.isSmall = true;
+            std::copy(payload.begin(), payload.end(),
+                      rd.inlineData.begin());
+            effects.push_back([this, ep, rd] {
+                if (ep->deliver(rd))
+                    ++_delivered;
+            });
+        } else {
+            step(rxTrace, "allocate U-Net recv buffer",
+                 _spec.rxAllocBuffer, cost);
+            // Fill one or more free buffers.
+            RecvDescriptor rd;
+            rd.channel = chan;
+            rd.length = msg_len;
+            rd.isSmall = false;
+            std::uint32_t copied = 0;
+            bool ok = true;
+            while (copied < msg_len) {
+                if (rd.bufferCount == maxFragments) {
+                    ok = false;
+                    break;
+                }
+                auto buf = ep->freeQueue().pop();
+                if (!buf) {
+                    ok = false;
+                    break;
+                }
+                std::uint32_t chunk =
+                    std::min(buf->length, msg_len - copied);
+                rd.buffers[rd.bufferCount++] = {buf->offset, chunk};
+                copied += chunk;
+            }
+            if (!ok) {
+                ++_noFreeBuf;
+                // Return claimed buffers and drop the message.
+                for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+                    ep->freeQueue().push(rd.buffers[i]);
+                continue;
+            }
+            step(rxTrace, "init descriptor buffer pointers",
+                 _spec.rxInitDescrPtrs, cost);
+            if (_spec.chargeRxCopy)
+                step(rxTrace, "copy message",
+                     cpu.spec().memcpyTime(msg_len), cost);
+            effects.push_back([this, ep, rd, payload] {
+                std::uint32_t off = 0;
+                for (std::uint8_t i = 0; i < rd.bufferCount; ++i) {
+                    ep->buffers().write(
+                        rd.buffers[i],
+                        std::span(payload.data() + off,
+                                  rd.buffers[i].length));
+                    off += rd.buffers[i].length;
+                }
+                if (ep->deliver(rd))
+                    ++_delivered;
+            });
+        }
+        step(rxTrace, "bump device recv ring", _spec.rxBumpRing, cost);
+    }
+    step(rxTrace, "return from interrupt", _spec.rxReturn, cost);
+
+    cpu.runKernel(cost, [effects = std::move(effects)] {
+        for (const auto &effect : effects)
+            effect();
+    });
+}
+
+} // namespace unet

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * U-Net over Fast Ethernet: the in-kernel implementation.
+ *
+ * "Although U-Net cannot be implemented directly on the Fast Ethernet
+ * interface itself due to the lack of a programmable co-processor, the
+ * kernel trap and interrupt handler timings demonstrate that the U-Net
+ * model is well-suited to a low-overhead in-kernel implementation."
+ *
+ * Transmit: the application pushes a descriptor onto the endpoint's
+ * send queue and issues a fast trap; the kernel service routine walks
+ * the queue, builds an Ethernet+U-Net header in a kernel buffer, points
+ * a DC21140 ring descriptor at (header, user buffer) — zero copy — and
+ * issues a transmit poll demand. The per-step costs are the Figure 3
+ * timeline, summing to ~4.2 us of processor overhead.
+ *
+ * Receive: the DC21140 interrupt handler demultiplexes on the one-byte
+ * U-Net port in the header and copies the payload into the destination
+ * endpoint's buffer area (or directly into the receive descriptor for
+ * messages under 64 bytes). Per-step costs are the Figure 4 timeline:
+ * ~4.1 us for a 40-byte message, plus 1.42 us per additional 100 bytes
+ * of copy at the Pentium's 70 MB/s.
+ */
+
+#ifndef UNET_UNET_UNET_FE_HH
+#define UNET_UNET_UNET_FE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nic/dc21140.hh"
+#include "unet/unet.hh"
+
+namespace unet {
+
+/** Calibration constants for the kernel code paths. */
+struct UNetFeSpec
+{
+    /** @name Figure 3: transmit trap steps (trap entry/exit come from
+     *  the CpuSpec). @{ */
+    sim::Tick txCheckParams = sim::nanoseconds(740);
+    sim::Tick txEthHeaderSetup = sim::nanoseconds(370);
+    sim::Tick txRingDescSetup = sim::nanoseconds(560);
+    sim::Tick txPollDemand = sim::nanoseconds(920);
+    sim::Tick txFreePrevRing = sim::nanoseconds(420);
+    sim::Tick txFreePrevQueue = sim::nanoseconds(350);
+    /** @} */
+
+    /** @name Figure 4: receive interrupt steps. @{ */
+    sim::Tick rxHandlerEntry = sim::nanoseconds(380);
+    sim::Tick rxPollRing = sim::nanoseconds(520);
+    sim::Tick rxDemux = sim::nanoseconds(480);
+    sim::Tick rxInitDescr = sim::nanoseconds(600);
+    sim::Tick rxAllocBuffer = sim::nanoseconds(710);
+    sim::Tick rxInitDescrPtrs = sim::nanoseconds(550);
+    sim::Tick rxBumpRing = sim::nanoseconds(400);
+    sim::Tick rxReturn = sim::nanoseconds(400);
+    /** @} */
+
+    /** User-level cost of pushing a descriptor onto the send queue. */
+    sim::Tick userDescriptorPush = sim::nanoseconds(200);
+
+    /** User-level cost of posting a free buffer. */
+    sim::Tick userFreePost = sim::nanoseconds(150);
+
+    /** Signal-delivery latency for the upcall receive model. */
+    sim::Tick upcallLatency = sim::microseconds(30);
+
+    /** EtherType carried by U-Net/FE frames. */
+    std::uint16_t etherType = 0x88B5;
+
+    /** @name Ablation knobs. @{ */
+
+    /** Copy sub-64-byte messages straight into the receive descriptor
+     *  (the paper's small-message optimization). */
+    bool smallMessageOptimization = true;
+
+    /** Charge the receive-path copy into the user buffer area. Turning
+     *  this off models the zero-copy receive a co-processor enables
+     *  ("eliminating a costly copy"). */
+    bool chargeRxCopy = true;
+
+    /** Encapsulate messages in IPv4 to cross routers (the paper's
+     *  scalability fix, "however, this would add considerable
+     *  communication overhead"). */
+    bool ipv4Encapsulation = false;
+
+    /** Extra kernel work per packet when IPv4 encapsulation is on
+     *  (header build/parse + checksum). */
+    sim::Tick ipv4Cost = sim::microseconds(2);
+
+    /** @} */
+
+    /** IPv4 header bytes added per frame when encapsulating. */
+    static constexpr std::size_t ipv4HeaderBytes = 20;
+
+    std::size_t
+    extraHeaderBytes() const
+    {
+        return ipv4Encapsulation ? ipv4HeaderBytes : 0;
+    }
+};
+
+/** The U-Net/FE kernel agent on one host. */
+class UNetFe : public UNet
+{
+  public:
+    /** Bytes of U-Net header inside the Ethernet payload:
+     *  dst port, src port, 16-bit length, 2 reserved. A 40-byte message
+     *  thus fills a 60-byte frame, as in the paper. */
+    static constexpr std::size_t unetHeaderBytes = 6;
+
+    /** Largest single message: the Ethernet payload minus our header
+     *  (the paper quotes 1498 with its 2-byte minimum header; with the
+     *  full 6-byte header the ceiling is 1494). */
+    static constexpr std::size_t maxMessage =
+        eth::Frame::maxPayload - unetHeaderBytes;
+
+    UNetFe(host::Host &host, nic::Dc21140 &nic, UNetFeSpec spec = {});
+
+    std::string name() const override { return "U-Net/FE"; }
+    std::size_t inlineMax() const override { return smallMessageMax; }
+    std::size_t maxMessageBytes() const override { return maxMessage; }
+
+    Endpoint &createEndpoint(const sim::Process *owner,
+                             const EndpointConfig &config) override;
+
+    bool send(sim::Process &proc, Endpoint &ep,
+              const SendDescriptor &desc) override;
+
+    bool postFree(sim::Process &proc, Endpoint &ep,
+                  BufferRef buf) override;
+
+    void flush(sim::Process &proc, Endpoint &ep) override;
+
+    /** Send-queue entries plus device-ring descriptors the DC21140 has
+     *  not yet gathered (the ring is shared; the count is conservative
+     *  across endpoints, which is safe for the zero-copy contract). */
+    std::size_t txBacklog(const Endpoint &ep) const override;
+
+    /** The U-Net port assigned to @p ep at creation. */
+    PortId portOf(const Endpoint &ep) const;
+
+    /** Register a channel to a remote (MAC, port) tag on @p ep. */
+    ChannelId addChannelTo(Endpoint &ep, eth::MacAddress remote_mac,
+                           PortId remote_port);
+
+    /**
+     * OS-service channel setup between two endpoints on two hosts:
+     * registers tags on both sides and returns each side's channel id.
+     */
+    static void connect(UNetFe &a, Endpoint &ep_a, UNetFe &b,
+                        Endpoint &ep_b, ChannelId &chan_a,
+                        ChannelId &chan_b);
+
+    const UNetFeSpec &spec() const { return _spec; }
+    nic::Dc21140 &nic() { return _nic; }
+
+    /** @name Step tracing for the Fig. 3 / Fig. 4 benches. @{ */
+    using StepTrace = std::vector<std::pair<std::string, sim::Tick>>;
+    void setTxTrace(StepTrace *trace) { txTrace = trace; }
+    void setRxTrace(StepTrace *trace) { rxTrace = trace; }
+    /** @} */
+
+    /** @name Statistics. @{ */
+    std::uint64_t messagesSent() const { return _sent.value(); }
+    std::uint64_t messagesDelivered() const { return _delivered.value(); }
+    std::uint64_t rxNoFreeBuffer() const { return _noFreeBuf.value(); }
+    std::uint64_t rxUnknownPort() const { return _unknownPort.value(); }
+    std::uint64_t rxNoChannel() const { return _noChannel.value(); }
+    std::uint64_t rxBadFrame() const { return _badFrame.value(); }
+    /** @} */
+
+  private:
+    /** Kernel service routine for the send queue (runs in the trap). */
+    void serviceSendQueue(sim::Process &proc, Endpoint &ep);
+
+    /** DC21140 receive interrupt handler. */
+    void rxInterrupt();
+
+    void
+    step(StepTrace *trace, const char *stage, sim::Tick cost,
+         sim::Tick &acc)
+    {
+        acc += cost;
+        if (trace)
+            trace->emplace_back(stage, cost);
+    }
+
+    UNetFeSpec _spec;
+    nic::Dc21140 &_nic;
+
+    /** Per-endpoint state the kernel keeps. */
+    struct EpState
+    {
+        Endpoint *ep = nullptr;
+        PortId port = 0;
+        /** (remote MAC << 8 | remote port) -> channel id. */
+        std::map<std::uint64_t, ChannelId> demux;
+    };
+
+    std::map<const Endpoint *, EpState> epState;
+    std::map<PortId, EpState *> portMap;
+    PortId nextPort = 0;
+
+    /** Kernel header buffers, one per TX ring slot. */
+    std::vector<std::size_t> headerBufOffset;
+
+    /** Kernel receive buffers behind the device RX ring. */
+    std::size_t kernelRxHead = 0;
+
+    StepTrace *txTrace = nullptr;
+    StepTrace *rxTrace = nullptr;
+
+    sim::Counter _sent;
+    sim::Counter _delivered;
+    sim::Counter _noFreeBuf;
+    sim::Counter _unknownPort;
+    sim::Counter _noChannel;
+    sim::Counter _badFrame;
+};
+
+} // namespace unet
+
+#endif // UNET_UNET_UNET_FE_HH

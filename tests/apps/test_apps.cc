@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "apps/matmul.hh"
+#include "apps/radix_sort.hh"
+#include "apps/sample_sort.hh"
+#include "cluster/cluster.hh"
+
+using namespace unet;
+using namespace unet::apps;
+using namespace unet::cluster;
+
+namespace {
+
+Config
+smallFe(int nodes)
+{
+    auto c = Config::feCluster(nodes, NetKind::FeBay28115, false);
+    return c;
+}
+
+} // namespace
+
+TEST(Matmul, TinyProductVerifies)
+{
+    sim::Simulation s;
+    Cluster c(s, smallFe(2));
+    MatmulConfig cfg;
+    cfg.blocksPerSide = 4;
+    cfg.blockSize = 8;
+    std::vector<MatmulStats> stats(2);
+    c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+        stats[rt.self()] = runMatmul(rt, proc, cfg);
+    });
+    EXPECT_TRUE(stats[0].verified);
+    EXPECT_TRUE(stats[1].verified);
+    EXPECT_EQ(stats[0].checksum, stats[1].checksum);
+    EXPECT_EQ(stats[0].blocksComputed + stats[1].blocksComputed, 16u);
+}
+
+TEST(Matmul, FourNodesAtm)
+{
+    sim::Simulation s;
+    Cluster c(s, Config::atmSplitC(4));
+    MatmulConfig cfg;
+    cfg.blocksPerSide = 4;
+    cfg.blockSize = 8;
+    std::vector<MatmulStats> stats(4);
+    c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+        stats[rt.self()] = runMatmul(rt, proc, cfg);
+    });
+    for (auto &st : stats)
+        EXPECT_TRUE(st.verified);
+}
+
+TEST(Matmul, MoreNodesRunFaster)
+{
+    MatmulConfig cfg;
+    cfg.blocksPerSide = 4;
+    cfg.blockSize = 16;
+    auto time_for = [&](int nodes) {
+        sim::Simulation s;
+        Cluster c(s, smallFe(nodes));
+        return c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+            auto st = runMatmul(rt, proc, cfg);
+            EXPECT_TRUE(st.verified);
+        });
+    };
+    sim::Tick t2 = time_for(2);
+    sim::Tick t4 = time_for(4);
+    EXPECT_LT(t4, t2);
+}
+
+class RadixVariants
+    : public ::testing::TestWithParam<std::tuple<bool, int>>
+{
+};
+
+TEST_P(RadixVariants, SortsCorrectly)
+{
+    auto [large, nodes] = GetParam();
+    sim::Simulation s;
+    Cluster c(s, smallFe(nodes));
+    RadixConfig cfg;
+    cfg.keysPerNode = 2048;
+    cfg.largeMessages = large;
+    std::vector<RadixStats> stats(static_cast<std::size_t>(nodes));
+    c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+        stats[static_cast<std::size_t>(rt.self())] =
+            runRadixSort(rt, proc, cfg);
+    });
+    for (auto &st : stats)
+        EXPECT_TRUE(st.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallLargeByNodes, RadixVariants,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(2, 4)));
+
+TEST(RadixSort, WorksOnAtm)
+{
+    sim::Simulation s;
+    Cluster c(s, Config::atmSplitC(2));
+    RadixConfig cfg;
+    cfg.keysPerNode = 1024;
+    cfg.largeMessages = true;
+    c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+        EXPECT_TRUE(runRadixSort(rt, proc, cfg).verified);
+    });
+}
+
+TEST(RadixSort, SmallVariantSendsManyMoreMessages)
+{
+    RadixConfig cfg;
+    cfg.keysPerNode = 1024;
+    auto messages = [&](bool large) {
+        cfg.largeMessages = large;
+        sim::Simulation s;
+        Cluster c(s, smallFe(2));
+        std::uint64_t msgs = 0;
+        c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+            auto st = runRadixSort(rt, proc, cfg);
+            EXPECT_TRUE(st.verified);
+            if (rt.self() == 0)
+                msgs = st.messages;
+        });
+        return msgs;
+    };
+    EXPECT_GT(messages(false), 20 * messages(true));
+}
+
+class SampleVariants
+    : public ::testing::TestWithParam<std::tuple<bool, int>>
+{
+};
+
+TEST_P(SampleVariants, SortsCorrectly)
+{
+    auto [large, nodes] = GetParam();
+    sim::Simulation s;
+    Cluster c(s, smallFe(nodes));
+    SampleConfig cfg;
+    cfg.keysPerNode = 2048;
+    cfg.largeMessages = large;
+    std::vector<SampleStats> stats(static_cast<std::size_t>(nodes));
+    c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+        stats[static_cast<std::size_t>(rt.self())] =
+            runSampleSort(rt, proc, cfg);
+    });
+    std::uint64_t held = 0;
+    for (auto &st : stats) {
+        EXPECT_TRUE(st.verified);
+        held += st.keysHeld;
+    }
+    EXPECT_EQ(held, 2048u * static_cast<std::uint64_t>(nodes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallLargeByNodes, SampleVariants,
+    ::testing::Combine(::testing::Bool(), ::testing::Values(2, 4)));
+
+TEST(SampleSort, WorksOnAtm)
+{
+    sim::Simulation s;
+    Cluster c(s, Config::atmSplitC(2));
+    SampleConfig cfg;
+    cfg.keysPerNode = 1024;
+    cfg.largeMessages = false;
+    c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+        EXPECT_TRUE(runSampleSort(rt, proc, cfg).verified);
+    });
+}
+
+TEST(SampleSort, SingleNodeDegeneratesToLocalSort)
+{
+    sim::Simulation s;
+    Cluster c(s, smallFe(1));
+    SampleConfig cfg;
+    cfg.keysPerNode = 512;
+    c.run([&](splitc::Runtime &rt, sim::Process &proc) {
+        auto st = runSampleSort(rt, proc, cfg);
+        EXPECT_TRUE(st.verified);
+        EXPECT_EQ(st.keysHeld, 512u);
+        EXPECT_EQ(st.keysSentRemote, 0u);
+    });
+}

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "atm/aal5.hh"
+#include "sim/random.hh"
+
+using namespace unet;
+using namespace unet::atm;
+
+namespace {
+
+std::vector<std::uint8_t>
+randomPdu(std::size_t size, std::uint64_t seed)
+{
+    sim::Random rng(seed);
+    std::vector<std::uint8_t> pdu(size);
+    for (auto &b : pdu)
+        b = static_cast<std::uint8_t>(rng.u32());
+    return pdu;
+}
+
+} // namespace
+
+TEST(Aal5, CellCountArithmetic)
+{
+    // payload + 8-byte trailer packed into 48-byte cells.
+    EXPECT_EQ(aal5::cellCount(0), 1u);
+    EXPECT_EQ(aal5::cellCount(40), 1u);  // exactly fills one cell
+    EXPECT_EQ(aal5::cellCount(41), 2u);  // trailer spills
+    EXPECT_EQ(aal5::cellCount(88), 2u);
+    EXPECT_EQ(aal5::cellCount(89), 3u);
+    EXPECT_EQ(aal5::cellCount(1500), 32u);
+    EXPECT_EQ(aal5::wireBytes(40), 53u);
+    EXPECT_EQ(aal5::wireBytes(1500), 32u * 53);
+}
+
+TEST(Aal5, SingleCellMessage)
+{
+    // 40 bytes is the largest single-cell payload — the size class the
+    // paper's single-cell optimization targets.
+    auto pdu = randomPdu(40, 1);
+    auto cells = aal5::segment(pdu, 77);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_TRUE(cells[0].endOfPdu);
+    EXPECT_EQ(cells[0].vci, 77);
+
+    aal5::Reassembler r;
+    auto out = r.addCell(cells[0]);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, pdu);
+}
+
+TEST(Aal5, LastCellFlagOnlyOnFinal)
+{
+    auto cells = aal5::segment(randomPdu(200, 2), 5);
+    ASSERT_EQ(cells.size(), 5u); // 200+8 = 208 -> 5 cells
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i].endOfPdu, i == cells.size() - 1);
+}
+
+TEST(Aal5, ReassemblyInterleavesAcrossReassemblers)
+{
+    // Two VCs each get their own reassembler; cells interleave on the
+    // wire but VCI demux keeps the PDUs intact.
+    auto pdu_a = randomPdu(100, 3);
+    auto pdu_b = randomPdu(150, 4);
+    auto cells_a = aal5::segment(pdu_a, 1);
+    auto cells_b = aal5::segment(pdu_b, 2);
+
+    aal5::Reassembler ra, rb;
+    std::optional<std::vector<std::uint8_t>> out_a, out_b;
+    std::size_t ia = 0, ib = 0;
+    while (ia < cells_a.size() || ib < cells_b.size()) {
+        if (ia < cells_a.size()) {
+            if (auto v = ra.addCell(cells_a[ia++]))
+                out_a = v;
+        }
+        if (ib < cells_b.size()) {
+            if (auto v = rb.addCell(cells_b[ib++]))
+                out_b = v;
+        }
+    }
+    ASSERT_TRUE(out_a && out_b);
+    EXPECT_EQ(*out_a, pdu_a);
+    EXPECT_EQ(*out_b, pdu_b);
+}
+
+TEST(Aal5, CorruptedCellKillsPdu)
+{
+    auto pdu = randomPdu(300, 5);
+    auto cells = aal5::segment(pdu, 9);
+    cells[2].payload[17] ^= 0x40;
+
+    aal5::Reassembler r;
+    std::optional<std::vector<std::uint8_t>> out;
+    for (const auto &c : cells)
+        if (auto v = r.addCell(c))
+            out = v;
+    EXPECT_FALSE(out.has_value());
+    EXPECT_EQ(r.crcErrors(), 1u);
+}
+
+TEST(Aal5, LostCellDetectedByLength)
+{
+    auto pdu = randomPdu(300, 6);
+    auto cells = aal5::segment(pdu, 9);
+    cells.erase(cells.begin() + 1); // drop a middle cell
+
+    aal5::Reassembler r;
+    std::optional<std::vector<std::uint8_t>> out;
+    for (const auto &c : cells)
+        if (auto v = r.addCell(c))
+            out = v;
+    EXPECT_FALSE(out.has_value());
+    EXPECT_EQ(r.crcErrors(), 1u);
+}
+
+TEST(Aal5, ReassemblerRecoversAfterError)
+{
+    auto bad = aal5::segment(randomPdu(100, 7), 3);
+    bad[0].payload[0] ^= 1;
+    auto good_pdu = randomPdu(100, 8);
+    auto good = aal5::segment(good_pdu, 3);
+
+    aal5::Reassembler r;
+    for (const auto &c : bad)
+        r.addCell(c);
+    std::optional<std::vector<std::uint8_t>> out;
+    for (const auto &c : good)
+        if (auto v = r.addCell(c))
+            out = v;
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, good_pdu);
+}
+
+TEST(Aal5, MaxPduRoundTrips)
+{
+    auto pdu = randomPdu(aal5::maxPdu, 9);
+    auto cells = aal5::segment(pdu, 1);
+    EXPECT_EQ(cells.size(), aal5::cellCount(aal5::maxPdu));
+    aal5::Reassembler r;
+    std::optional<std::vector<std::uint8_t>> out;
+    for (const auto &c : cells)
+        if (auto v = r.addCell(c))
+            out = v;
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, pdu);
+}
+
+class Aal5SizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(Aal5SizeSweep, RoundTripAtSize)
+{
+    auto pdu = randomPdu(GetParam(), GetParam() * 31 + 7);
+    auto cells = aal5::segment(pdu, 42);
+    EXPECT_EQ(cells.size(), aal5::cellCount(GetParam()));
+
+    aal5::Reassembler r;
+    std::optional<std::vector<std::uint8_t>> out;
+    for (const auto &c : cells) {
+        auto v = r.addCell(c);
+        if (&c != &cells.back())
+            EXPECT_FALSE(v.has_value());
+        else
+            out = v;
+    }
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, pdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(PduSizes, Aal5SizeSweep,
+                         ::testing::Values(0, 1, 39, 40, 41, 44, 47, 48,
+                                           87, 88, 89, 96, 256, 1024,
+                                           1500, 4096, 9180, 65535));

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "atm/aal5.hh"
+#include "atm/fabric.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+using namespace unet;
+using namespace unet::atm;
+using namespace unet::sim::literals;
+
+namespace {
+
+class Sink : public CellSink
+{
+  public:
+    explicit Sink(sim::Simulation &s) : s(s) {}
+
+    void
+    cellArrived(const Cell &cell) override
+    {
+        cells.push_back(cell);
+        stamps.push_back(s.now());
+    }
+
+    sim::Simulation &s;
+    std::vector<Cell> cells;
+    std::vector<sim::Tick> stamps;
+};
+
+Cell
+makeCell(Vci vci, std::uint8_t fill = 0x11)
+{
+    Cell c;
+    c.vci = vci;
+    c.payload.fill(fill);
+    return c;
+}
+
+/** N hosts, each with a link; attachment done by the test. */
+struct Hosts
+{
+    Hosts(sim::Simulation &s, int n)
+    {
+        for (int i = 0; i < n; ++i) {
+            links.push_back(std::make_unique<AtmLink>(s));
+            sinks.push_back(std::make_unique<Sink>(s));
+            taps.push_back(&links.back()->attach(*sinks.back()));
+        }
+    }
+
+    std::vector<std::unique_ptr<AtmLink>> links;
+    std::vector<std::unique_ptr<Sink>> sinks;
+    std::vector<CellTap *> taps;
+};
+
+} // namespace
+
+TEST(Fabric, SingleSwitchBehavesLikeSignalling)
+{
+    sim::Simulation s;
+    Fabric fabric(s);
+    std::size_t sw = fabric.addSwitch();
+    Hosts hosts(s, 2);
+    auto at_a = fabric.attachHost(sw, *hosts.links[0]);
+    auto at_b = fabric.attachHost(sw, *hosts.links[1]);
+    auto vc = fabric.connect(at_a, at_b);
+
+    hosts.taps[0]->send(makeCell(vc.vciAtA, 0xAA));
+    hosts.taps[1]->send(makeCell(vc.vciAtB, 0xBB));
+    s.run();
+    ASSERT_EQ(hosts.sinks[1]->cells.size(), 1u);
+    EXPECT_EQ(hosts.sinks[1]->cells[0].vci, vc.vciAtB);
+    EXPECT_EQ(hosts.sinks[1]->cells[0].payload[0], 0xAA);
+    ASSERT_EQ(hosts.sinks[0]->cells.size(), 1u);
+    EXPECT_EQ(hosts.sinks[0]->cells[0].payload[0], 0xBB);
+}
+
+TEST(Fabric, TwoSwitchesOverTrunk)
+{
+    sim::Simulation s;
+    Fabric fabric(s);
+    std::size_t sw0 = fabric.addSwitch();
+    std::size_t sw1 = fabric.addSwitch();
+    fabric.addTrunk(sw0, sw1);
+
+    Hosts hosts(s, 2);
+    auto at_a = fabric.attachHost(sw0, *hosts.links[0]);
+    auto at_b = fabric.attachHost(sw1, *hosts.links[1]);
+    auto vc = fabric.connect(at_a, at_b);
+
+    hosts.taps[0]->send(makeCell(vc.vciAtA, 0x77));
+    s.run();
+    ASSERT_EQ(hosts.sinks[1]->cells.size(), 1u);
+    EXPECT_EQ(hosts.sinks[1]->cells[0].vci, vc.vciAtB);
+    EXPECT_EQ(hosts.sinks[1]->cells[0].payload[0], 0x77);
+    // Two switches forwarded the cell.
+    EXPECT_EQ(fabric.switchAt(sw0).cellsForwarded(), 1u);
+    EXPECT_EQ(fabric.switchAt(sw1).cellsForwarded(), 1u);
+}
+
+TEST(Fabric, ThreeSwitchLinePdusSurvive)
+{
+    sim::Simulation s;
+    Fabric fabric(s);
+    std::size_t sw0 = fabric.addSwitch();
+    std::size_t sw1 = fabric.addSwitch();
+    std::size_t sw2 = fabric.addSwitch();
+    fabric.addTrunk(sw0, sw1);
+    fabric.addTrunk(sw1, sw2);
+
+    Hosts hosts(s, 2);
+    auto at_a = fabric.attachHost(sw0, *hosts.links[0]);
+    auto at_b = fabric.attachHost(sw2, *hosts.links[1]);
+    auto vc = fabric.connect(at_a, at_b);
+
+    // Ship a whole AAL5 PDU across the line and reassemble it.
+    std::vector<std::uint8_t> pdu(500);
+    for (std::size_t i = 0; i < pdu.size(); ++i)
+        pdu[i] = static_cast<std::uint8_t>(i * 3);
+    for (const auto &cell : aal5::segment(pdu, vc.vciAtA))
+        hosts.taps[0]->send(cell);
+    s.run();
+
+    aal5::Reassembler reasm;
+    std::optional<std::vector<std::uint8_t>> out;
+    for (const auto &cell : hosts.sinks[1]->cells) {
+        EXPECT_EQ(cell.vci, vc.vciAtB);
+        if (auto v = reasm.addCell(cell))
+            out = v;
+    }
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, pdu);
+    // Each extra switch hop adds its 7 us forwarding latency.
+    EXPECT_GT(hosts.sinks[1]->stamps.front(), 21_us);
+}
+
+TEST(Fabric, ManyVcsShareTrunkWithoutCollision)
+{
+    sim::Simulation s;
+    Fabric fabric(s);
+    std::size_t sw0 = fabric.addSwitch();
+    std::size_t sw1 = fabric.addSwitch();
+    fabric.addTrunk(sw0, sw1);
+
+    Hosts hosts(s, 4);
+    auto a0 = fabric.attachHost(sw0, *hosts.links[0]);
+    auto a1 = fabric.attachHost(sw0, *hosts.links[1]);
+    auto b0 = fabric.attachHost(sw1, *hosts.links[2]);
+    auto b1 = fabric.attachHost(sw1, *hosts.links[3]);
+
+    auto vc0 = fabric.connect(a0, b0);
+    auto vc1 = fabric.connect(a1, b1);
+    auto vc2 = fabric.connect(a0, b1); // second VC from host 0
+
+    // Distinct local VCIs on shared attachment points.
+    EXPECT_NE(vc0.vciAtA, vc2.vciAtA);
+
+    hosts.taps[0]->send(makeCell(vc0.vciAtA, 1));
+    hosts.taps[1]->send(makeCell(vc1.vciAtA, 2));
+    hosts.taps[0]->send(makeCell(vc2.vciAtA, 3));
+    s.run();
+
+    ASSERT_EQ(hosts.sinks[2]->cells.size(), 1u);
+    EXPECT_EQ(hosts.sinks[2]->cells[0].payload[0], 1);
+    ASSERT_EQ(hosts.sinks[3]->cells.size(), 2u);
+    // Host 3 got one cell on each of its two VCs.
+    std::uint8_t p0 = hosts.sinks[3]->cells[0].payload[0];
+    std::uint8_t p1 = hosts.sinks[3]->cells[1].payload[0];
+    EXPECT_TRUE((p0 == 2 && p1 == 3) || (p0 == 3 && p1 == 2));
+}
+
+TEST(FabricDeathTest, NoPathIsFatal)
+{
+    sim::Simulation s;
+    Fabric fabric(s);
+    std::size_t sw0 = fabric.addSwitch();
+    std::size_t sw1 = fabric.addSwitch(); // not trunked
+    Hosts hosts(s, 2);
+    auto at_a = fabric.attachHost(sw0, *hosts.links[0]);
+    auto at_b = fabric.attachHost(sw1, *hosts.links[1]);
+    EXPECT_EXIT(fabric.connect(at_a, at_b),
+                ::testing::ExitedWithCode(1), "no trunk path");
+}

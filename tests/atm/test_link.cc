@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atm/link.hh"
+#include "sim/simulation.hh"
+
+using namespace unet;
+using namespace unet::atm;
+using namespace unet::sim::literals;
+
+namespace {
+
+class Sink : public CellSink
+{
+  public:
+    explicit Sink(sim::Simulation &s) : s(s) {}
+
+    void
+    cellArrived(const Cell &cell) override
+    {
+        cells.push_back(cell);
+        stamps.push_back(s.now());
+    }
+
+    sim::Simulation &s;
+    std::vector<Cell> cells;
+    std::vector<sim::Tick> stamps;
+};
+
+Cell
+makeCell(Vci vci, std::uint8_t fill = 0xAB, bool last = false)
+{
+    Cell c;
+    c.vci = vci;
+    c.endOfPdu = last;
+    c.payload.fill(fill);
+    return c;
+}
+
+} // namespace
+
+TEST(LinkSpec, PayloadCeilingsMatchPaper)
+{
+    // "the maximum bandwidth of the link is not 155 Mbps, but rather
+    // 138 Mbps" (OC-3c) and 120 Mbps for the TAXI link.
+    EXPECT_NEAR(LinkSpec::oc3().payloadCeilingBps() / 1e6, 138.0, 0.5);
+    EXPECT_NEAR(LinkSpec::taxi140().payloadCeilingBps() / 1e6, 120.0, 0.5);
+}
+
+TEST(AtmLink, CellDeliveryTiming)
+{
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::oc3());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    tapA.send(makeCell(5));
+    s.run();
+    ASSERT_EQ(b.cells.size(), 1u);
+    EXPECT_EQ(b.cells[0].vci, 5);
+    EXPECT_EQ(b.stamps[0],
+              link.spec().cellTime() + link.spec().propDelay);
+}
+
+TEST(AtmLink, CellsSerializeBackToBack)
+{
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::oc3());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    for (int i = 0; i < 3; ++i)
+        tapA.send(makeCell(static_cast<Vci>(i)));
+    s.run();
+    ASSERT_EQ(b.stamps.size(), 3u);
+    EXPECT_EQ(b.stamps[1] - b.stamps[0], link.spec().cellTime());
+    EXPECT_EQ(b.stamps[2] - b.stamps[1], link.spec().cellTime());
+}
+
+TEST(AtmLink, FullDuplexDirectionsIndependent)
+{
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::taxi140());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    auto &tapB = link.attach(b);
+
+    tapA.send(makeCell(1));
+    tapB.send(makeCell(2));
+    s.run();
+    ASSERT_EQ(a.stamps.size(), 1u);
+    ASSERT_EQ(b.stamps.size(), 1u);
+    EXPECT_EQ(a.stamps[0], b.stamps[0]); // no contention
+}
+
+TEST(AtmLink, PayloadThroughputHitsCeiling)
+{
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::taxi140());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    const int cells = 1000;
+    for (int i = 0; i < cells; ++i)
+        tapA.send(makeCell(1));
+    sim::Tick end = s.run();
+    double payload_bps =
+        cells * Cell::payloadBytes * 8.0 / sim::toSeconds(end);
+    EXPECT_NEAR(payload_bps / 1e6, 120.0, 1.0);
+}
+
+TEST(AtmLink, PayloadIntegrity)
+{
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::oc3());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    Cell c = makeCell(7, 0, true);
+    for (std::size_t i = 0; i < c.payload.size(); ++i)
+        c.payload[i] = static_cast<std::uint8_t>(i * 3);
+    tapA.send(c);
+    s.run();
+    ASSERT_EQ(b.cells.size(), 1u);
+    EXPECT_EQ(b.cells[0].payload, c.payload);
+    EXPECT_TRUE(b.cells[0].endOfPdu);
+}
+
+TEST(AtmLink, NextFreeAtTracksQueue)
+{
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::oc3());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    sim::Tick t1 = tapA.nextFreeAt();
+    EXPECT_EQ(t1, link.spec().cellTime());
+    tapA.send(makeCell(1));
+    EXPECT_EQ(tapA.nextFreeAt(), 2 * link.spec().cellTime());
+}

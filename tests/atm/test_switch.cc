@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atm/switch.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+using namespace unet;
+using namespace unet::atm;
+using namespace unet::sim::literals;
+
+namespace {
+
+class Sink : public CellSink
+{
+  public:
+    explicit Sink(sim::Simulation &s) : s(s) {}
+
+    void
+    cellArrived(const Cell &cell) override
+    {
+        cells.push_back(cell);
+        stamps.push_back(s.now());
+    }
+
+    sim::Simulation &s;
+    std::vector<Cell> cells;
+    std::vector<sim::Tick> stamps;
+};
+
+Cell
+makeCell(Vci vci, std::uint8_t fill = 0x11)
+{
+    Cell c;
+    c.vci = vci;
+    c.payload.fill(fill);
+    return c;
+}
+
+struct Star
+{
+    explicit Star(sim::Simulation &s, int hosts,
+                  LinkSpec link_spec = LinkSpec::oc3())
+        : sw(s, SwitchSpec::asx200())
+    {
+        for (int i = 0; i < hosts; ++i) {
+            links.push_back(std::make_unique<AtmLink>(s, link_spec));
+            sinks.push_back(std::make_unique<Sink>(s));
+            taps.push_back(&links.back()->attach(*sinks.back()));
+            ports.push_back(sw.addPort(*links.back()));
+        }
+    }
+
+    Switch sw;
+    std::vector<std::unique_ptr<AtmLink>> links;
+    std::vector<std::unique_ptr<Sink>> sinks;
+    std::vector<CellTap *> taps;
+    std::vector<std::size_t> ports;
+};
+
+} // namespace
+
+TEST(AtmSwitch, RoutesAndRewritesVci)
+{
+    sim::Simulation s;
+    Star star(s, 2);
+    star.sw.addRoute(star.ports[0], 40, star.ports[1], 50);
+
+    star.taps[0]->send(makeCell(40));
+    s.run();
+    ASSERT_EQ(star.sinks[1]->cells.size(), 1u);
+    EXPECT_EQ(star.sinks[1]->cells[0].vci, 50);
+    EXPECT_EQ(star.sw.cellsForwarded(), 1u);
+}
+
+TEST(AtmSwitch, ForwardDelayIsSevenMicroseconds)
+{
+    sim::Simulation s;
+    Star star(s, 2);
+    star.sw.addRoute(star.ports[0], 40, star.ports[1], 50);
+
+    star.taps[0]->send(makeCell(40));
+    s.run();
+    ASSERT_EQ(star.sinks[1]->stamps.size(), 1u);
+    sim::Tick cell = star.links[0]->spec().cellTime();
+    sim::Tick prop = star.links[0]->spec().propDelay;
+    // in-serialization + prop + 7 us + out-serialization + prop.
+    EXPECT_EQ(star.sinks[1]->stamps[0], 2 * cell + 2 * prop + 7_us);
+}
+
+TEST(AtmSwitch, UnroutedCellsDropAndCount)
+{
+    sim::Simulation s;
+    Star star(s, 2);
+    sim::setLogLevel(sim::LogLevel::Silent);
+    star.taps[0]->send(makeCell(99));
+    s.run();
+    sim::setLogLevel(sim::LogLevel::Warnings);
+    EXPECT_TRUE(star.sinks[1]->cells.empty());
+    EXPECT_EQ(star.sw.cellsUnroutable(), 1u);
+}
+
+TEST(AtmSwitch, CellsPipelineThroughFabric)
+{
+    sim::Simulation s;
+    Star star(s, 2);
+    star.sw.addRoute(star.ports[0], 40, star.ports[1], 50);
+
+    const int n = 10;
+    for (int i = 0; i < n; ++i)
+        star.taps[0]->send(makeCell(40));
+    s.run();
+    ASSERT_EQ(star.sinks[1]->stamps.size(), static_cast<std::size_t>(n));
+    // Pipelined: consecutive arrivals one cell time apart, not 7 us.
+    sim::Tick gap = star.sinks[1]->stamps[1] - star.sinks[1]->stamps[0];
+    EXPECT_EQ(gap, star.links[0]->spec().cellTime());
+}
+
+TEST(AtmSwitch, OutputContentionSharesLink)
+{
+    sim::Simulation s;
+    Star star(s, 3);
+    star.sw.addRoute(star.ports[0], 40, star.ports[2], 60);
+    star.sw.addRoute(star.ports[1], 40, star.ports[2], 61);
+
+    const int n = 100;
+    for (int i = 0; i < n; ++i) {
+        star.taps[0]->send(makeCell(40));
+        star.taps[1]->send(makeCell(40));
+    }
+    s.run();
+    EXPECT_EQ(star.sinks[2]->cells.size(), static_cast<std::size_t>(2 * n));
+    // Output link is the bottleneck: total time ~ 2n cell times.
+    sim::Tick span = star.sinks[2]->stamps.back();
+    sim::Tick cell = star.links[0]->spec().cellTime();
+    EXPECT_GE(span, 2 * n * cell);
+}
+
+TEST(AtmSwitch, QueueOverflowDrops)
+{
+    sim::Simulation s;
+    SwitchSpec spec = SwitchSpec::asx200();
+    spec.queueCells = 8;
+    Switch sw(s, spec);
+    AtmLink la(s), lb(s), lc(s);
+    Sink a(s), b(s), c(s);
+    auto &ta = la.attach(a);
+    auto &tb = lb.attach(b);
+    lc.attach(c);
+    std::size_t pa = sw.addPort(la);
+    std::size_t pb = sw.addPort(lb);
+    std::size_t pc = sw.addPort(lc);
+    sw.addRoute(pa, 40, pc, 60);
+    sw.addRoute(pb, 40, pc, 61);
+
+    for (int i = 0; i < 200; ++i) {
+        ta.send(makeCell(40));
+        tb.send(makeCell(40));
+    }
+    s.run();
+    EXPECT_GT(sw.cellsDropped(), 0u);
+    EXPECT_LT(c.cells.size(), 400u);
+}
+
+TEST(Signalling, FullDuplexVcRoundTrip)
+{
+    sim::Simulation s;
+    Star star(s, 2);
+    Signalling sig(star.sw);
+    auto vc = sig.connect(star.ports[0], star.ports[1]);
+
+    // A sends on its VCI; B receives carrying B's VCI, and vice versa.
+    star.taps[0]->send(makeCell(vc.vciAtA, 0xAA));
+    star.taps[1]->send(makeCell(vc.vciAtB, 0xBB));
+    s.run();
+    ASSERT_EQ(star.sinks[1]->cells.size(), 1u);
+    EXPECT_EQ(star.sinks[1]->cells[0].vci, vc.vciAtB);
+    EXPECT_EQ(star.sinks[1]->cells[0].payload[0], 0xAA);
+    ASSERT_EQ(star.sinks[0]->cells.size(), 1u);
+    EXPECT_EQ(star.sinks[0]->cells[0].vci, vc.vciAtA);
+    EXPECT_EQ(star.sinks[0]->cells[0].payload[0], 0xBB);
+}
+
+TEST(Signalling, DistinctVcsPerChannel)
+{
+    sim::Simulation s;
+    Star star(s, 3);
+    Signalling sig(star.sw);
+    auto vc01 = sig.connect(star.ports[0], star.ports[1]);
+    auto vc02 = sig.connect(star.ports[0], star.ports[2]);
+    auto vc12 = sig.connect(star.ports[1], star.ports[2]);
+    // Port 0's two channels use different local VCIs.
+    EXPECT_NE(vc01.vciAtA, vc02.vciAtA);
+    // Reserved range is respected.
+    EXPECT_GE(vc01.vciAtA, 32);
+    EXPECT_GE(vc12.vciAtA, 32);
+}
+
+TEST(Signalling, DisconnectRemovesRoutes)
+{
+    sim::Simulation s;
+    Star star(s, 2);
+    Signalling sig(star.sw);
+    auto vc = sig.connect(star.ports[0], star.ports[1]);
+    sig.disconnect(star.ports[0], star.ports[1], vc);
+
+    sim::setLogLevel(sim::LogLevel::Silent);
+    star.taps[0]->send(makeCell(vc.vciAtA));
+    s.run();
+    sim::setLogLevel(sim::LogLevel::Warnings);
+    EXPECT_TRUE(star.sinks[1]->cells.empty());
+    EXPECT_EQ(star.sw.cellsUnroutable(), 1u);
+}

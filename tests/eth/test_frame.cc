@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "eth/frame.hh"
+#include "eth/mac_address.hh"
+#include "sim/random.hh"
+
+using namespace unet;
+using eth::Frame;
+using eth::MacAddress;
+
+TEST(MacAddress, StringRoundTrip)
+{
+    auto mac = MacAddress::fromString("02:00:00:00:00:2a");
+    EXPECT_EQ(mac.toString(), "02:00:00:00:00:2a");
+    EXPECT_EQ(mac, MacAddress::fromIndex(42));
+}
+
+TEST(MacAddress, BroadcastAndMulticast)
+{
+    EXPECT_TRUE(MacAddress::broadcast().isBroadcast());
+    EXPECT_TRUE(MacAddress::broadcast().isMulticast());
+    EXPECT_FALSE(MacAddress::fromIndex(1).isBroadcast());
+    EXPECT_FALSE(MacAddress::fromIndex(1).isMulticast());
+    auto mcast = MacAddress::fromString("01:00:5e:00:00:01");
+    EXPECT_TRUE(mcast.isMulticast());
+    EXPECT_FALSE(mcast.isBroadcast());
+}
+
+TEST(MacAddress, OrderingAndPacking)
+{
+    auto a = MacAddress::fromIndex(1);
+    auto b = MacAddress::fromIndex(2);
+    EXPECT_LT(a, b);
+    EXPECT_NE(a.toU64(), b.toU64());
+    EXPECT_EQ(MacAddress().toU64(), 0u);
+}
+
+TEST(Frame, SizesMatch8023)
+{
+    Frame f;
+    f.payload.assign(46, 0);
+    EXPECT_EQ(f.frameBytes(), 64u);          // minimum legal frame
+    EXPECT_EQ(f.wireBytes(), 64u + 8 + 12);  // + preamble + IFG
+
+    f.payload.assign(1500, 0);
+    EXPECT_EQ(f.frameBytes(), 1518u);        // maximum legal frame
+}
+
+TEST(Frame, ShortPayloadIsPaddedOnWire)
+{
+    Frame f;
+    f.payload.assign(10, 0xAA);
+    EXPECT_EQ(f.frameBytes(), 64u);
+    auto raw = f.serialize();
+    EXPECT_EQ(raw.size(), 64u);
+}
+
+TEST(Frame, SerializeParseRoundTrip)
+{
+    Frame f;
+    f.dst = MacAddress::fromIndex(7);
+    f.src = MacAddress::fromIndex(3);
+    f.etherType = 0x88B5;
+    f.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto raw = f.serialize();
+
+    auto parsed = Frame::parse(raw);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->dst, f.dst);
+    EXPECT_EQ(parsed->src, f.src);
+    EXPECT_EQ(parsed->etherType, f.etherType);
+    // Padded payload: original bytes first, zeros after.
+    ASSERT_GE(parsed->payload.size(), f.payload.size());
+    for (std::size_t i = 0; i < f.payload.size(); ++i)
+        EXPECT_EQ(parsed->payload[i], f.payload[i]);
+    for (std::size_t i = f.payload.size(); i < parsed->payload.size(); ++i)
+        EXPECT_EQ(parsed->payload[i], 0);
+}
+
+TEST(Frame, CorruptedFcsRejected)
+{
+    Frame f;
+    f.dst = MacAddress::fromIndex(1);
+    f.src = MacAddress::fromIndex(2);
+    f.payload.assign(100, 0x55);
+    auto raw = f.serialize();
+    raw[20] ^= 0x01;
+    EXPECT_FALSE(Frame::parse(raw).has_value());
+}
+
+TEST(Frame, TruncatedFrameRejected)
+{
+    Frame f;
+    f.payload.assign(100, 0x55);
+    auto raw = f.serialize();
+    raw.resize(32);
+    EXPECT_FALSE(Frame::parse(raw).has_value());
+}
+
+class FrameSizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FrameSizeSweep, RoundTripAtSize)
+{
+    sim::Random rng(GetParam());
+    Frame f;
+    f.dst = MacAddress::fromIndex(1);
+    f.src = MacAddress::fromIndex(2);
+    f.etherType = 0x88B5;
+    f.payload.resize(GetParam());
+    for (auto &b : f.payload)
+        b = static_cast<std::uint8_t>(rng.u32());
+
+    auto parsed = Frame::parse(f.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    for (std::size_t i = 0; i < f.payload.size(); ++i)
+        EXPECT_EQ(parsed->payload[i], f.payload[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, FrameSizeSweep,
+                         ::testing::Values(0, 1, 45, 46, 47, 64, 100, 256,
+                                           512, 1024, 1499, 1500));

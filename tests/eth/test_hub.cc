@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eth/hub.hh"
+#include "sim/simulation.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+namespace {
+
+class Sink : public eth::Station
+{
+  public:
+    void
+    frameArrived(const eth::Frame &f) override
+    {
+        ++count;
+        last = f;
+    }
+
+    int count = 0;
+    eth::Frame last;
+};
+
+eth::Frame
+makeFrame(int src, int dst, std::size_t payload_size = 46)
+{
+    eth::Frame f;
+    f.src = eth::MacAddress::fromIndex(static_cast<std::uint32_t>(src));
+    f.dst = eth::MacAddress::fromIndex(static_cast<std::uint32_t>(dst));
+    f.payload.assign(payload_size, 0x5A);
+    return f;
+}
+
+} // namespace
+
+TEST(Hub, BroadcastsToAllOtherStations)
+{
+    sim::Simulation s;
+    eth::Hub hub(s);
+    Sink a, b, c;
+    auto &tapA = hub.attach(a);
+    hub.attach(b);
+    hub.attach(c);
+
+    tapA.transmit(makeFrame(1, 2), {});
+    s.run();
+    // A repeater regenerates the signal on every port but the origin;
+    // MAC filtering happens in the NIC, not the hub.
+    EXPECT_EQ(a.count, 0);
+    EXPECT_EQ(b.count, 1);
+    EXPECT_EQ(c.count, 1);
+}
+
+TEST(Hub, SecondSenderDefersWhileBusy)
+{
+    sim::Simulation s;
+    eth::Hub hub(s);
+    Sink a, b;
+    auto &tapA = hub.attach(a);
+    auto &tapB = hub.attach(b);
+
+    std::vector<sim::Tick> done;
+    tapA.transmit(makeFrame(1, 2, 1500), [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done.push_back(s.now());
+    });
+    // B starts well after A is on the wire: it senses carrier and defers.
+    s.schedule(50_us, [&] {
+        tapB.transmit(makeFrame(2, 1, 46), [&](bool ok) {
+            EXPECT_TRUE(ok);
+            done.push_back(s.now());
+        });
+    });
+    s.run();
+    ASSERT_EQ(done.size(), 2u);
+    sim::Tick a_end = sim::serializationTime(1538, 100e6);
+    EXPECT_EQ(done[0], a_end);
+    EXPECT_GE(done[1], a_end + hub.collisions() * 0); // after A finishes
+    EXPECT_GT(hub.deferrals(), 0u);
+    EXPECT_EQ(hub.collisions(), 0u);
+}
+
+TEST(Hub, SimultaneousStartsCollideThenResolve)
+{
+    sim::Simulation s;
+    eth::Hub hub(s);
+    Sink a, b;
+    auto &tapA = hub.attach(a);
+    auto &tapB = hub.attach(b);
+
+    int succeeded = 0;
+    s.schedule(0, [&] {
+        tapA.transmit(makeFrame(1, 2), [&](bool ok) { succeeded += ok; });
+        tapB.transmit(makeFrame(2, 1), [&](bool ok) { succeeded += ok; });
+    });
+    s.run();
+    EXPECT_EQ(succeeded, 2);
+    EXPECT_GE(hub.collisions(), 1u);
+    EXPECT_EQ(a.count, 1);
+    EXPECT_EQ(b.count, 1);
+}
+
+TEST(Hub, ManyContendersAllEventuallySucceed)
+{
+    sim::Simulation s;
+    eth::Hub hub(s);
+    const int n = 8;
+    std::vector<std::unique_ptr<Sink>> sinks;
+    std::vector<eth::Tap *> taps;
+    for (int i = 0; i < n; ++i) {
+        sinks.push_back(std::make_unique<Sink>());
+        taps.push_back(&hub.attach(*sinks.back()));
+    }
+    int succeeded = 0, failed = 0;
+    s.schedule(0, [&] {
+        for (int i = 0; i < n; ++i)
+            taps[i]->transmit(makeFrame(i, (i + 1) % n, 256),
+                              [&](bool ok) { ok ? ++succeeded : ++failed; });
+    });
+    s.run();
+    EXPECT_EQ(succeeded + failed, n);
+    EXPECT_EQ(failed, 0) << "backoff should resolve 8 contenders";
+    EXPECT_GE(hub.collisions(), 1u);
+    // Every successful frame reached the other n-1 stations.
+    int total = 0;
+    for (auto &sink : sinks)
+        total += sink->count;
+    EXPECT_EQ(total, succeeded * (n - 1));
+}
+
+TEST(Hub, SharedMediumHalvesPingPongThroughput)
+{
+    // Two stations alternating large frames share one 100 Mbps channel.
+    sim::Simulation s;
+    eth::Hub hub(s);
+    Sink a, b;
+    auto &tapA = hub.attach(a);
+    auto &tapB = hub.attach(b);
+
+    const int rounds = 50;
+    std::function<void(int)> sendA, sendB;
+    sendA = [&](int i) {
+        if (i >= rounds)
+            return;
+        tapA.transmit(makeFrame(1, 2, 1500),
+                      [&, i](bool) { sendB(i); });
+    };
+    sendB = [&](int i) {
+        tapB.transmit(makeFrame(2, 1, 1500),
+                      [&, i](bool) { sendA(i + 1); });
+    };
+    s.schedule(0, [&] { sendA(0); });
+    sim::Tick end = s.run();
+
+    double total_payload_bits = 2.0 * rounds * 1500 * 8;
+    double rate = total_payload_bits / sim::toSeconds(end);
+    // Both directions share ~97.5 Mbps of goodput.
+    EXPECT_LT(rate / 1e6, 98.0);
+    EXPECT_GT(rate / 1e6, 85.0);
+}
+
+TEST(Hub, BackoffIsDeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        sim::Simulation s(seed);
+        eth::Hub hub(s);
+        Sink a, b, c;
+        auto &tapA = hub.attach(a);
+        auto &tapB = hub.attach(b);
+        hub.attach(c);
+        s.schedule(0, [&] {
+            tapA.transmit(makeFrame(1, 3), {});
+            tapB.transmit(makeFrame(2, 3), {});
+        });
+        return s.run();
+    };
+    EXPECT_EQ(run(5), run(5));
+}

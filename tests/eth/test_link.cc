@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eth/link.hh"
+#include "sim/simulation.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+namespace {
+
+/** Test station that records arrivals. */
+class Sink : public eth::Station
+{
+  public:
+    void
+    frameArrived(const eth::Frame &f) override
+    {
+        arrivals.push_back({f, 0});
+        arrivals.back().second = when ? when() : 0;
+    }
+
+    std::function<sim::Tick()> when;
+    std::vector<std::pair<eth::Frame, sim::Tick>> arrivals;
+};
+
+eth::Frame
+makeFrame(std::size_t payload_size)
+{
+    eth::Frame f;
+    f.dst = eth::MacAddress::fromIndex(2);
+    f.src = eth::MacAddress::fromIndex(1);
+    f.payload.assign(payload_size, 0xA5);
+    return f;
+}
+
+} // namespace
+
+TEST(FullDuplexLink, DeliversAfterSerializationAndPropagation)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s, 100e6, 500_ns);
+    Sink a, b;
+    a.when = b.when = [&] { return s.now(); };
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    auto f = makeFrame(46); // 64-byte frame, 84 bytes on the wire
+    sim::Tick tx_done = -1;
+    tapA.transmit(f, [&](bool ok) {
+        EXPECT_TRUE(ok);
+        tx_done = s.now();
+    });
+    s.run();
+
+    // 84 bytes at 100 Mbps = 6.72 us serialization.
+    EXPECT_EQ(tx_done, sim::serializationTime(84, 100e6));
+    ASSERT_EQ(b.arrivals.size(), 1u);
+    EXPECT_EQ(b.arrivals[0].second, tx_done + 500_ns);
+    EXPECT_TRUE(a.arrivals.empty()); // no loopback
+}
+
+TEST(FullDuplexLink, DirectionsDoNotContend)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s, 100e6, 0);
+    Sink a, b;
+    a.when = b.when = [&] { return s.now(); };
+    auto &tapA = link.attach(a);
+    auto &tapB = link.attach(b);
+
+    sim::Tick doneA = -1, doneB = -1;
+    tapA.transmit(makeFrame(1500), [&](bool) { doneA = s.now(); });
+    tapB.transmit(makeFrame(1500), [&](bool) { doneB = s.now(); });
+    s.run();
+    // Full duplex: both complete at the same time.
+    EXPECT_EQ(doneA, doneB);
+    EXPECT_EQ(link.framesDelivered(), 2u);
+}
+
+TEST(FullDuplexLink, BackToBackFramesQueue)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s, 100e6, 0);
+    Sink a, b;
+    b.when = [&] { return s.now(); };
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    std::vector<sim::Tick> done;
+    tapA.transmit(makeFrame(1500), [&](bool) { done.push_back(s.now()); });
+    tapA.transmit(makeFrame(1500), [&](bool) { done.push_back(s.now()); });
+    s.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[1], 2 * done[0]); // serialized one after the other
+}
+
+TEST(FullDuplexLink, ThroughputMatchesLineRateMinusFraming)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s, 100e6, 0);
+    Sink a, b;
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    const int frames = 100;
+    const std::size_t payload = 1500;
+    for (int i = 0; i < frames; ++i)
+        tapA.transmit(makeFrame(payload), {});
+    sim::Tick end = s.run();
+
+    double goodput = frames * payload * 8.0 / sim::toSeconds(end);
+    // 1500/1538 of 100 Mbps = 97.5 Mbps.
+    EXPECT_NEAR(goodput / 1e6, 97.5, 0.5);
+}
+
+TEST(FullDuplexLink, PayloadIntegrity)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s, 100e6, 0);
+    Sink a, b;
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    auto f = makeFrame(200);
+    for (std::size_t i = 0; i < f.payload.size(); ++i)
+        f.payload[i] = static_cast<std::uint8_t>(i);
+    tapA.transmit(f, {});
+    s.run();
+    ASSERT_EQ(b.arrivals.size(), 1u);
+    EXPECT_EQ(b.arrivals[0].first.payload, f.payload);
+}

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "eth/switch.hh"
+#include "sim/simulation.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+namespace {
+
+class Sink : public eth::Station
+{
+  public:
+    void
+    frameArrived(const eth::Frame &f) override
+    {
+        ++count;
+        last = f;
+        if (when)
+            stamps.push_back(when());
+    }
+
+    int count = 0;
+    eth::Frame last;
+    std::function<sim::Tick()> when;
+    std::vector<sim::Tick> stamps;
+};
+
+eth::Frame
+makeFrame(int src, int dst, std::size_t payload_size = 46)
+{
+    eth::Frame f;
+    f.src = eth::MacAddress::fromIndex(static_cast<std::uint32_t>(src));
+    f.dst = eth::MacAddress::fromIndex(static_cast<std::uint32_t>(dst));
+    f.payload.assign(payload_size, 0x5A);
+    return f;
+}
+
+} // namespace
+
+TEST(Switch, FloodsUnknownThenForwardsLearned)
+{
+    sim::Simulation s;
+    eth::Switch sw(s);
+    Sink a, b, c;
+    auto &tapA = sw.attach(a);
+    auto &tapB = sw.attach(b);
+    sw.attach(c);
+
+    // First frame: destination 2 unknown -> flooded to b and c.
+    tapA.transmit(makeFrame(1, 2), {});
+    s.run();
+    EXPECT_EQ(b.count, 1);
+    EXPECT_EQ(c.count, 1);
+    EXPECT_EQ(sw.framesFlooded(), 1u);
+    EXPECT_EQ(sw.learnedAddresses(), 1u); // learned station 1
+
+    // Reply: destination 1 is now known -> forwarded only to a.
+    tapB.transmit(makeFrame(2, 1), {});
+    s.run();
+    EXPECT_EQ(a.count, 1);
+    EXPECT_EQ(c.count, 1); // unchanged
+    EXPECT_EQ(sw.framesForwarded(), 1u);
+
+    // Now 1 -> 2 goes only to b.
+    tapA.transmit(makeFrame(1, 2), {});
+    s.run();
+    EXPECT_EQ(b.count, 2);
+    EXPECT_EQ(c.count, 1);
+}
+
+TEST(Switch, BroadcastAlwaysFloods)
+{
+    sim::Simulation s;
+    eth::Switch sw(s);
+    Sink a, b, c;
+    auto &tapA = sw.attach(a);
+    sw.attach(b);
+    sw.attach(c);
+
+    eth::Frame f = makeFrame(1, 0);
+    f.dst = eth::MacAddress::broadcast();
+    tapA.transmit(f, {});
+    s.run();
+    EXPECT_EQ(a.count, 0);
+    EXPECT_EQ(b.count, 1);
+    EXPECT_EQ(c.count, 1);
+}
+
+TEST(Switch, StoreAndForwardAddsLatencyVersusDirectLink)
+{
+    sim::Simulation s;
+    eth::Switch sw(s, eth::SwitchSpec::fn100());
+    Sink a, b;
+    auto &tapA = sw.attach(a);
+    sw.attach(b);
+    b.when = [&] { return s.now(); };
+
+    tapA.transmit(makeFrame(1, 2, 46), {});
+    s.run();
+    ASSERT_EQ(b.stamps.size(), 1u);
+    sim::Tick ser = sim::serializationTime(84, 100e6);
+    // Two serializations (in + out), the fabric latency, two hops of
+    // propagation.
+    sim::Tick expect = 2 * ser + sw.spec().forwardLatency +
+        2 * sw.spec().propDelay;
+    EXPECT_EQ(b.stamps[0], expect);
+}
+
+TEST(Switch, Fn100SlowerThanBay28115)
+{
+    auto latency = [](eth::SwitchSpec spec) {
+        sim::Simulation s;
+        eth::Switch sw(s, spec);
+        Sink a, b;
+        auto &tapA = sw.attach(a);
+        sw.attach(b);
+        b.when = [&] { return s.now(); };
+        tapA.transmit(makeFrame(1, 2), {});
+        s.run();
+        return b.stamps.at(0);
+    };
+    EXPECT_GT(latency(eth::SwitchSpec::fn100()),
+              latency(eth::SwitchSpec::bay28115()));
+}
+
+TEST(Switch, ConcurrentPairsDoNotContend)
+{
+    // Two disjoint flows through the switch proceed in parallel —
+    // the advantage over the shared hub.
+    sim::Simulation s;
+    eth::Switch sw(s);
+    Sink a, b, c, d;
+    auto &tapA = sw.attach(a);
+    auto &tapB = sw.attach(b);
+    auto &tapC = sw.attach(c);
+    auto &tapD = sw.attach(d);
+
+    // Teach the switch all four source addresses.
+    tapA.transmit(makeFrame(1, 2), {});
+    tapB.transmit(makeFrame(2, 1), {});
+    tapC.transmit(makeFrame(3, 4), {});
+    tapD.transmit(makeFrame(4, 3), {});
+    s.run();
+    EXPECT_EQ(sw.learnedAddresses(), 4u);
+    a.count = b.count = c.count = d.count = 0;
+
+    // Queue all frames up front; per-direction links serialize.
+    const int frames = 20;
+    sim::Tick t0 = s.now();
+    for (int i = 0; i < frames; ++i) {
+        tapA.transmit(makeFrame(1, 2, 1500), {});
+        tapC.transmit(makeFrame(3, 4, 1500), {});
+    }
+    s.run();
+    sim::Tick elapsed = s.now() - t0;
+    // Each flow alone needs frames * 123.04 us; in parallel the total
+    // should be close to one flow's time, not two.
+    double one_flow = frames * sim::toMicroseconds(
+        sim::serializationTime(1538, 100e6));
+    EXPECT_LT(sim::toMicroseconds(elapsed), one_flow * 1.3);
+    EXPECT_EQ(b.count, frames);
+    EXPECT_EQ(d.count, frames);
+}
+
+TEST(Switch, OutputQueueOverflowDrops)
+{
+    sim::Simulation s;
+    eth::SwitchSpec spec;
+    spec.queueFrames = 4;
+    eth::Switch sw(s, spec);
+    Sink a, b, c;
+    auto &tapA = sw.attach(a);
+    auto &tapB = sw.attach(b);
+    Sink dst;
+    auto &tapD = sw.attach(dst);
+
+    // Teach addresses.
+    tapD.transmit(makeFrame(9, 1), {});
+    s.run();
+
+    // Two senders flood one output port faster than it drains.
+    for (int i = 0; i < 40; ++i) {
+        tapA.transmit(makeFrame(1, 9, 1500), {});
+        tapB.transmit(makeFrame(2, 9, 1500), {});
+    }
+    s.run();
+    EXPECT_GT(sw.framesDropped(), 0u);
+    EXPECT_LT(dst.count, 80);
+    (void)c;
+}
+
+TEST(Switch, HalfDuplexSharesSegment)
+{
+    sim::Simulation s;
+    eth::SwitchSpec spec;
+    spec.fullDuplex = false;
+    eth::Switch half(s, spec);
+    Sink a, b;
+    auto &tapA = half.attach(a);
+    auto &tapB = half.attach(b);
+
+    // Teach addresses.
+    tapA.transmit(makeFrame(1, 2), {});
+    tapB.transmit(makeFrame(2, 1), {});
+    s.run();
+    a.count = b.count = 0;
+
+    // Simultaneous bidirectional bulk: on half duplex each segment
+    // carries both directions, roughly doubling the finish time
+    // relative to full duplex.
+    auto run_bulk = [&](eth::Switch &sw_ref, eth::Tap &ta, eth::Tap &tb) {
+        sim::Tick t0 = s.now();
+        for (int i = 0; i < 20; ++i) {
+            ta.transmit(makeFrame(1, 2, 1500), {});
+            tb.transmit(makeFrame(2, 1, 1500), {});
+        }
+        s.run();
+        (void)sw_ref;
+        return s.now() - t0;
+    };
+    sim::Tick half_time = run_bulk(half, tapA, tapB);
+
+    sim::Simulation s2;
+    eth::Switch full(s2);
+    Sink a2, b2;
+    auto &tapA2 = full.attach(a2);
+    auto &tapB2 = full.attach(b2);
+    tapA2.transmit(makeFrame(1, 2), {});
+    tapB2.transmit(makeFrame(2, 1), {});
+    s2.run();
+    sim::Tick t0 = s2.now();
+    for (int i = 0; i < 20; ++i) {
+        tapA2.transmit(makeFrame(1, 2, 1500), {});
+        tapB2.transmit(makeFrame(2, 1, 1500), {});
+    }
+    s2.run();
+    sim::Tick full_time = s2.now() - t0;
+
+    EXPECT_GT(half_time, full_time * 17 / 10);
+}
+
+TEST(Switch, PortLimitEnforced)
+{
+    sim::Simulation s;
+    eth::Switch sw(s, eth::SwitchSpec::fn100()); // 8 ports
+    std::vector<std::unique_ptr<Sink>> sinks;
+    for (int i = 0; i < 8; ++i) {
+        sinks.push_back(std::make_unique<Sink>());
+        sw.attach(*sinks.back());
+    }
+    Sink extra;
+    EXPECT_EXIT(sw.attach(extra), ::testing::ExitedWithCode(1),
+                "ports");
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "host/bus.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+TEST(Bus, TransferTimeScalesWithSize)
+{
+    sim::Simulation s;
+    host::Bus bus(s, host::BusSpec::pci());
+    EXPECT_GT(bus.transferTime(2000), bus.transferTime(1000));
+    // Setup cost dominates tiny transfers.
+    EXPECT_GT(bus.transferTime(4), bus.spec().transactionSetup - 1);
+}
+
+TEST(Bus, StreamingRateApproachesSpec)
+{
+    sim::Simulation s;
+    host::Bus bus(s, host::BusSpec::pci());
+    const std::size_t big = 1 << 20;
+    double secs = sim::toSeconds(bus.transferTime(big));
+    double rate = static_cast<double>(big) / secs;
+    // Within 20% of peak once setup is amortized.
+    EXPECT_GT(rate, bus.spec().bytesPerSec * 0.8);
+    EXPECT_LE(rate, bus.spec().bytesPerSec);
+}
+
+TEST(Bus, DmaCompletionCallback)
+{
+    sim::Simulation s;
+    host::Bus bus(s, host::BusSpec::pci());
+    sim::Tick done = -1;
+    bus.dma(1500, [&] { done = s.now(); });
+    s.run();
+    EXPECT_EQ(done, bus.transferTime(1500));
+}
+
+TEST(Bus, TransactionsQueue)
+{
+    sim::Simulation s;
+    host::Bus bus(s, host::BusSpec::pci());
+    std::vector<sim::Tick> done;
+    bus.dma(1000, [&] { done.push_back(s.now()); });
+    bus.dma(1000, [&] { done.push_back(s.now()); });
+    s.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[1], 2 * done[0]); // second waits for the first
+    EXPECT_EQ(bus.transactions().value(), 2u);
+    EXPECT_EQ(bus.bytesMoved(), 2000u);
+}
+
+TEST(Bus, SbusSlowerThanPci)
+{
+    sim::Simulation s;
+    host::Bus pci(s, host::BusSpec::pci());
+    host::Bus sbus(s, host::BusSpec::sbus());
+    EXPECT_GT(sbus.transferTime(4096), pci.transferTime(4096));
+}
+
+TEST(Bus, BurstGranularityMatchesPaper)
+{
+    // "the DMA occurs in 32-byte bursts on the Sbus and 96-byte bursts
+    // on the PCI bus"
+    EXPECT_EQ(host::BusSpec::pci().burstBytes, 96u);
+    EXPECT_EQ(host::BusSpec::sbus().burstBytes, 32u);
+}
+
+TEST(Bus, EstimateMatchesIdleDma)
+{
+    sim::Simulation s;
+    host::Bus bus(s, host::BusSpec::sbus());
+    sim::Tick estimate = bus.estimateCompletion(512);
+    sim::Tick done = -1;
+    bus.dma(512, [&] { done = s.now(); });
+    s.run();
+    EXPECT_EQ(done, estimate);
+}

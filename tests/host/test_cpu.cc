@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "host/cpu.hh"
+#include "host/host.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+TEST(CpuSpec, PaperCalibrations)
+{
+    auto p120 = host::CpuSpec::pentium120();
+    // "under 1 us for a null trap on a 120 MHz Pentium"
+    EXPECT_LT(p120.nullTrapCost(), 1_us);
+    EXPECT_GT(p120.nullTrapCost(), 0.5_us);
+    // "roughly 2 us" interrupt dispatch
+    EXPECT_EQ(p120.interruptDispatch, 2_us);
+    // "about 70 Mbytes/sec" memcpy
+    EXPECT_DOUBLE_EQ(p120.memcpyBytesPerSec, 70e6);
+}
+
+TEST(CpuSpec, MemcpySlopeMatchesFig4)
+{
+    auto p120 = host::CpuSpec::pentium120();
+    // Fig. 4: "the copy time increases by 1.42 us for every additional
+    // 100 bytes" => 100 bytes / 70 MB/s = 1.43 us.
+    sim::Tick slope = p120.memcpyTime(200) - p120.memcpyTime(100);
+    EXPECT_NEAR(sim::toMicroseconds(slope), 1.42, 0.05);
+}
+
+TEST(CpuSpec, RelativeThroughputMatchesPaper)
+{
+    auto p120 = host::CpuSpec::pentium120();
+    auto ss20 = host::CpuSpec::sparc20();
+    // "Pentium integer operations outperform those of the SPARC."
+    EXPECT_LT(p120.intOpCost, ss20.intOpCost);
+    // "SPARC floating-point operations outperform those of the Pentium."
+    EXPECT_LT(ss20.flopCost, p120.flopCost);
+}
+
+TEST(CpuSpec, SlowerVariantsAreSlower)
+{
+    EXPECT_GT(host::CpuSpec::pentium90().intOpCost,
+              host::CpuSpec::pentium120().intOpCost);
+    EXPECT_GT(host::CpuSpec::sparc10().flopCost,
+              host::CpuSpec::sparc20().flopCost);
+}
+
+TEST(Cpu, BusyChargesTime)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    sim::Tick end = -1;
+    sim::Process p(s, "p", [&](sim::Process &self) {
+        cpu.busy(self, 10_us);
+        end = s.now();
+    });
+    p.start();
+    s.run();
+    EXPECT_EQ(end, 10_us);
+    EXPECT_EQ(cpu.userTime(), 10_us);
+}
+
+TEST(Cpu, ZeroBusyIsFree)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    sim::Process p(s, "p", [&](sim::Process &self) {
+        cpu.busy(self, 0);
+        EXPECT_EQ(s.now(), 0);
+    });
+    p.start();
+    s.run();
+}
+
+TEST(Cpu, KernelWorkSerializes)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    std::vector<sim::Tick> done;
+    s.scheduleIn(0, [&] {
+        cpu.runKernel(5_us, [&] { done.push_back(s.now()); });
+        cpu.runKernel(3_us, [&] { done.push_back(s.now()); });
+    });
+    s.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 5_us);
+    EXPECT_EQ(done[1], 8_us); // queued behind the first
+    EXPECT_EQ(cpu.kernelTime(), 8_us);
+}
+
+TEST(Cpu, InterruptStealsCyclesFromCompute)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    sim::Tick end = -1;
+    sim::Process p(s, "p", [&](sim::Process &self) {
+        cpu.busy(self, 100_us);
+        end = s.now();
+    });
+    p.start();
+    // A 7 us interrupt handler at t=40 us extends the compute.
+    s.schedule(40_us, [&] { cpu.runKernel(7_us, nullptr); });
+    s.run();
+    EXPECT_EQ(end, 107_us);
+}
+
+TEST(Cpu, MultipleInterruptsAccumulate)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    sim::Tick end = -1;
+    sim::Process p(s, "p", [&](sim::Process &self) {
+        cpu.busy(self, 50_us);
+        end = s.now();
+    });
+    p.start();
+    s.schedule(10_us, [&] { cpu.runKernel(2_us, nullptr); });
+    s.schedule(20_us, [&] { cpu.runKernel(3_us, nullptr); });
+    s.run();
+    EXPECT_EQ(end, 55_us);
+}
+
+TEST(Cpu, ComputeUnaffectedByLaterKernelWork)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    sim::Tick end = -1;
+    sim::Process p(s, "p", [&](sim::Process &self) {
+        cpu.busy(self, 10_us);
+        end = s.now();
+    });
+    p.start();
+    s.schedule(30_us, [&] { cpu.runKernel(5_us, nullptr); });
+    s.run();
+    EXPECT_EQ(end, 10_us);
+}
+
+TEST(Host, TrapCosts)
+{
+    sim::Simulation s;
+    host::Host h(s, "node0", host::CpuSpec::pentium120(),
+                 host::BusSpec::pci());
+    sim::Tick end = -1;
+    sim::Process p(s, "p", [&](sim::Process &self) {
+        h.trapEnter(self);
+        h.trapExit(self);
+        end = s.now();
+    });
+    p.start();
+    s.run();
+    EXPECT_EQ(end, h.cpu().spec().nullTrapCost());
+}

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "host/interrupts.hh"
+#include "host/memory.hh"
+#include "sim/simulation.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+TEST(Memory, AllocAdvances)
+{
+    host::Memory m(1024);
+    std::size_t a = m.alloc(100);
+    std::size_t b = m.alloc(100);
+    EXPECT_GE(b, a + 100);
+    EXPECT_LE(m.remaining(), 1024 - 200);
+}
+
+TEST(Memory, AllocRespectsAlignment)
+{
+    host::Memory m(1024);
+    m.alloc(3);
+    std::size_t a = m.alloc(8, 64);
+    EXPECT_EQ(a % 64, 0u);
+}
+
+TEST(Memory, WriteReadRoundTrip)
+{
+    host::Memory m(256);
+    std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+    std::size_t off = m.alloc(5);
+    m.write(off, data);
+    EXPECT_EQ(m.read(off, 5), data);
+}
+
+TEST(Memory, RegionIsLive)
+{
+    host::Memory m(256);
+    std::size_t off = m.alloc(4);
+    auto span = m.region(off, 4);
+    span[0] = 0xAB;
+    EXPECT_EQ(m.read(off, 1)[0], 0xAB);
+}
+
+TEST(MemoryDeathTest, OutOfBoundsPanics)
+{
+    host::Memory m(16);
+    EXPECT_DEATH(m.region(12, 8), "out of bounds");
+}
+
+TEST(InterruptLine, DeliversAfterDispatchLatency)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    host::InterruptLine irq(s, cpu, "nic");
+    sim::Tick fired = -1;
+    irq.connect([&] { fired = s.now(); });
+    s.schedule(10_us, [&] { irq.assertLine(); });
+    s.run();
+    EXPECT_EQ(fired, 10_us + cpu.spec().interruptDispatch);
+}
+
+TEST(InterruptLine, CoalescesWhilePending)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    host::InterruptLine irq(s, cpu, "nic");
+    int delivered = 0;
+    irq.connect([&] { ++delivered; });
+    s.schedule(0, [&] {
+        irq.assertLine();
+        irq.assertLine(); // while pending: coalesce
+    });
+    s.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(irq.asserted(), 2u);
+    EXPECT_EQ(irq.delivered(), 1u);
+}
+
+TEST(InterruptLine, RearmsAfterDelivery)
+{
+    sim::Simulation s;
+    host::Cpu cpu(s, host::CpuSpec::pentium120(), "cpu");
+    host::InterruptLine irq(s, cpu, "nic");
+    int delivered = 0;
+    irq.connect([&] { ++delivered; });
+    s.schedule(0, [&] { irq.assertLine(); });
+    s.schedule(100_us, [&] { irq.assertLine(); });
+    s.run();
+    EXPECT_EQ(delivered, 2);
+}

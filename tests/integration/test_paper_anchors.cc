@@ -1,0 +1,98 @@
+/**
+ * @file
+ * End-to-end regression locks on the paper's headline numbers.
+ *
+ * These tests run the same harnesses as the Fig. 5 / Fig. 6 benches
+ * and assert the measured values stay within a band of the paper's
+ * published results, so calibration drift is caught by CI rather than
+ * by eyeballing bench output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.hh"
+
+using namespace unet;
+using namespace unet::bench;
+
+TEST(PaperAnchors, Fig5FortyByteRoundTrips)
+{
+    // "The round-trip time for a 40-byte message over Fast Ethernet
+    // ranges from 57 usec (hub) to 91 usec (FN100), while over ATM it
+    // is 89 usec."
+    EXPECT_NEAR(roundTripUs(Fabric::FeHub, 40), 57.0, 12.0);
+    EXPECT_NEAR(roundTripUs(Fabric::FeFn100, 40), 91.0, 10.0);
+    EXPECT_NEAR(roundTripUs(Fabric::AtmOc3, 40), 89.0, 8.0);
+}
+
+TEST(PaperAnchors, Fig5Ordering)
+{
+    // hub < Bay 28115 < FN100 at 40 bytes; FE beats ATM at small
+    // sizes on the hub.
+    double hub = roundTripUs(Fabric::FeHub, 40);
+    double bay = roundTripUs(Fabric::FeBay, 40);
+    double fn = roundTripUs(Fabric::FeFn100, 40);
+    double atm = roundTripUs(Fabric::AtmOc3, 40);
+    EXPECT_LT(hub, bay);
+    EXPECT_LT(bay, fn);
+    EXPECT_LT(hub, atm);
+}
+
+TEST(PaperAnchors, Fig5AtmMultiCellCliff)
+{
+    // "Longer messages (i.e. those that are larger than a single cell)
+    // on ATM start at 130 usec for 44 bytes and increase to 351 usec
+    // for 1500 bytes."
+    double single = roundTripUs(Fabric::AtmOc3, 40);
+    double multi = roundTripUs(Fabric::AtmOc3, 44);
+    EXPECT_GT(multi - single, 20.0) << "cliff too small";
+    EXPECT_NEAR(roundTripUs(Fabric::AtmOc3, 1494), 351.0, 25.0);
+}
+
+TEST(PaperAnchors, Fig5Slopes)
+{
+    // "~25 usec per 100 bytes" (FE) and "~17 usec per 100 bytes" (ATM).
+    double fe = (roundTripUs(Fabric::FeHub, 1000) -
+                 roundTripUs(Fabric::FeHub, 200)) / 8.0;
+    double atm = (roundTripUs(Fabric::AtmOc3, 1000) -
+                  roundTripUs(Fabric::AtmOc3, 200)) / 8.0;
+    EXPECT_NEAR(fe, 25.0, 4.0);
+    EXPECT_NEAR(atm, 17.0, 4.0);
+}
+
+TEST(PaperAnchors, Fig6BandwidthCeilings)
+{
+    // "the bandwidth approaches the peak of about 97 Mbps" (FE) and
+    // ATM "reaches 118 Mbps" against the 120 Mbps TAXI ceiling.
+    EXPECT_NEAR(bandwidthMbps(Fabric::FeBay, 1494, 200), 97.0, 3.0);
+    EXPECT_NEAR(bandwidthMbps(Fabric::AtmTaxi, 1494, 200), 118.0, 4.0);
+}
+
+TEST(PaperAnchors, Fig6SmallMessagesFavorFe)
+{
+    // At 40 bytes the ATM i960 receive path (13 us/message) caps
+    // throughput below U-Net/FE's.
+    double fe = bandwidthMbps(Fabric::FeBay, 40, 200);
+    double atm = bandwidthMbps(Fabric::AtmTaxi, 40, 200);
+    EXPECT_GT(fe, atm);
+}
+
+TEST(PaperAnchors, Section44Overheads)
+{
+    // Host processor time of one 40-byte send.
+    sim::Simulation s;
+    RawPair rig(s, Fabric::AtmOc3);
+    sim::Tick busy = -1;
+    sim::Process echo(s, "echo", [](sim::Process &) {});
+    sim::Process tx(s, "tx", [&](sim::Process &self) {
+        sim::Tick before = rig.hostOf(0).cpu().userTime();
+        rawSend(rig.unetOf(0), self, rig.ep(0), rig.chan(0), 40,
+                16384);
+        busy = rig.hostOf(0).cpu().userTime() - before;
+    });
+    rig.wire(tx, echo);
+    tx.start();
+    s.run();
+    // "about 1.5 usec" on U-Net/ATM.
+    EXPECT_NEAR(sim::toMicroseconds(busy), 1.5, 0.2);
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/crc32.hh"
+#include "sim/random.hh"
+
+using namespace unet;
+
+namespace {
+
+std::vector<std::uint8_t>
+bytesOf(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+} // namespace
+
+TEST(Crc32, KnownVectors)
+{
+    // Standard CRC-32 check value.
+    EXPECT_EQ(net::crc32(bytesOf("123456789")), 0xCBF43926u);
+    EXPECT_EQ(net::crc32(bytesOf("")), 0x00000000u);
+    EXPECT_EQ(net::crc32(bytesOf("a")), 0xE8B7BE43u);
+    EXPECT_EQ(net::crc32(bytesOf("abc")), 0x352441C2u);
+    EXPECT_EQ(net::crc32(bytesOf("The quick brown fox jumps over the "
+                                 "lazy dog")),
+              0x414FA339u);
+}
+
+TEST(Crc32, TableMatchesBitwiseReference)
+{
+    sim::Random rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::uint8_t> data(rng.uniform(0, 300));
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.u32());
+        EXPECT_EQ(net::crc32(data), net::crc32Reference(data));
+    }
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    auto data = bytesOf("hello, incremental crc world");
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        std::uint32_t state = 0xFFFFFFFFu;
+        state = net::crc32Update(
+            state, std::span(data.data(), split));
+        state = net::crc32Update(
+            state, std::span(data.data() + split, data.size() - split));
+        EXPECT_EQ(net::crc32Finish(state), net::crc32(data));
+    }
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    auto data = bytesOf("payload under test 0123456789");
+    std::uint32_t good = net::crc32(data);
+    for (std::size_t byte = 0; byte < data.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            auto corrupted = data;
+            corrupted[byte] ^= static_cast<std::uint8_t>(1 << bit);
+            EXPECT_NE(net::crc32(corrupted), good);
+        }
+    }
+}
+
+TEST(Crc32, DetectsSwappedBytes)
+{
+    auto data = bytesOf("ABCDEFGH");
+    std::uint32_t good = net::crc32(data);
+    auto swapped = data;
+    std::swap(swapped[2], swapped[5]);
+    EXPECT_NE(net::crc32(swapped), good);
+}

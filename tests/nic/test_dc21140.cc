@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "eth/link.hh"
+#include "nic/dc21140.hh"
+#include "nic/i960.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+namespace {
+
+struct Rig
+{
+    Rig()
+        : link(s),
+          hostA(s, "a", host::CpuSpec::pentium120(),
+                host::BusSpec::pci()),
+          hostB(s, "b", host::CpuSpec::pentium120(),
+                host::BusSpec::pci()),
+          nicA(hostA, link, eth::MacAddress::fromIndex(1)),
+          nicB(hostB, link, eth::MacAddress::fromIndex(2))
+    {
+        // Post B's receive ring.
+        for (std::size_t i = 0; i < nicB.rxRingSize(); ++i) {
+            auto &d = nicB.rxDesc(i);
+            d.bufOffset = static_cast<std::uint32_t>(
+                hostB.memory().alloc(1536));
+            d.bufLength = 1536;
+            d.own = true;
+        }
+        nicB.interrupt().connect([this] { ++interrupts; });
+    }
+
+    /** Queue a frame on A's TX ring pointing at real host memory. */
+    void
+    queueFrame(std::size_t payload_len, std::uint8_t fill = 0x42)
+    {
+        eth::Frame f;
+        f.dst = nicB.address();
+        f.src = nicA.address();
+        f.etherType = 0x88B5;
+        f.payload.assign(payload_len, fill);
+        auto raw = f.serialize();
+        // Strip the FCS: the NIC generates it.
+        raw.resize(raw.size() - eth::Frame::fcsBytes);
+
+        std::size_t off = hostA.memory().alloc(raw.size());
+        hostA.memory().write(off, raw);
+
+        auto &d = nicA.txDesc(nicA.txTail());
+        d.buf1Offset = static_cast<std::uint32_t>(off);
+        d.buf1Length = static_cast<std::uint32_t>(raw.size());
+        d.buf2Length = 0;
+        d.own = true;
+        nicA.bumpTxTail();
+    }
+
+    sim::Simulation s;
+    eth::FullDuplexLink link;
+    host::Host hostA, hostB;
+    nic::Dc21140 nicA, nicB;
+    int interrupts = 0;
+};
+
+} // namespace
+
+TEST(Dc21140, TransmitsQueuedDescriptor)
+{
+    Rig rig;
+    rig.queueFrame(100);
+    rig.nicA.pollDemand();
+    rig.s.run();
+
+    EXPECT_EQ(rig.nicA.framesSent(), 1u);
+    EXPECT_FALSE(rig.nicA.txDesc(0).own); // ownership returned
+    EXPECT_TRUE(rig.nicA.txDesc(0).transmitted);
+    EXPECT_EQ(rig.nicB.framesReceived(), 1u);
+    EXPECT_EQ(rig.interrupts, 1);
+}
+
+TEST(Dc21140, ReceivedBytesLandInHostMemory)
+{
+    Rig rig;
+    rig.queueFrame(64, 0x5C);
+    rig.nicA.pollDemand();
+    rig.s.run();
+
+    auto &rx = rig.nicB.rxDesc(0);
+    EXPECT_TRUE(rx.complete);
+    auto raw = rig.hostB.memory().read(rx.bufOffset, rx.frameLength);
+    auto frame = eth::Frame::parse(raw);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->src, rig.nicA.address());
+    EXPECT_EQ(frame->payload[0], 0x5C);
+}
+
+TEST(Dc21140, ProcessesRingUntilOwnershipStops)
+{
+    Rig rig;
+    for (int i = 0; i < 5; ++i)
+        rig.queueFrame(100);
+    rig.nicA.pollDemand(); // one kick services all five
+    rig.s.run();
+    EXPECT_EQ(rig.nicA.framesSent(), 5u);
+    EXPECT_EQ(rig.nicB.framesReceived(), 5u);
+}
+
+TEST(Dc21140, MissedFrameWhenNoRxDescriptor)
+{
+    Rig rig;
+    // Take away B's buffers.
+    for (std::size_t i = 0; i < rig.nicB.rxRingSize(); ++i)
+        rig.nicB.rxDesc(i).own = false;
+    rig.queueFrame(100);
+    rig.nicA.pollDemand();
+    rig.s.run();
+    EXPECT_EQ(rig.nicB.framesReceived(), 0u);
+    EXPECT_EQ(rig.nicB.rxMissed(), 1u);
+    EXPECT_EQ(rig.interrupts, 0);
+}
+
+TEST(Dc21140, IgnoresFramesForOtherStations)
+{
+    Rig rig;
+    eth::Frame f;
+    f.dst = eth::MacAddress::fromIndex(99); // neither A nor B
+    f.src = rig.nicA.address();
+    f.payload.assign(60, 1);
+    auto raw = f.serialize();
+    raw.resize(raw.size() - eth::Frame::fcsBytes);
+    std::size_t off = rig.hostA.memory().alloc(raw.size());
+    rig.hostA.memory().write(off, raw);
+    auto &d = rig.nicA.txDesc(0);
+    d.buf1Offset = static_cast<std::uint32_t>(off);
+    d.buf1Length = static_cast<std::uint32_t>(raw.size());
+    d.own = true;
+    rig.nicA.pollDemand();
+    rig.s.run();
+    EXPECT_EQ(rig.nicB.framesReceived(), 0u);
+    EXPECT_EQ(rig.nicB.rxMissed(), 0u);
+}
+
+TEST(Dc21140, TwoBufferGather)
+{
+    Rig rig;
+    // Header in one buffer, payload in another (the U-Net/FE layout).
+    eth::Frame f;
+    f.dst = rig.nicB.address();
+    f.src = rig.nicA.address();
+    f.etherType = 0x88B5;
+    std::vector<std::uint8_t> hdr_bytes;
+    const auto &dst = f.dst.raw();
+    const auto &src = f.src.raw();
+    hdr_bytes.insert(hdr_bytes.end(), dst.begin(), dst.end());
+    hdr_bytes.insert(hdr_bytes.end(), src.begin(), src.end());
+    hdr_bytes.push_back(0x88);
+    hdr_bytes.push_back(0xB5);
+    auto payload = std::vector<std::uint8_t>(100, 0x77);
+
+    std::size_t hoff = rig.hostA.memory().alloc(hdr_bytes.size());
+    rig.hostA.memory().write(hoff, hdr_bytes);
+    std::size_t poff = rig.hostA.memory().alloc(payload.size());
+    rig.hostA.memory().write(poff, payload);
+
+    auto &d = rig.nicA.txDesc(0);
+    d.buf1Offset = static_cast<std::uint32_t>(hoff);
+    d.buf1Length = static_cast<std::uint32_t>(hdr_bytes.size());
+    d.buf2Offset = static_cast<std::uint32_t>(poff);
+    d.buf2Length = static_cast<std::uint32_t>(payload.size());
+    d.own = true;
+    rig.nicA.pollDemand();
+    rig.s.run();
+
+    auto &rx = rig.nicB.rxDesc(0);
+    ASSERT_TRUE(rx.complete);
+    auto raw = rig.hostB.memory().read(rx.bufOffset, rx.frameLength);
+    auto frame = eth::Frame::parse(raw);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->payload.size(), 100u);
+    EXPECT_EQ(frame->payload[50], 0x77);
+}
+
+TEST(I960, SerializesWork)
+{
+    sim::Simulation s;
+    nic::I960 cpu(s);
+    std::vector<sim::Tick> done;
+    cpu.run(10_us, [&] { done.push_back(s.now()); });
+    cpu.run(5_us, [&] { done.push_back(s.now()); });
+    s.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 10_us);
+    EXPECT_EQ(done[1], 15_us);
+    EXPECT_EQ(cpu.busyTime(), 15_us);
+    EXPECT_EQ(cpu.workItems(), 2u);
+}
+
+TEST(I960, IdleGapsDoNotAccumulate)
+{
+    sim::Simulation s;
+    nic::I960 cpu(s);
+    sim::Tick done = -1;
+    s.schedule(100_us, [&] { cpu.run(3_us, [&] { done = s.now(); }); });
+    s.run();
+    EXPECT_EQ(done, 103_us);
+}

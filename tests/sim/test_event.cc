@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/simulation.hh"
+
+using namespace unet::sim;
+using namespace unet::sim::literals;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ClockAdvancesOnlyWithEvents)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0);
+    q.schedule(5_us, [] {});
+    EXPECT_EQ(q.now(), 0);
+    q.run();
+    EXPECT_EQ(q.now(), 5_us);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle h = q.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    q.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle h = q.schedule(10, [&] { ++fired; });
+    q.run();
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // must not crash
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20);
+    q.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToLimit)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.runUntil(50);
+    EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    q.schedule(1, [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, FiredCountSkipsCancelled)
+{
+    EventQueue q;
+    auto h1 = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    h1.cancel();
+    q.run();
+    EXPECT_EQ(q.firedCount(), 1u);
+}
+
+TEST(Simulation, SharedContext)
+{
+    Simulation sim(42);
+    int fired = 0;
+    sim.scheduleIn(3_us, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 3_us);
+    // PRNG is live and deterministic for a fixed seed.
+    Simulation sim2(42);
+    EXPECT_EQ(sim.random().u64(), sim2.random().u64());
+}
+
+TEST(EventQueue, ManyEventsStress)
+{
+    EventQueue q;
+    Random rng(7);
+    std::int64_t sum = 0;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        Tick t = rng.uniform(0, 1'000'000);
+        q.schedule(t, [&, t] {
+            sum += 1;
+            if (q.now() < last)
+                monotone = false;
+            last = q.now();
+            if (q.now() != t)
+                monotone = false;
+        });
+    }
+    q.run();
+    EXPECT_EQ(sum, 10000);
+    EXPECT_TRUE(monotone);
+}

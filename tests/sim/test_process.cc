@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/process.hh"
+
+using namespace unet::sim;
+using namespace unet::sim::literals;
+
+TEST(Process, DelayAdvancesTime)
+{
+    Simulation sim;
+    std::vector<Tick> stamps;
+    Process p(sim, "p", [&](Process &self) {
+        stamps.push_back(sim.now());
+        self.delay(10_us);
+        stamps.push_back(sim.now());
+        self.delay(5_us);
+        stamps.push_back(sim.now());
+    });
+    p.start();
+    sim.run();
+    EXPECT_TRUE(p.finished());
+    EXPECT_EQ(stamps, (std::vector<Tick>{0, 10_us, 15_us}));
+}
+
+TEST(Process, StartDelay)
+{
+    Simulation sim;
+    Tick started = -1;
+    Process p(sim, "p", [&](Process &) { started = sim.now(); });
+    p.start(3_us);
+    sim.run();
+    EXPECT_EQ(started, 3_us);
+}
+
+TEST(Process, TwoProcessesInterleave)
+{
+    Simulation sim;
+    std::vector<std::pair<char, Tick>> trace;
+    Process a(sim, "a", [&](Process &self) {
+        for (int i = 0; i < 3; ++i) {
+            trace.push_back({'a', sim.now()});
+            self.delay(10_us);
+        }
+    });
+    Process b(sim, "b", [&](Process &self) {
+        for (int i = 0; i < 3; ++i) {
+            trace.push_back({'b', sim.now()});
+            self.delay(15_us);
+        }
+    });
+    a.start();
+    b.start();
+    sim.run();
+    // a at 0,10,20; b at 0,15,30.
+    std::vector<std::pair<char, Tick>> expect = {
+        {'a', 0}, {'b', 0}, {'a', 10_us}, {'b', 15_us},
+        {'a', 20_us}, {'b', 30_us},
+    };
+    EXPECT_EQ(trace, expect);
+}
+
+TEST(Process, WaitOnBlocksUntilNotify)
+{
+    Simulation sim;
+    WaitChannel ch;
+    Tick woke = -1;
+    Process waiter(sim, "waiter", [&](Process &self) {
+        self.waitOn(ch);
+        woke = sim.now();
+    });
+    Process notifier(sim, "notifier", [&](Process &self) {
+        self.delay(25_us);
+        ch.notifyAll();
+    });
+    waiter.start();
+    notifier.start();
+    sim.run();
+    EXPECT_EQ(woke, 25_us);
+}
+
+TEST(Process, NotifyWakesAllWaiters)
+{
+    Simulation sim;
+    WaitChannel ch;
+    int woken = 0;
+    std::vector<std::unique_ptr<Process>> procs;
+    for (int i = 0; i < 4; ++i) {
+        procs.push_back(std::make_unique<Process>(
+            sim, "w", [&](Process &self) {
+                self.waitOn(ch);
+                ++woken;
+            }));
+        procs.back()->start();
+    }
+    Process notifier(sim, "n", [&](Process &self) {
+        self.delay(1_us);
+        EXPECT_EQ(ch.waiterCount(), 4u);
+        ch.notifyAll();
+    });
+    notifier.start();
+    sim.run();
+    EXPECT_EQ(woken, 4);
+    EXPECT_EQ(ch.waiterCount(), 0u);
+}
+
+TEST(Process, NotifyWithoutWaitersIsLost)
+{
+    Simulation sim;
+    WaitChannel ch;
+    bool woke = false;
+    Process notifier(sim, "n", [&](Process &) { ch.notifyAll(); });
+    Process waiter(sim, "w", [&](Process &self) {
+        self.delay(10_us); // miss the notify
+        woke = self.waitOn(ch, 5_us);
+    });
+    notifier.start();
+    waiter.start();
+    sim.run();
+    EXPECT_FALSE(woke); // timed out; the early notify was not stored
+}
+
+TEST(Process, WaitTimeoutFires)
+{
+    Simulation sim;
+    WaitChannel ch;
+    bool notified = true;
+    Tick woke = -1;
+    Process p(sim, "p", [&](Process &self) {
+        notified = self.waitOn(ch, 7_us);
+        woke = sim.now();
+    });
+    p.start();
+    sim.run();
+    EXPECT_FALSE(notified);
+    EXPECT_EQ(woke, 7_us);
+    EXPECT_EQ(ch.waiterCount(), 0u);
+}
+
+TEST(Process, WaitTimeoutCancelledByNotify)
+{
+    Simulation sim;
+    WaitChannel ch;
+    bool notified = false;
+    Process p(sim, "p", [&](Process &self) {
+        notified = self.waitOn(ch, 100_us);
+    });
+    Process n(sim, "n", [&](Process &self) {
+        self.delay(2_us);
+        ch.notifyAll();
+    });
+    p.start();
+    n.start();
+    sim.run();
+    EXPECT_TRUE(notified);
+    EXPECT_EQ(sim.now(), 2_us); // no stray timeout event at 100 us
+}
+
+TEST(Process, CurrentIsSetInsideBody)
+{
+    Simulation sim;
+    Process *seen = nullptr;
+    Process p(sim, "p", [&](Process &self) {
+        seen = Process::current();
+        self.delay(1_us);
+        EXPECT_EQ(Process::current(), &self);
+    });
+    p.start();
+    EXPECT_EQ(Process::current(), nullptr);
+    sim.run();
+    EXPECT_EQ(seen, &p);
+    EXPECT_EQ(Process::current(), nullptr);
+}
+
+TEST(Process, PingPongViaTwoChannels)
+{
+    Simulation sim;
+    WaitChannel ping, pong;
+    std::vector<int> trace;
+    Process a(sim, "a", [&](Process &self) {
+        for (int i = 0; i < 3; ++i) {
+            trace.push_back(1);
+            pong.notifyAll();
+            self.waitOn(ping);
+        }
+        pong.notifyAll();
+    });
+    Process b(sim, "b", [&](Process &self) {
+        for (int i = 0; i < 3; ++i) {
+            self.waitOn(pong);
+            trace.push_back(2);
+            ping.notifyAll();
+        }
+    });
+    // Start the waiter first: notifies are not stored, so b must be
+    // blocked on `pong` before a's first notify fires.
+    b.start();
+    a.start(1_us);
+    sim.run();
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+    EXPECT_TRUE(a.finished());
+    EXPECT_TRUE(b.finished());
+}

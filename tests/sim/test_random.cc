@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+using namespace unet::sim;
+
+TEST(Random, DeterministicForSeed)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.u64(), b.u64());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.u64() == b.u64())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformRespectsBounds)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniform(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Random, UniformCoversRange)
+{
+    Random r(7);
+    bool seen[11] = {};
+    for (int i = 0; i < 10000; ++i)
+        seen[r.uniform(0, 10)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Random, Uniform01InRange)
+{
+    Random r(9);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceApproximatesProbability)
+{
+    Random r(13);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Random r(17);
+    double sum = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += r.exponential(50.0);
+    EXPECT_NEAR(sum / trials, 50.0, 1.0);
+}
+
+TEST(Random, ReseedRestartsSequence)
+{
+    Random r(21);
+    auto first = r.u64();
+    r.u64();
+    r.seed(21);
+    EXPECT_EQ(r.u64(), first);
+}

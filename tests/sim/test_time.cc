@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.hh"
+
+using namespace unet::sim;
+using namespace unet::sim::literals;
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(nanoseconds(1), 1000);
+    EXPECT_EQ(microseconds(1), 1000 * 1000);
+    EXPECT_EQ(milliseconds(1), 1000LL * 1000 * 1000);
+    EXPECT_EQ(seconds(1), 1000LL * 1000 * 1000 * 1000);
+    EXPECT_EQ(seconds(2), 2 * seconds(1));
+}
+
+TEST(Time, Literals)
+{
+    EXPECT_EQ(5_us, microseconds(5));
+    EXPECT_EQ(3_ns, nanoseconds(3));
+    EXPECT_EQ(7_ms, milliseconds(7));
+    EXPECT_EQ(2_s, seconds(2));
+    EXPECT_EQ(1.5_us, microseconds(1) + nanoseconds(500));
+    EXPECT_EQ(0.5_ns, picoseconds(500));
+}
+
+TEST(Time, FractionalConstructors)
+{
+    EXPECT_EQ(microsecondsF(4.2), 4200000);
+    EXPECT_EQ(nanosecondsF(0.74), 740);
+}
+
+TEST(Time, ReportingConversions)
+{
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(57)), 57.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(3)), 3.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2)), 2.0);
+    EXPECT_DOUBLE_EQ(toMicroseconds(nanoseconds(500)), 0.5);
+}
+
+TEST(Time, SerializationTime)
+{
+    // 1500 bytes at 100 Mbps is exactly 120 us.
+    EXPECT_EQ(serializationTime(1500, 100e6), microseconds(120));
+    // One bit time at 100 Mbps is 10 ns.
+    EXPECT_EQ(serializationTime(1, 100e6), nanoseconds(80));
+    // 53-byte ATM cell at 155.52 Mbps is ~2.726 us.
+    Tick cell = serializationTime(53, 155.52e6);
+    EXPECT_NEAR(toMicroseconds(cell), 2.726, 0.01);
+}
+
+TEST(Time, SerializationRoundsToNearest)
+{
+    // 1 byte at 3 bits/sec = 2.666... s; rounds to nearest tick.
+    Tick t = serializationTime(1, 3.0);
+    EXPECT_NEAR(toSeconds(t), 8.0 / 3.0, 1e-9);
+}

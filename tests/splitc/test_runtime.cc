@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+
+using namespace unet;
+using namespace unet::cluster;
+using namespace unet::sim::literals;
+using splitc::GlobalPtr;
+using splitc::HeapAddr;
+using splitc::Runtime;
+
+namespace {
+
+/** Run an SPMD body on a small FE cluster and return elapsed time. */
+sim::Tick
+runFe(int nodes, std::function<void(Runtime &, sim::Process &)> body,
+      NetKind net = NetKind::FeBay28115)
+{
+    sim::Simulation s;
+    Cluster c(s, Config::feCluster(nodes, net, false));
+    return c.run(std::move(body));
+}
+
+} // namespace
+
+TEST(SplitC, SymmetricAllocationAgrees)
+{
+    std::vector<HeapAddr> addrs(4, 0);
+    runFe(4, [&](Runtime &rt, sim::Process &proc) {
+        HeapAddr a = rt.allocBytes(128);
+        HeapAddr b = rt.alloc<double>(64);
+        (void)a;
+        addrs[rt.self()] = b;
+        rt.barrier(proc);
+    });
+    EXPECT_EQ(addrs[0], addrs[1]);
+    EXPECT_EQ(addrs[0], addrs[2]);
+    EXPECT_EQ(addrs[0], addrs[3]);
+}
+
+TEST(SplitC, RemoteReadSeesRemoteData)
+{
+    runFe(2, [&](Runtime &rt, sim::Process &proc) {
+        HeapAddr cell = rt.alloc<std::uint64_t>(1);
+        *rt.localPtr<std::uint64_t>(cell) =
+            1000 + static_cast<std::uint64_t>(rt.self());
+        rt.barrier(proc);
+
+        int peer = 1 - rt.self();
+        auto v = rt.read(proc,
+                         GlobalPtr<std::uint64_t>(peer, cell));
+        EXPECT_EQ(v, 1000 + static_cast<std::uint64_t>(peer));
+        rt.barrier(proc);
+    });
+}
+
+TEST(SplitC, RemoteWriteLands)
+{
+    runFe(2, [&](Runtime &rt, sim::Process &proc) {
+        HeapAddr cell = rt.alloc<std::uint32_t>(2);
+        rt.barrier(proc);
+
+        int peer = 1 - rt.self();
+        // Write into slot[self] on the peer.
+        GlobalPtr<std::uint32_t> dst(
+            peer,
+            cell + static_cast<HeapAddr>(4 * rt.self()));
+        rt.write(proc, dst, static_cast<std::uint32_t>(7 + rt.self()));
+        rt.barrier(proc);
+
+        auto *local = rt.localPtr<std::uint32_t>(cell);
+        EXPECT_EQ(local[peer], 7u + static_cast<std::uint32_t>(peer));
+    });
+}
+
+TEST(SplitC, SplitPhaseGetOverlapsAndSyncs)
+{
+    runFe(2, [&](Runtime &rt, sim::Process &proc) {
+        const std::size_t n = 4096;
+        HeapAddr src = rt.allocBytes(n);
+        HeapAddr dst = rt.allocBytes(n);
+        auto *sp = rt.heapPtr(src);
+        for (std::size_t i = 0; i < n; ++i)
+            sp[i] = static_cast<std::uint8_t>(rt.self() * 31 + i);
+        rt.barrier(proc);
+
+        int peer = 1 - rt.self();
+        rt.get(proc, peer, src, dst, n);
+        // Computation between issue and sync (split-phase).
+        rt.chargeIntOps(proc, 1000);
+        rt.sync(proc);
+
+        auto *dp = rt.heapPtr(dst);
+        for (std::size_t i = 0; i < n; i += 97)
+            EXPECT_EQ(dp[i], static_cast<std::uint8_t>(peer * 31 + i));
+        rt.barrier(proc);
+    });
+}
+
+TEST(SplitC, StoreWithAllStoreSync)
+{
+    const std::size_t n = 10000;
+    runFe(4, [&](Runtime &rt, sim::Process &proc) {
+        // Everyone stores a slice into everyone's inbox.
+        HeapAddr inbox = rt.allocBytes(
+            n * static_cast<std::size_t>(rt.procs()));
+        rt.barrier(proc);
+
+        std::vector<std::uint8_t> mine(
+            n, static_cast<std::uint8_t>(0x40 + rt.self()));
+        for (int peer = 0; peer < rt.procs(); ++peer)
+            rt.storeTo(proc, peer,
+                       inbox + static_cast<HeapAddr>(
+                                   n * static_cast<std::size_t>(
+                                           rt.self())),
+                       mine);
+        rt.allStoreSync(proc);
+
+        for (int p = 0; p < rt.procs(); ++p) {
+            auto *slot = rt.heapPtr(
+                inbox + static_cast<HeapAddr>(
+                            n * static_cast<std::size_t>(p)));
+            EXPECT_EQ(slot[0], 0x40 + p);
+            EXPECT_EQ(slot[n - 1], 0x40 + p);
+        }
+    });
+}
+
+TEST(SplitC, BarrierActuallySynchronizes)
+{
+    std::vector<sim::Tick> after(4, 0);
+    sim::Tick slow_arrival = 0;
+    sim::Simulation s;
+    Cluster c(s, Config::feCluster(4, NetKind::FeBay28115, false));
+    c.run([&](Runtime &rt, sim::Process &proc) {
+        if (rt.self() == 2) {
+            rt.chargeTime(proc, 3_ms); // straggler
+            slow_arrival = s.now();
+        }
+        rt.barrier(proc);
+        after[rt.self()] = s.now();
+    });
+    for (int i = 0; i < 4; ++i)
+        EXPECT_GE(after[i], slow_arrival) << "node " << i;
+}
+
+TEST(SplitC, AllReduceSumAndMax)
+{
+    runFe(4, [&](Runtime &rt, sim::Process &proc) {
+        auto self = static_cast<std::uint64_t>(rt.self());
+        EXPECT_EQ(rt.allReduceSum(proc, self + 1), 1u + 2 + 3 + 4);
+        EXPECT_EQ(rt.allReduceMax(proc, self * 10), 30u);
+    });
+}
+
+TEST(SplitC, VectorAllReduce)
+{
+    runFe(4, [&](Runtime &rt, sim::Process &proc) {
+        std::vector<std::uint64_t> hist(16);
+        for (std::size_t i = 0; i < hist.size(); ++i)
+            hist[i] = static_cast<std::uint64_t>(rt.self()) * 100 + i;
+        rt.allReduceSumVec(proc, hist.data(), hist.size());
+        // Sum over nodes p of (p*100 + i) = 600 + 4i.
+        for (std::size_t i = 0; i < hist.size(); ++i)
+            EXPECT_EQ(hist[i], 600 + 4 * i);
+    });
+}
+
+TEST(SplitC, BroadcastFromRoot)
+{
+    runFe(3, [&](Runtime &rt, sim::Process &proc) {
+        HeapAddr buf = rt.allocBytes(256);
+        if (rt.self() == 1) {
+            auto *p = rt.heapPtr(buf);
+            for (int i = 0; i < 256; ++i)
+                p[i] = static_cast<std::uint8_t>(255 - i);
+        }
+        rt.barrier(proc);
+        rt.broadcastBytes(proc, 1, buf, 256);
+        auto *p = rt.heapPtr(buf);
+        EXPECT_EQ(p[0], 255);
+        EXPECT_EQ(p[10], 245);
+    });
+}
+
+TEST(SplitC, SelfOpsStayLocal)
+{
+    sim::Simulation s;
+    Cluster c(s, Config::feCluster(2, NetKind::FeBay28115, false));
+    c.run([&](Runtime &rt, sim::Process &proc) {
+        HeapAddr a = rt.allocBytes(64);
+        std::vector<std::uint8_t> data(64, 9);
+        rt.writeBytes(proc, rt.self(), a, data);
+        std::vector<std::uint8_t> out(64, 0);
+        rt.readBytes(proc, rt.self(), a, out);
+        EXPECT_EQ(out, data);
+        rt.barrier(proc);
+    });
+    // No AM traffic should have been needed for the self ops
+    // (the barrier uses some).
+    EXPECT_LE(c.runtime(0).am().sent(), 12u);
+}
+
+TEST(SplitC, ProfileSeparatesComputeAndComm)
+{
+    sim::Simulation s;
+    Cluster c(s, Config::feCluster(2, NetKind::FeBay28115, false));
+    c.run([&](Runtime &rt, sim::Process &proc) {
+        rt.chargeFlops(proc, 100000); // 3.5 ms on the Pentium-120
+        rt.barrier(proc);
+        HeapAddr a = rt.allocBytes(8192);
+        rt.barrier(proc);
+        if (rt.self() == 0) {
+            std::vector<std::uint8_t> big(8192, 1);
+            rt.writeBytes(proc, 1, a, big);
+        }
+        rt.barrier(proc);
+    });
+    auto &p0 = c.runtime(0).profile();
+    EXPECT_NEAR(sim::toMilliseconds(p0.compute), 3.5, 0.1);
+    EXPECT_GT(p0.comm, 0);
+}
+
+TEST(SplitC, WorksOverAtmCluster)
+{
+    sim::Simulation s;
+    Cluster c(s, Config::atmSplitC(4));
+    sim::Tick elapsed = c.run([&](Runtime &rt, sim::Process &proc) {
+        HeapAddr cell = rt.alloc<std::uint64_t>(
+            static_cast<std::size_t>(rt.procs()));
+        *rt.localPtr<std::uint64_t>(
+            cell + static_cast<HeapAddr>(8 * rt.self())) =
+            static_cast<std::uint64_t>(rt.self());
+        rt.barrier(proc);
+        // Ring read: everyone reads its right neighbour's slot.
+        int peer = (rt.self() + 1) % rt.procs();
+        auto v = rt.read(
+            proc, GlobalPtr<std::uint64_t>(
+                      peer, cell + static_cast<HeapAddr>(8 * peer)));
+        EXPECT_EQ(v, static_cast<std::uint64_t>(peer));
+        EXPECT_EQ(rt.allReduceSum(proc, v), 0u + 1 + 2 + 3);
+    });
+    EXPECT_GT(elapsed, 0);
+}
+
+TEST(SplitC, HubClusterAlsoWorks)
+{
+    runFe(3, [&](Runtime &rt, sim::Process &proc) {
+        auto total = rt.allReduceSum(
+            proc, static_cast<std::uint64_t>(rt.self() + 1));
+        EXPECT_EQ(total, 6u);
+    }, NetKind::FeHub);
+}

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "unet/endpoint.hh"
+
+using namespace unet;
+using namespace unet::sim::literals;
+
+namespace {
+
+struct Fixture
+{
+    Fixture() : memory(1 << 20) {}
+
+    sim::Simulation s;
+    host::Memory memory;
+};
+
+RecvDescriptor
+smallMessage(ChannelId chan, std::uint8_t fill)
+{
+    RecvDescriptor rd;
+    rd.channel = chan;
+    rd.length = 8;
+    rd.isSmall = true;
+    rd.inlineData.fill(fill);
+    return rd;
+}
+
+} // namespace
+
+TEST(Endpoint, BufferAreaReadWrite)
+{
+    Fixture f;
+    Endpoint ep(f.s, f.memory, {}, nullptr, 0);
+    BufferRef ref{128, 16};
+    std::vector<std::uint8_t> data(16, 0x3C);
+    ep.buffers().write(ref, data);
+    auto span = ep.buffers().span(ref);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), span.begin()));
+}
+
+TEST(EndpointDeathTest, BufferAreaBoundsChecked)
+{
+    Fixture f;
+    EndpointConfig cfg;
+    cfg.bufferAreaBytes = 1024;
+    Endpoint ep(f.s, f.memory, cfg, nullptr, 0);
+    EXPECT_FALSE(ep.buffers().contains({1000, 100}));
+    EXPECT_DEATH(ep.buffers().span(BufferRef{1000, 100}), "outside");
+}
+
+TEST(Endpoint, ChannelTable)
+{
+    Fixture f;
+    Endpoint ep(f.s, f.memory, {}, nullptr, 0);
+    ChannelInfo info;
+    info.vci = 42;
+    ChannelId id = ep.addChannel(info);
+    EXPECT_TRUE(ep.channelValid(id));
+    EXPECT_EQ(ep.channel(id).vci, 42);
+    EXPECT_FALSE(ep.channelValid(id + 1));
+    EXPECT_FALSE(ep.channelValid(invalidChannel));
+}
+
+TEST(Endpoint, ChannelLimitEnforced)
+{
+    Fixture f;
+    EndpointConfig cfg;
+    cfg.maxChannels = 2;
+    Endpoint ep(f.s, f.memory, cfg, nullptr, 0);
+    ep.addChannel({});
+    ep.addChannel({});
+    EXPECT_EXIT(ep.addChannel({}), ::testing::ExitedWithCode(1),
+                "channel limit");
+}
+
+TEST(Endpoint, PollReturnsDeliveredMessages)
+{
+    Fixture f;
+    Endpoint ep(f.s, f.memory, {}, nullptr, 0);
+    RecvDescriptor out;
+    EXPECT_FALSE(ep.poll(out));
+    EXPECT_TRUE(ep.deliver(smallMessage(3, 0xAA)));
+    ASSERT_TRUE(ep.poll(out));
+    EXPECT_EQ(out.channel, 3);
+    EXPECT_EQ(out.inlineData[0], 0xAA);
+    EXPECT_FALSE(ep.poll(out));
+}
+
+TEST(Endpoint, RecvQueueOverflowDropsAndCounts)
+{
+    Fixture f;
+    EndpointConfig cfg;
+    cfg.recvQueueDepth = 2;
+    Endpoint ep(f.s, f.memory, cfg, nullptr, 0);
+    EXPECT_TRUE(ep.deliver(smallMessage(0, 1)));
+    EXPECT_TRUE(ep.deliver(smallMessage(0, 2)));
+    EXPECT_FALSE(ep.deliver(smallMessage(0, 3)));
+    EXPECT_EQ(ep.rxQueueDrops(), 1u);
+}
+
+TEST(Endpoint, WaitBlocksUntilDelivery)
+{
+    Fixture f;
+    Endpoint ep(f.s, f.memory, {}, nullptr, 0);
+    sim::Tick woke = -1;
+    std::uint8_t seen = 0;
+    sim::Process app(f.s, "app", [&](sim::Process &self) {
+        RecvDescriptor rd;
+        EXPECT_TRUE(ep.wait(self, rd));
+        woke = f.s.now();
+        seen = rd.inlineData[0];
+    });
+    app.start();
+    f.s.schedule(12_us, [&] { ep.deliver(smallMessage(0, 0x7E)); });
+    f.s.run();
+    EXPECT_EQ(woke, 12_us);
+    EXPECT_EQ(seen, 0x7E);
+}
+
+TEST(Endpoint, WaitTimesOut)
+{
+    Fixture f;
+    Endpoint ep(f.s, f.memory, {}, nullptr, 0);
+    bool got = true;
+    sim::Process app(f.s, "app", [&](sim::Process &self) {
+        RecvDescriptor rd;
+        got = ep.wait(self, rd, 5_us);
+    });
+    app.start();
+    f.s.run();
+    EXPECT_FALSE(got);
+    EXPECT_EQ(f.s.now(), 5_us);
+}
+
+TEST(Endpoint, UpcallConsumesAllPending)
+{
+    Fixture f;
+    Endpoint ep(f.s, f.memory, {}, nullptr, 0);
+    std::vector<std::uint8_t> seen;
+    ep.setUpcall([&](const RecvDescriptor &rd) {
+        seen.push_back(rd.inlineData[0]);
+    }, 30_us);
+
+    f.s.schedule(0, [&] {
+        // Three deliveries in one tick: one upcall handles all three
+        // ("U-Net allows all messages pending in the receive queue to
+        // be consumed in a single upcall").
+        ep.deliver(smallMessage(0, 1));
+        ep.deliver(smallMessage(0, 2));
+        ep.deliver(smallMessage(0, 3));
+    });
+    f.s.run();
+    EXPECT_EQ(seen, (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(f.s.now(), 30_us); // one signal latency, not three
+}
+
+TEST(Endpoint, UpcallRearmsForLaterMessages)
+{
+    Fixture f;
+    Endpoint ep(f.s, f.memory, {}, nullptr, 0);
+    int calls = 0;
+    ep.setUpcall([&](const RecvDescriptor &) { ++calls; }, 10_us);
+    f.s.schedule(0, [&] { ep.deliver(smallMessage(0, 1)); });
+    f.s.schedule(100_us, [&] { ep.deliver(smallMessage(0, 2)); });
+    f.s.run();
+    EXPECT_EQ(calls, 2);
+}

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "tests/unet/fixtures.hh"
+#include "unet/os_service.hh"
+
+using namespace unet;
+using namespace unet::test;
+using namespace unet::sim::literals;
+
+TEST(OsService, CreateEndpointChargesSyscall)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    OsService os(a.unet);
+
+    sim::Tick elapsed = -1;
+    Endpoint *ep = nullptr;
+    sim::Process app(s, "app", [&](sim::Process &self) {
+        sim::Tick t0 = s.now();
+        ep = os.createEndpoint(self);
+        elapsed = s.now() - t0;
+    });
+    app.start();
+    s.run();
+    ASSERT_NE(ep, nullptr);
+    EXPECT_EQ(ep->owner(), &app);
+    // A full system call, an order of magnitude above the fast trap.
+    EXPECT_GE(elapsed, 10_us);
+}
+
+TEST(OsService, EndpointLimitPerProcess)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    OsLimits limits;
+    limits.maxEndpointsPerProcess = 2;
+    OsService os(a.unet, limits);
+
+    int created = 0;
+    sim::Process app(s, "app", [&](sim::Process &self) {
+        for (int i = 0; i < 4; ++i)
+            if (os.createEndpoint(self))
+                ++created;
+    });
+    app.start();
+    s.run();
+    EXPECT_EQ(created, 2);
+}
+
+TEST(OsService, ChannelLimitClampedByOs)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    OsLimits limits;
+    limits.maxChannelsPerEndpoint = 1;
+    OsService os(a.unet, limits);
+
+    Endpoint *ep = nullptr;
+    sim::Process app(s, "app", [&](sim::Process &self) {
+        EndpointConfig cfg;
+        cfg.maxChannels = 100; // application asks for more than allowed
+        ep = os.createEndpoint(self, cfg);
+    });
+    app.start();
+    s.run();
+    ASSERT_NE(ep, nullptr);
+    EXPECT_EQ(ep->config().maxChannels, 1u);
+}
+
+TEST(OsService, AuthorizerCanDeny)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    OsService os(a.unet);
+
+    sim::Process allowed(s, "allowed", [](sim::Process &) {});
+    sim::Process denied(s, "denied", [](sim::Process &) {});
+    Endpoint &ep = a.unet.createEndpoint(&allowed, {});
+
+    os.setAuthorizer([&](const sim::Process &proc, const Endpoint &) {
+        return &proc != &denied;
+    });
+    EXPECT_TRUE(os.authorize(allowed, ep));
+    EXPECT_FALSE(os.authorize(denied, ep));
+}
+
+TEST(OsService, DefaultAuthorizerAllows)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    OsService os(a.unet);
+    sim::Process p(s, "p", [](sim::Process &) {});
+    Endpoint &ep = a.unet.createEndpoint(&p, {});
+    EXPECT_TRUE(os.authorize(p, ep));
+}

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "unet/queues.hh"
+#include "unet/types.hh"
+
+using namespace unet;
+
+TEST(Ring, FifoOrder)
+{
+    Ring<int> r(4);
+    EXPECT_TRUE(r.empty());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(r.push(i));
+    EXPECT_TRUE(r.full());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(*r.pop(), i);
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.pop().has_value());
+}
+
+TEST(Ring, RejectsWhenFull)
+{
+    Ring<int> r(2);
+    EXPECT_TRUE(r.push(1));
+    EXPECT_TRUE(r.push(2));
+    EXPECT_FALSE(r.push(3));
+    EXPECT_EQ(r.rejected(), 1u);
+    EXPECT_EQ(r.pushed(), 2u);
+}
+
+TEST(Ring, WrapsAround)
+{
+    Ring<int> r(3);
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(r.push(round));
+        EXPECT_EQ(*r.pop(), round);
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, FrontPeeksWithoutPopping)
+{
+    Ring<int> r(2);
+    r.push(7);
+    EXPECT_EQ(r.front(), 7);
+    EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Ring, InterleavedProducerConsumer)
+{
+    Ring<int> r(5);
+    int produced = 0, consumed = 0;
+    for (int step = 0; step < 100; ++step) {
+        if (step % 3 != 2) {
+            if (r.push(produced))
+                ++produced;
+        } else {
+            if (auto v = r.pop()) {
+                EXPECT_EQ(*v, consumed);
+                ++consumed;
+            }
+        }
+    }
+    while (auto v = r.pop()) {
+        EXPECT_EQ(*v, consumed);
+        ++consumed;
+    }
+    EXPECT_EQ(produced, consumed);
+}
+
+TEST(SendDescriptor, TotalLength)
+{
+    SendDescriptor d;
+    d.isInline = true;
+    d.inlineLength = 40;
+    EXPECT_EQ(d.totalLength(), 40u);
+
+    d.isInline = false;
+    d.fragmentCount = 2;
+    d.fragments[0] = {0, 100};
+    d.fragments[1] = {200, 50};
+    EXPECT_EQ(d.totalLength(), 150u);
+}

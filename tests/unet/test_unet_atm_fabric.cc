@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "tests/unet/fixtures.hh"
+
+using namespace unet;
+using namespace unet::test;
+using namespace unet::sim::literals;
+
+TEST(UNetAtmFabric, EndToEndAcrossTwoSwitches)
+{
+    sim::Simulation s;
+    atm::Fabric fabric(s);
+    std::size_t sw0 = fabric.addSwitch();
+    std::size_t sw1 = fabric.addSwitch();
+    fabric.addTrunk(sw0, sw1);
+
+    host::Host host_a(s, "a", host::CpuSpec::pentium120(),
+                      host::BusSpec::pci());
+    host::Host host_b(s, "b", host::CpuSpec::pentium120(),
+                      host::BusSpec::pci());
+    atm::AtmLink link_a(s), link_b(s);
+    nic::Pca200 nic_a(host_a, link_a), nic_b(host_b, link_b);
+    auto at_a = fabric.attachHost(sw0, link_a);
+    auto at_b = fabric.attachHost(sw1, link_b);
+    UNetAtm ua(host_a, nic_a), ub(host_b, nic_b);
+
+    Endpoint *epA = nullptr, *epB = nullptr;
+    ChannelId chanA = invalidChannel, chanB = invalidChannel;
+    RecvDescriptor got;
+    bool received = false;
+    sim::Tick arrival = 0;
+
+    sim::Process rx(s, "rx", [&](sim::Process &self) {
+        received = epB->wait(self, got, 10_ms);
+        arrival = s.now();
+    });
+    sim::Process tx(s, "tx", [&](sim::Process &self) {
+        auto data = pattern(32);
+        EXPECT_TRUE(ua.send(self, *epA, inlineSend(chanA, data)));
+    });
+
+    epA = &ua.createEndpoint(&tx, {});
+    epB = &ub.createEndpoint(&rx, {});
+    UNetAtm::connectFabric(ua, *epA, at_a, ub, *epB, at_b, fabric,
+                           chanA, chanB);
+
+    rx.start();
+    tx.start();
+    s.run();
+
+    ASSERT_TRUE(received);
+    EXPECT_EQ(got.length, 32u);
+    auto want = pattern(32);
+    EXPECT_TRUE(std::equal(want.begin(), want.end(),
+                           got.inlineData.begin()));
+    // Two 7-us switch hops in the path.
+    EXPECT_GT(arrival, 2 * 7_us);
+}
+
+TEST(UNetAtmFabric, ExtraHopsAddForwardingLatency)
+{
+    auto latency = [](int extra_switches) {
+        sim::Simulation s;
+        atm::Fabric fabric(s);
+        std::vector<std::size_t> sws{fabric.addSwitch()};
+        for (int i = 0; i < extra_switches; ++i) {
+            sws.push_back(fabric.addSwitch());
+            fabric.addTrunk(sws[sws.size() - 2], sws.back());
+        }
+
+        host::Host host_a(s, "a", host::CpuSpec::pentium120(),
+                          host::BusSpec::pci());
+        host::Host host_b(s, "b", host::CpuSpec::pentium120(),
+                          host::BusSpec::pci());
+        atm::AtmLink link_a(s), link_b(s);
+        nic::Pca200 nic_a(host_a, link_a), nic_b(host_b, link_b);
+        auto at_a = fabric.attachHost(sws.front(), link_a);
+        auto at_b = fabric.attachHost(sws.back(), link_b);
+        UNetAtm ua(host_a, nic_a), ub(host_b, nic_b);
+
+        Endpoint *epA = nullptr, *epB = nullptr;
+        ChannelId chanA = invalidChannel, chanB = invalidChannel;
+        sim::Tick arrival = -1;
+
+        sim::Process rx(s, "rx", [&](sim::Process &self) {
+            RecvDescriptor rd;
+            if (epB->wait(self, rd, 10_ms))
+                arrival = s.now();
+        });
+        sim::Process tx(s, "tx", [&](sim::Process &self) {
+            auto data = pattern(16);
+            ua.send(self, *epA, inlineSend(chanA, data));
+        });
+
+        epA = &ua.createEndpoint(&tx, {});
+        epB = &ub.createEndpoint(&rx, {});
+        UNetAtm::connectFabric(ua, *epA, at_a, ub, *epB, at_b, fabric,
+                               chanA, chanB);
+        rx.start();
+        tx.start();
+        s.run();
+        return arrival;
+    };
+
+    sim::Tick one = latency(0);  // single switch
+    sim::Tick three = latency(2); // three switches in a line
+    // Each extra switch adds its forwarding delay + cell
+    // serialization on the trunk.
+    EXPECT_GT(three, one + 2 * 7_us);
+}
