@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_duplex.dir/ablation_duplex.cc.o"
+  "CMakeFiles/ablation_duplex.dir/ablation_duplex.cc.o.d"
+  "ablation_duplex"
+  "ablation_duplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_i960_poll.dir/ablation_i960_poll.cc.o"
+  "CMakeFiles/ablation_i960_poll.dir/ablation_i960_poll.cc.o.d"
+  "ablation_i960_poll"
+  "ablation_i960_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_i960_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

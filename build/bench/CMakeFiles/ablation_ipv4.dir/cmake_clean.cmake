@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ipv4.dir/ablation_ipv4.cc.o"
+  "CMakeFiles/ablation_ipv4.dir/ablation_ipv4.cc.o.d"
+  "ablation_ipv4"
+  "ablation_ipv4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ipv4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

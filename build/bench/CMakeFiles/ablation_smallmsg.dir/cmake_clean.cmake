@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smallmsg.dir/ablation_smallmsg.cc.o"
+  "CMakeFiles/ablation_smallmsg.dir/ablation_smallmsg.cc.o.d"
+  "ablation_smallmsg"
+  "ablation_smallmsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smallmsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

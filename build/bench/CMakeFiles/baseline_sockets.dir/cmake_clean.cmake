@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sockets.dir/baseline_sockets.cc.o"
+  "CMakeFiles/baseline_sockets.dir/baseline_sockets.cc.o.d"
+  "baseline_sockets"
+  "baseline_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rx_timeline.dir/fig4_rx_timeline.cc.o"
+  "CMakeFiles/fig4_rx_timeline.dir/fig4_rx_timeline.cc.o.d"
+  "fig4_rx_timeline"
+  "fig4_rx_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rx_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

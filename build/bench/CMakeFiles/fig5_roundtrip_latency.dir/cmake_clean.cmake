@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_roundtrip_latency.dir/fig5_roundtrip_latency.cc.o"
+  "CMakeFiles/fig5_roundtrip_latency.dir/fig5_roundtrip_latency.cc.o.d"
+  "fig5_roundtrip_latency"
+  "fig5_roundtrip_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_roundtrip_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_bandwidth.dir/fig6_bandwidth.cc.o"
+  "CMakeFiles/fig6_bandwidth.dir/fig6_bandwidth.cc.o.d"
+  "fig6_bandwidth"
+  "fig6_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_relative_times.dir/fig7_relative_times.cc.o"
+  "CMakeFiles/fig7_relative_times.dir/fig7_relative_times.cc.o.d"
+  "fig7_relative_times"
+  "fig7_relative_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_relative_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

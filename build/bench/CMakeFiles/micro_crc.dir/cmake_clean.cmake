@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_crc.dir/micro_crc.cc.o"
+  "CMakeFiles/micro_crc.dir/micro_crc.cc.o.d"
+  "micro_crc"
+  "micro_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_splitc.dir/table1_splitc.cc.o"
+  "CMakeFiles/table1_splitc.dir/table1_splitc.cc.o.d"
+  "table1_splitc"
+  "table1_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

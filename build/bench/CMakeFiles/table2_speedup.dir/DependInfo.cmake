@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_speedup.cc" "bench/CMakeFiles/table2_speedup.dir/table2_speedup.cc.o" "gcc" "bench/CMakeFiles/table2_speedup.dir/table2_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unet/CMakeFiles/unet_unet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/unet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/unet_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/unet_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/unet_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/unet_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/unet/CMakeFiles/unet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/unet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/unet_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/unet_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/unet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

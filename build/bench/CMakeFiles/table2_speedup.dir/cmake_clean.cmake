@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_speedup.dir/table2_speedup.cc.o"
+  "CMakeFiles/table2_speedup.dir/table2_speedup.cc.o.d"
+  "table2_speedup"
+  "table2_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_rpc.dir/am_rpc.cc.o"
+  "CMakeFiles/am_rpc.dir/am_rpc.cc.o.d"
+  "am_rpc"
+  "am_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receive_models.dir/receive_models.cc.o"
+  "CMakeFiles/receive_models.dir/receive_models.cc.o.d"
+  "receive_models"
+  "receive_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receive_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("host")
+subdirs("net")
+subdirs("eth")
+subdirs("atm")
+subdirs("unet")
+subdirs("nic")
+subdirs("sockets")
+subdirs("am")
+subdirs("splitc")
+subdirs("apps")
+subdirs("cluster")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_am.dir/active_messages.cc.o"
+  "CMakeFiles/unet_am.dir/active_messages.cc.o.d"
+  "libunet_am.a"
+  "libunet_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_apps.dir/matmul.cc.o"
+  "CMakeFiles/unet_apps.dir/matmul.cc.o.d"
+  "CMakeFiles/unet_apps.dir/radix_sort.cc.o"
+  "CMakeFiles/unet_apps.dir/radix_sort.cc.o.d"
+  "CMakeFiles/unet_apps.dir/sample_sort.cc.o"
+  "CMakeFiles/unet_apps.dir/sample_sort.cc.o.d"
+  "libunet_apps.a"
+  "libunet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atm/aal5.cc" "src/atm/CMakeFiles/unet_atm.dir/aal5.cc.o" "gcc" "src/atm/CMakeFiles/unet_atm.dir/aal5.cc.o.d"
+  "/root/repo/src/atm/fabric.cc" "src/atm/CMakeFiles/unet_atm.dir/fabric.cc.o" "gcc" "src/atm/CMakeFiles/unet_atm.dir/fabric.cc.o.d"
+  "/root/repo/src/atm/link.cc" "src/atm/CMakeFiles/unet_atm.dir/link.cc.o" "gcc" "src/atm/CMakeFiles/unet_atm.dir/link.cc.o.d"
+  "/root/repo/src/atm/switch.cc" "src/atm/CMakeFiles/unet_atm.dir/switch.cc.o" "gcc" "src/atm/CMakeFiles/unet_atm.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/unet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

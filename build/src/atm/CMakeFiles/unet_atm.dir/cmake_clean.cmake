@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_atm.dir/aal5.cc.o"
+  "CMakeFiles/unet_atm.dir/aal5.cc.o.d"
+  "CMakeFiles/unet_atm.dir/fabric.cc.o"
+  "CMakeFiles/unet_atm.dir/fabric.cc.o.d"
+  "CMakeFiles/unet_atm.dir/link.cc.o"
+  "CMakeFiles/unet_atm.dir/link.cc.o.d"
+  "CMakeFiles/unet_atm.dir/switch.cc.o"
+  "CMakeFiles/unet_atm.dir/switch.cc.o.d"
+  "libunet_atm.a"
+  "libunet_atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_cluster.dir/cluster.cc.o"
+  "CMakeFiles/unet_cluster.dir/cluster.cc.o.d"
+  "libunet_cluster.a"
+  "libunet_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eth/frame.cc" "src/eth/CMakeFiles/unet_eth.dir/frame.cc.o" "gcc" "src/eth/CMakeFiles/unet_eth.dir/frame.cc.o.d"
+  "/root/repo/src/eth/hub.cc" "src/eth/CMakeFiles/unet_eth.dir/hub.cc.o" "gcc" "src/eth/CMakeFiles/unet_eth.dir/hub.cc.o.d"
+  "/root/repo/src/eth/link.cc" "src/eth/CMakeFiles/unet_eth.dir/link.cc.o" "gcc" "src/eth/CMakeFiles/unet_eth.dir/link.cc.o.d"
+  "/root/repo/src/eth/mac_address.cc" "src/eth/CMakeFiles/unet_eth.dir/mac_address.cc.o" "gcc" "src/eth/CMakeFiles/unet_eth.dir/mac_address.cc.o.d"
+  "/root/repo/src/eth/switch.cc" "src/eth/CMakeFiles/unet_eth.dir/switch.cc.o" "gcc" "src/eth/CMakeFiles/unet_eth.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/unet_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

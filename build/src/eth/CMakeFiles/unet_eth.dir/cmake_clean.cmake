@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_eth.dir/frame.cc.o"
+  "CMakeFiles/unet_eth.dir/frame.cc.o.d"
+  "CMakeFiles/unet_eth.dir/hub.cc.o"
+  "CMakeFiles/unet_eth.dir/hub.cc.o.d"
+  "CMakeFiles/unet_eth.dir/link.cc.o"
+  "CMakeFiles/unet_eth.dir/link.cc.o.d"
+  "CMakeFiles/unet_eth.dir/mac_address.cc.o"
+  "CMakeFiles/unet_eth.dir/mac_address.cc.o.d"
+  "CMakeFiles/unet_eth.dir/switch.cc.o"
+  "CMakeFiles/unet_eth.dir/switch.cc.o.d"
+  "libunet_eth.a"
+  "libunet_eth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunet_eth.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/bus.cc" "src/host/CMakeFiles/unet_host.dir/bus.cc.o" "gcc" "src/host/CMakeFiles/unet_host.dir/bus.cc.o.d"
+  "/root/repo/src/host/cpu.cc" "src/host/CMakeFiles/unet_host.dir/cpu.cc.o" "gcc" "src/host/CMakeFiles/unet_host.dir/cpu.cc.o.d"
+  "/root/repo/src/host/cpu_spec.cc" "src/host/CMakeFiles/unet_host.dir/cpu_spec.cc.o" "gcc" "src/host/CMakeFiles/unet_host.dir/cpu_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

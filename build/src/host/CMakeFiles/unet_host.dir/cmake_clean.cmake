@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_host.dir/bus.cc.o"
+  "CMakeFiles/unet_host.dir/bus.cc.o.d"
+  "CMakeFiles/unet_host.dir/cpu.cc.o"
+  "CMakeFiles/unet_host.dir/cpu.cc.o.d"
+  "CMakeFiles/unet_host.dir/cpu_spec.cc.o"
+  "CMakeFiles/unet_host.dir/cpu_spec.cc.o.d"
+  "libunet_host.a"
+  "libunet_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

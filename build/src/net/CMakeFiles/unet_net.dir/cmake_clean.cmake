@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_net.dir/crc32.cc.o"
+  "CMakeFiles/unet_net.dir/crc32.cc.o.d"
+  "libunet_net.a"
+  "libunet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_nic.dir/dc21140.cc.o"
+  "CMakeFiles/unet_nic.dir/dc21140.cc.o.d"
+  "CMakeFiles/unet_nic.dir/pca200.cc.o"
+  "CMakeFiles/unet_nic.dir/pca200.cc.o.d"
+  "libunet_nic.a"
+  "libunet_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

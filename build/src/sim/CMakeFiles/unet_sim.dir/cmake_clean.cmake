@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_sim.dir/event.cc.o"
+  "CMakeFiles/unet_sim.dir/event.cc.o.d"
+  "CMakeFiles/unet_sim.dir/fiber.cc.o"
+  "CMakeFiles/unet_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/unet_sim.dir/logging.cc.o"
+  "CMakeFiles/unet_sim.dir/logging.cc.o.d"
+  "CMakeFiles/unet_sim.dir/process.cc.o"
+  "CMakeFiles/unet_sim.dir/process.cc.o.d"
+  "libunet_sim.a"
+  "libunet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_sockets.dir/udp_stack.cc.o"
+  "CMakeFiles/unet_sockets.dir/udp_stack.cc.o.d"
+  "libunet_sockets.a"
+  "libunet_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

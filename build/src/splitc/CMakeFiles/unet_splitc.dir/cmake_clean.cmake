@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_splitc.dir/runtime.cc.o"
+  "CMakeFiles/unet_splitc.dir/runtime.cc.o.d"
+  "libunet_splitc.a"
+  "libunet_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

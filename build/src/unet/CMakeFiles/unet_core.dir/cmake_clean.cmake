@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_core.dir/endpoint.cc.o"
+  "CMakeFiles/unet_core.dir/endpoint.cc.o.d"
+  "libunet_core.a"
+  "libunet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

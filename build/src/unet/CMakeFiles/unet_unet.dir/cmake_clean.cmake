@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_unet.dir/unet_atm.cc.o"
+  "CMakeFiles/unet_unet.dir/unet_atm.cc.o.d"
+  "CMakeFiles/unet_unet.dir/unet_fe.cc.o"
+  "CMakeFiles/unet_unet.dir/unet_fe.cc.o.d"
+  "libunet_unet.a"
+  "libunet_unet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_unet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

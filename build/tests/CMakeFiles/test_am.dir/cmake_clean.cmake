@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am.dir/am/test_active_messages.cc.o"
+  "CMakeFiles/test_am.dir/am/test_active_messages.cc.o.d"
+  "CMakeFiles/test_am.dir/am/test_am_properties.cc.o"
+  "CMakeFiles/test_am.dir/am/test_am_properties.cc.o.d"
+  "test_am"
+  "test_am.pdb"
+  "test_am[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

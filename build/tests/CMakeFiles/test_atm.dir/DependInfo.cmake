@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/atm/test_aal5.cc" "tests/CMakeFiles/test_atm.dir/atm/test_aal5.cc.o" "gcc" "tests/CMakeFiles/test_atm.dir/atm/test_aal5.cc.o.d"
+  "/root/repo/tests/atm/test_fabric.cc" "tests/CMakeFiles/test_atm.dir/atm/test_fabric.cc.o" "gcc" "tests/CMakeFiles/test_atm.dir/atm/test_fabric.cc.o.d"
+  "/root/repo/tests/atm/test_link.cc" "tests/CMakeFiles/test_atm.dir/atm/test_link.cc.o" "gcc" "tests/CMakeFiles/test_atm.dir/atm/test_link.cc.o.d"
+  "/root/repo/tests/atm/test_switch.cc" "tests/CMakeFiles/test_atm.dir/atm/test_switch.cc.o" "gcc" "tests/CMakeFiles/test_atm.dir/atm/test_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atm/CMakeFiles/unet_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/unet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

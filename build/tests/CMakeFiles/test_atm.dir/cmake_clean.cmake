@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atm.dir/atm/test_aal5.cc.o"
+  "CMakeFiles/test_atm.dir/atm/test_aal5.cc.o.d"
+  "CMakeFiles/test_atm.dir/atm/test_fabric.cc.o"
+  "CMakeFiles/test_atm.dir/atm/test_fabric.cc.o.d"
+  "CMakeFiles/test_atm.dir/atm/test_link.cc.o"
+  "CMakeFiles/test_atm.dir/atm/test_link.cc.o.d"
+  "CMakeFiles/test_atm.dir/atm/test_switch.cc.o"
+  "CMakeFiles/test_atm.dir/atm/test_switch.cc.o.d"
+  "test_atm"
+  "test_atm.pdb"
+  "test_atm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eth/test_frame.cc" "tests/CMakeFiles/test_eth.dir/eth/test_frame.cc.o" "gcc" "tests/CMakeFiles/test_eth.dir/eth/test_frame.cc.o.d"
+  "/root/repo/tests/eth/test_hub.cc" "tests/CMakeFiles/test_eth.dir/eth/test_hub.cc.o" "gcc" "tests/CMakeFiles/test_eth.dir/eth/test_hub.cc.o.d"
+  "/root/repo/tests/eth/test_link.cc" "tests/CMakeFiles/test_eth.dir/eth/test_link.cc.o" "gcc" "tests/CMakeFiles/test_eth.dir/eth/test_link.cc.o.d"
+  "/root/repo/tests/eth/test_switch.cc" "tests/CMakeFiles/test_eth.dir/eth/test_switch.cc.o" "gcc" "tests/CMakeFiles/test_eth.dir/eth/test_switch.cc.o.d"
+  "/root/repo/tests/eth/test_switch_cutthrough.cc" "tests/CMakeFiles/test_eth.dir/eth/test_switch_cutthrough.cc.o" "gcc" "tests/CMakeFiles/test_eth.dir/eth/test_switch_cutthrough.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eth/CMakeFiles/unet_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/unet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

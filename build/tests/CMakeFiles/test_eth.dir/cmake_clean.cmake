@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eth.dir/eth/test_frame.cc.o"
+  "CMakeFiles/test_eth.dir/eth/test_frame.cc.o.d"
+  "CMakeFiles/test_eth.dir/eth/test_hub.cc.o"
+  "CMakeFiles/test_eth.dir/eth/test_hub.cc.o.d"
+  "CMakeFiles/test_eth.dir/eth/test_link.cc.o"
+  "CMakeFiles/test_eth.dir/eth/test_link.cc.o.d"
+  "CMakeFiles/test_eth.dir/eth/test_switch.cc.o"
+  "CMakeFiles/test_eth.dir/eth/test_switch.cc.o.d"
+  "CMakeFiles/test_eth.dir/eth/test_switch_cutthrough.cc.o"
+  "CMakeFiles/test_eth.dir/eth/test_switch_cutthrough.cc.o.d"
+  "test_eth"
+  "test_eth.pdb"
+  "test_eth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/host/test_bus.cc" "tests/CMakeFiles/test_host.dir/host/test_bus.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/test_bus.cc.o.d"
+  "/root/repo/tests/host/test_cpu.cc" "tests/CMakeFiles/test_host.dir/host/test_cpu.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/test_cpu.cc.o.d"
+  "/root/repo/tests/host/test_memory.cc" "tests/CMakeFiles/test_host.dir/host/test_memory.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/test_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/unet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host.dir/host/test_bus.cc.o"
+  "CMakeFiles/test_host.dir/host/test_bus.cc.o.d"
+  "CMakeFiles/test_host.dir/host/test_cpu.cc.o"
+  "CMakeFiles/test_host.dir/host/test_cpu.cc.o.d"
+  "CMakeFiles/test_host.dir/host/test_memory.cc.o"
+  "CMakeFiles/test_host.dir/host/test_memory.cc.o.d"
+  "test_host"
+  "test_host.pdb"
+  "test_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event.cc" "tests/CMakeFiles/test_sim.dir/sim/test_event.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event.cc.o.d"
+  "/root/repo/tests/sim/test_fiber.cc" "tests/CMakeFiles/test_sim.dir/sim/test_fiber.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_fiber.cc.o.d"
+  "/root/repo/tests/sim/test_process.cc" "tests/CMakeFiles/test_sim.dir/sim/test_process.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_process.cc.o.d"
+  "/root/repo/tests/sim/test_random.cc" "tests/CMakeFiles/test_sim.dir/sim/test_random.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_random.cc.o.d"
+  "/root/repo/tests/sim/test_stats.cc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cc.o.d"
+  "/root/repo/tests/sim/test_time.cc" "tests/CMakeFiles/test_sim.dir/sim/test_time.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_event.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_event.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_fiber.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_fiber.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_process.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_process.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_random.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_random.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_time.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_time.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

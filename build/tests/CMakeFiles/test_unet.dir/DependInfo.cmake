@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/unet/test_endpoint.cc" "tests/CMakeFiles/test_unet.dir/unet/test_endpoint.cc.o" "gcc" "tests/CMakeFiles/test_unet.dir/unet/test_endpoint.cc.o.d"
+  "/root/repo/tests/unet/test_os_service.cc" "tests/CMakeFiles/test_unet.dir/unet/test_os_service.cc.o" "gcc" "tests/CMakeFiles/test_unet.dir/unet/test_os_service.cc.o.d"
+  "/root/repo/tests/unet/test_queues.cc" "tests/CMakeFiles/test_unet.dir/unet/test_queues.cc.o" "gcc" "tests/CMakeFiles/test_unet.dir/unet/test_queues.cc.o.d"
+  "/root/repo/tests/unet/test_unet_atm.cc" "tests/CMakeFiles/test_unet.dir/unet/test_unet_atm.cc.o" "gcc" "tests/CMakeFiles/test_unet.dir/unet/test_unet_atm.cc.o.d"
+  "/root/repo/tests/unet/test_unet_atm_fabric.cc" "tests/CMakeFiles/test_unet.dir/unet/test_unet_atm_fabric.cc.o" "gcc" "tests/CMakeFiles/test_unet.dir/unet/test_unet_atm_fabric.cc.o.d"
+  "/root/repo/tests/unet/test_unet_fe.cc" "tests/CMakeFiles/test_unet.dir/unet/test_unet_fe.cc.o" "gcc" "tests/CMakeFiles/test_unet.dir/unet/test_unet_fe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unet/CMakeFiles/unet_unet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/unet_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/unet/CMakeFiles/unet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/unet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/eth/CMakeFiles/unet_eth.dir/DependInfo.cmake"
+  "/root/repo/build/src/atm/CMakeFiles/unet_atm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/unet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unet.dir/unet/test_endpoint.cc.o"
+  "CMakeFiles/test_unet.dir/unet/test_endpoint.cc.o.d"
+  "CMakeFiles/test_unet.dir/unet/test_os_service.cc.o"
+  "CMakeFiles/test_unet.dir/unet/test_os_service.cc.o.d"
+  "CMakeFiles/test_unet.dir/unet/test_queues.cc.o"
+  "CMakeFiles/test_unet.dir/unet/test_queues.cc.o.d"
+  "CMakeFiles/test_unet.dir/unet/test_unet_atm.cc.o"
+  "CMakeFiles/test_unet.dir/unet/test_unet_atm.cc.o.d"
+  "CMakeFiles/test_unet.dir/unet/test_unet_atm_fabric.cc.o"
+  "CMakeFiles/test_unet.dir/unet/test_unet_atm_fabric.cc.o.d"
+  "CMakeFiles/test_unet.dir/unet/test_unet_fe.cc.o"
+  "CMakeFiles/test_unet.dir/unet/test_unet_fe.cc.o.d"
+  "test_unet"
+  "test_unet.pdb"
+  "test_unet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
