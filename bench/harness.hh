@@ -330,8 +330,20 @@ bandwidthMbps(Fabric fabric, std::size_t size, int messages = 400,
     sim::Process source(s, "source", [&](sim::Process &self) {
         auto &un = rig.unetOf(0);
         auto &ep = rig.ep(0);
+        // Rotate the TX buffer: the zero-copy contract forbids
+        // re-posting a buffer that is still in flight, and with a
+        // 64-deep send queue plus a 64-slot device ring up to 128
+        // sends can be outstanding at once. The source never posts
+        // receive buffers, so the whole area is available.
+        std::uint32_t slot_bytes = 2048;
+        while (slot_bytes < size)
+            slot_bytes *= 2;
+        const std::uint32_t slots = static_cast<std::uint32_t>(
+            ep.buffers().size() / slot_bytes);
         for (int m = 0; m < messages; ++m) {
-            while (!rawSend(un, self, ep, rig.chan(0), size, 16384,
+            std::uint32_t tx_off =
+                (static_cast<std::uint32_t>(m) % slots) * slot_bytes;
+            while (!rawSend(un, self, ep, rig.chan(0), size, tx_off,
                             !rig.isAtm())) {
                 // Send queue full: give the device time to drain.
                 self.delay(sim::microseconds(20));

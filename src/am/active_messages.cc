@@ -50,9 +50,12 @@ ActiveMessages::ActiveMessages(UNet &unet, Endpoint &ep, AmSpec spec)
 
     // Boot-time posting: the application hands its receive buffers to
     // U-Net before any traffic flows.
-    for (std::size_t i = 0; i < _spec.rxBuffers; ++i)
-        ep.freeQueue().push({static_cast<std::uint32_t>(i * chunk),
-                             static_cast<std::uint32_t>(chunk)});
+    for (std::size_t i = 0; i < _spec.rxBuffers; ++i) {
+        BufferRef buf{static_cast<std::uint32_t>(i * chunk),
+                      static_cast<std::uint32_t>(chunk)};
+        if (ep.freeQueue().push(buf))
+            ep.ownership().postFree(buf);
+    }
 
     txPool = BufferPool(static_cast<std::uint32_t>(rx_bytes),
                         static_cast<std::uint32_t>(chunk), tx_chunks);
@@ -77,6 +80,7 @@ ActiveMessages::state(ChannelId chan)
 {
     auto &ch = channels[chan];
     ch.open = true;
+    ch.credits.setLimit(_spec.window);
     return ch;
 }
 
@@ -192,6 +196,7 @@ ActiveMessages::sendReliable(sim::Process &proc, ChannelId chan,
         return false;
     }
     ch.txNext = static_cast<std::uint8_t>(ch.txNext + 1);
+    ch.credits.acquire();
     ch.window.push_back(std::move(pending));
     ch.lastTx = unet.host().simulation().now();
     return true;
@@ -271,6 +276,7 @@ ActiveMessages::processAck(ChannelState &ch, std::uint8_t ack)
             else
                 txPool.release(*front.chunk);
         }
+        ch.credits.release();
         ch.window.pop_front();
     }
     if (covered > 0)

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Flow-control credit auditing.
+ *
+ * The Active Message layer promises each channel at most `window`
+ * unacknowledged messages in flight; the receiver sizes its buffers to
+ * that promise. A credit that goes negative (double release on an ACK)
+ * or exceeds the window (a send that skipped the flow-control gate)
+ * breaks the no-drop guarantee silently — traffic still flows, just
+ * unreliably under load. This auditor panics at the exact violation.
+ *
+ * Header-only; compiles to a no-op when UNET_CHECK is 0.
+ */
+
+#ifndef UNET_CHECK_CREDITS_HH
+#define UNET_CHECK_CREDITS_HH
+
+#include <cstddef>
+
+#include "sim/logging.hh"
+
+namespace unet::check {
+
+#if defined(UNET_CHECK) && UNET_CHECK
+
+/** Audits one channel's in-flight message credits. */
+class CreditWindow
+{
+  public:
+    /** Set the window limit (once, before the first acquire). */
+    void
+    setLimit(std::size_t window)
+    {
+        if (limit != 0 && limit != window)
+            UNET_PANIC("credit window re-limited from ", limit, " to ",
+                       window);
+        limit = window;
+    }
+
+    /** One more message in flight. */
+    void
+    acquire()
+    {
+        if (limit == 0)
+            UNET_PANIC("credit acquired before the window was sized");
+        if (inFlight >= limit)
+            UNET_PANIC("credit overflow: ", inFlight,
+                       " messages already in flight of a ", limit,
+                       "-message window");
+        ++inFlight;
+    }
+
+    /** One in-flight message acknowledged. */
+    void
+    release()
+    {
+        if (inFlight == 0)
+            UNET_PANIC("credit underflow: release with no message in "
+                       "flight");
+        --inFlight;
+    }
+
+    std::size_t held() const { return inFlight; }
+
+  private:
+    std::size_t limit = 0;
+    std::size_t inFlight = 0;
+};
+
+#else // !UNET_CHECK
+
+/** No-op stand-in. */
+class CreditWindow
+{
+  public:
+    void setLimit(std::size_t) {}
+    void acquire() {}
+    void release() {}
+    std::size_t held() const { return 0; }
+};
+
+#endif // UNET_CHECK
+
+} // namespace unet::check
+
+#endif // UNET_CHECK_CREDITS_HH

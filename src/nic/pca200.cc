@@ -69,6 +69,9 @@ Pca200::serviceTx(EpState &state)
         state.txScheduled = false;
         return;
     }
+    if (!desc->isInline)
+        for (std::uint8_t i = 0; i < desc->fragmentCount; ++i)
+            state.ep->ownership().claimSend(desc->fragments[i]);
     transmitMessage(state, *desc);
 }
 
@@ -79,13 +82,17 @@ Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
     if (!ep.channelValid(desc.channel)) {
         UNET_WARN("pca200: send on invalid channel ", desc.channel,
                   "; dropped");
+        if (!desc.isInline)
+            for (std::uint8_t i = 0; i < desc.fragmentCount; ++i)
+                ep.ownership().releaseSend(desc.fragments[i]);
         serviceTx(state);
         return;
     }
     atm::Vci vci = ep.channel(desc.channel).vci;
 
     // Gather the payload: inline from the (NIC-resident) descriptor or
-    // by DMA from the user buffer area in host memory.
+    // by DMA from the user buffer area in host memory. Once gathered,
+    // the application may reuse the fragments.
     std::vector<std::uint8_t> payload;
     if (desc.isInline) {
         payload.assign(desc.inlineData.begin(),
@@ -94,6 +101,7 @@ Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
         for (std::uint8_t i = 0; i < desc.fragmentCount; ++i) {
             auto span = ep.buffers().span(desc.fragments[i]);
             payload.insert(payload.end(), span.begin(), span.end());
+            ep.ownership().releaseSend(desc.fragments[i]);
         }
     }
 
@@ -102,15 +110,20 @@ Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
 
     auto start_cells = [this, &state, cells] {
         // Emit cells one at a time; each costs i960 segmentation work
-        // and then paces onto the fiber.
+        // and then paces onto the fiber. The emitter references itself
+        // weakly: each scheduled hop holds the only strong reference,
+        // so the chain is freed when the last cell goes out (a strong
+        // self-capture would be a reference cycle and leak).
         auto emit = std::make_shared<std::function<void(std::size_t)>>();
-        *emit = [this, &state, cells, emit](std::size_t idx) {
-            coproc.run(_spec.txPerCell, [this, &state, cells, emit,
+        *emit = [this, &state, cells,
+                 weak = std::weak_ptr(emit)](std::size_t idx) {
+            auto self = weak.lock();
+            coproc.run(_spec.txPerCell, [this, &state, cells, self,
                                          idx] {
                 tap->send((*cells)[idx]);
                 ++_cellsSent;
                 if (idx + 1 < cells->size()) {
-                    (*emit)(idx + 1);
+                    (*self)(idx + 1);
                 } else {
                     ++_msgsSent;
                     state.lastActive = host.simulation().now();
@@ -227,6 +240,7 @@ Pca200::handleCell(const atm::Cell &cell)
                 ++_noBuffer;
                 vc.poisoned = true;
             } else {
+                vc.ep->ownership().claimRecv(*buf);
                 vc.buffers.push_back(*buf);
             }
         }
@@ -246,7 +260,7 @@ Pca200::handleCell(const atm::Cell &cell)
                     ++_crcDrops;
                 // Return any claimed buffers.
                 for (const auto &b : vc.buffers)
-                    vc.ep->freeQueue().push(b);
+                    recycleRxBuffer(vc.ep, b);
             } else {
                 completePdu(vc, std::move(*payload));
             }
@@ -257,6 +271,16 @@ Pca200::handleCell(const atm::Cell &cell)
         }
         next();
     });
+}
+
+void
+Pca200::recycleRxBuffer(Endpoint *ep, BufferRef buf)
+{
+    if (ep->freeQueue().push(buf))
+        ep->ownership().unclaimRecv(buf);
+    else
+        // Full free queue: the buffer is lost to the protection domain.
+        ep->ownership().releaseRecv(buf);
 }
 
 void
@@ -274,6 +298,7 @@ Pca200::completePdu(VcState &vc, std::vector<std::uint8_t> payload)
         std::uint32_t chunk = std::min<std::uint32_t>(
             buf.length,
             static_cast<std::uint32_t>(payload.size() - written));
+        vc.ep->ownership().rxWrite({buf.offset, chunk});
         vc.ep->buffers().write(
             {buf.offset, chunk},
             std::span(payload.data() + written, chunk));
@@ -281,15 +306,17 @@ Pca200::completePdu(VcState &vc, std::vector<std::uint8_t> payload)
         written += chunk;
     }
     // Any wholly unused buffers go back to the free queue.
-    for (; bi < vc.buffers.size(); ++bi)
-        vc.ep->freeQueue().push(vc.buffers[bi]);
+    for (std::size_t i = bi; i < vc.buffers.size(); ++i)
+        recycleRxBuffer(vc.ep, vc.buffers[i]);
 
     if (vc.ep->deliver(rd)) {
         ++_msgsDeliv;
     } else {
-        // Receive queue full: the message is lost; recycle its buffers.
-        for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
-            vc.ep->freeQueue().push(rd.buffers[i]);
+        // Receive queue full: the message is lost; recycle its buffers
+        // at their original (untruncated) size so no tail bytes leak
+        // out of the free-buffer pool.
+        for (std::size_t i = 0; i < bi; ++i)
+            recycleRxBuffer(vc.ep, vc.buffers[i]);
     }
 }
 

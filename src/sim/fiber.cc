@@ -1,12 +1,61 @@
 #include "sim/fiber.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
+
+/*
+ * ASan cannot follow raw ucontext switches: it tracks a "fake stack"
+ * per execution context, and an unannotated swapcontext() leaves it
+ * pointed at the old stack — poisoning every subsequent fiber frame.
+ * The __sanitizer_{start,finish}_switch_fiber pair, called around each
+ * switch, keeps the shadow state consistent. The calls compile away
+ * entirely in non-ASan builds.
+ */
+#if defined(__SANITIZE_ADDRESS__)
+#define UNET_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define UNET_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef UNET_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace unet::sim {
 
 namespace {
 
 thread_local Fiber *currentFiber = nullptr;
+
+#if defined(UNET_CHECK) && UNET_CHECK
+/** Byte pattern seeded at the overflow end of every fiber stack. */
+constexpr unsigned char canaryByte = 0xA5;
+constexpr std::size_t canaryBytes = 64;
+#endif
+
+inline void
+asanStartSwitch([[maybe_unused]] void **fake_stack_save,
+                [[maybe_unused]] const void *bottom,
+                [[maybe_unused]] std::size_t size)
+{
+#ifdef UNET_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#endif
+}
+
+inline void
+asanFinishSwitch([[maybe_unused]] void *fake_stack_save,
+                 [[maybe_unused]] const void **bottom_old,
+                 [[maybe_unused]] std::size_t *size_old)
+{
+#ifdef UNET_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old,
+                                    size_old);
+#endif
+}
 
 } // namespace
 
@@ -15,6 +64,12 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
 {
     if (!this->body)
         UNET_PANIC("fiber constructed with empty body");
+#if defined(UNET_CHECK) && UNET_CHECK
+    // The stack grows down from stack.data() + size; an overflow tramples
+    // the low end first. Seed it so checkCanary() can tell.
+    std::fill_n(stack.data(),
+                std::min(canaryBytes, stack.size() / 4), canaryByte);
+#endif
 }
 
 Fiber::~Fiber() = default;
@@ -26,13 +81,35 @@ Fiber::current()
 }
 
 void
+Fiber::checkCanary() const
+{
+#if defined(UNET_CHECK) && UNET_CHECK
+    std::size_t n = std::min(canaryBytes, stack.size() / 4);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (stack[i] != canaryByte)
+            UNET_PANIC("fiber stack overflow: canary byte ", i, " of ",
+                       n, " clobbered (stack size ", stack.size(),
+                       " bytes)");
+    }
+#endif
+}
+
+void
 Fiber::trampoline()
 {
     Fiber *self = currentFiber;
+    // Complete the switch that entered this fiber; remember the caller's
+    // stack so yield()/death can annotate the switch back.
+    asanFinishSwitch(nullptr, &self->asanCallerStack,
+                     &self->asanCallerSize);
     self->body();
     self->done = true;
     // Return to whoever ran us; swapcontext back out of the fiber.
+    // A null fake-stack pointer tells ASan this fiber is dying so its
+    // fake stack can be freed.
     currentFiber = nullptr;
+    asanStartSwitch(nullptr, self->asanCallerStack,
+                    self->asanCallerSize);
     swapcontext(&self->context, &self->returnContext);
 }
 
@@ -55,8 +132,12 @@ Fiber::run()
     }
 
     currentFiber = this;
+    void *main_fake = nullptr;
+    asanStartSwitch(&main_fake, stack.data(), stack.size());
     swapcontext(&returnContext, &context);
+    asanFinishSwitch(main_fake, nullptr, nullptr);
     currentFiber = nullptr;
+    checkCanary();
 }
 
 void
@@ -66,7 +147,11 @@ Fiber::yield()
     if (!self)
         UNET_PANIC("Fiber::yield() outside any fiber");
     currentFiber = nullptr;
+    asanStartSwitch(&self->asanFakeStack, self->asanCallerStack,
+                    self->asanCallerSize);
     swapcontext(&self->context, &self->returnContext);
+    asanFinishSwitch(self->asanFakeStack, &self->asanCallerStack,
+                     &self->asanCallerSize);
     currentFiber = self;
 }
 

@@ -68,12 +68,27 @@ class Fiber
   private:
     static void trampoline();
 
+    /** Verify the stack-overflow canary at the low end of the stack. */
+    void checkCanary() const;
+
     std::function<void()> body;
     std::vector<unsigned char> stack;
     ucontext_t context;
     ucontext_t returnContext;
     bool started = false;
     bool done = false;
+
+    /** @name ASan fiber-switch bookkeeping (unused without ASan).
+     *
+     * ASan shadows each fiber stack with a "fake stack"; every ucontext
+     * switch must be bracketed by __sanitizer_start_switch_fiber /
+     * __sanitizer_finish_switch_fiber or ASan attributes the fiber's
+     * frames to the caller's stack and every fiber test false-positives.
+     * @{ */
+    void *asanFakeStack = nullptr;       ///< this fiber's fake stack
+    const void *asanCallerStack = nullptr; ///< resuming context's stack
+    std::size_t asanCallerSize = 0;
+    /** @} */
 };
 
 } // namespace unet::sim

@@ -9,8 +9,30 @@ Endpoint::Endpoint(sim::Simulation &sim, host::Memory &memory,
       _buffers(memory, config.bufferAreaBytes),
       _sendQueue(config.sendQueueDepth),
       _recvQueue(config.recvQueueDepth),
-      _freeQueue(config.freeQueueDepth)
+      _freeQueue(config.freeQueueDepth),
+      _ownership(config.bufferAreaBytes)
 {
+}
+
+void
+Endpoint::auditRings() const
+{
+    _sendQueue.check();
+    _recvQueue.check();
+    _freeQueue.check();
+}
+
+void
+Endpoint::auditTick()
+{
+#if defined(UNET_CHECK) && UNET_CHECK
+    if (_config.checkIntervalOps == 0)
+        return;
+    if (++opsSinceAudit >= _config.checkIntervalOps) {
+        opsSinceAudit = 0;
+        auditRings();
+    }
+#endif
 }
 
 ChannelId
@@ -45,6 +67,10 @@ Endpoint::poll(RecvDescriptor &out)
     if (!desc)
         return false;
     out = *desc;
+    if (!out.isSmall)
+        for (std::uint8_t i = 0; i < out.bufferCount; ++i)
+            _ownership.consume(out.buffers[i]);
+    auditTick();
     return true;
 }
 
@@ -84,6 +110,10 @@ Endpoint::deliver(const RecvDescriptor &desc)
         ++_rxQueueDrops;
         return false;
     }
+    if (!desc.isSmall)
+        for (std::uint8_t i = 0; i < desc.bufferCount; ++i)
+            _ownership.deliver(desc.buffers[i]);
+    auditTick();
     _rxAvailable.notifyAll();
     if (upcall)
         scheduleUpcall();
@@ -102,6 +132,9 @@ Endpoint::scheduleUpcall()
         RecvDescriptor desc;
         while (!_recvQueue.empty()) {
             desc = *_recvQueue.pop();
+            if (!desc.isSmall)
+                for (std::uint8_t i = 0; i < desc.bufferCount; ++i)
+                    _ownership.consume(desc.buffers[i]);
             upcall(desc);
         }
     });

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/ownership.hh"
 #include "sim/process.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -61,6 +62,13 @@ class Endpoint
     Ring<BufferRef> &freeQueue() { return _freeQueue; }
     BufferArea &buffers() { return _buffers; }
     /** @} */
+
+    /** Buffer-ownership state machine guarding the buffer area (a
+     *  no-op object unless built with UNET_CHECK). */
+    check::OwnershipTracker &ownership() { return _ownership; }
+
+    /** Audit send/recv/free ring consistency now; panics on violation. */
+    void auditRings() const;
 
     /** @name Channel table (maintained by the OS service). @{ */
     ChannelId addChannel(const ChannelInfo &info);
@@ -107,6 +115,10 @@ class Endpoint
   private:
     void scheduleUpcall();
 
+    /** Count one queue operation; audit the rings every
+     *  config.checkIntervalOps operations (UNET_CHECK builds). */
+    void auditTick();
+
     sim::Simulation &sim;
     EndpointConfig _config;
     const sim::Process *_owner;
@@ -116,6 +128,8 @@ class Endpoint
     Ring<SendDescriptor> _sendQueue;
     Ring<RecvDescriptor> _recvQueue;
     Ring<BufferRef> _freeQueue;
+    check::OwnershipTracker _ownership;
+    std::size_t opsSinceAudit = 0;
 
     std::vector<ChannelInfo> channels;
 

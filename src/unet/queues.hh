@@ -58,9 +58,15 @@ class Ring
     {
         if (empty())
             return std::nullopt;
-        T item = slots[head];
+        T item = std::move(slots[head]);
+        // Scrub the vacated slot: a stale descriptor left behind is
+        // exactly the kind of dangling buffer reference the ownership
+        // checker exists to catch, and scrubbing makes any use of it
+        // fail loudly instead of silently re-sending old data.
+        slots[head] = T{};
         head = (head + 1) % _capacity;
         --count;
+        ++_popped;
         return item;
     }
 
@@ -73,8 +79,34 @@ class Ring
         return slots[head];
     }
 
+    /**
+     * Audit the ring's internal consistency; panics on violation.
+     * Shared-ring corruption (a servicer and an application disagreeing
+     * about head/tail) is a protection failure, so the checker calls
+     * this periodically on every endpoint ring.
+     */
+    void
+    check() const
+    {
+        if (head >= _capacity || tail >= _capacity)
+            UNET_PANIC("ring index out of range: head=", head,
+                       " tail=", tail, " capacity=", _capacity);
+        if (count > _capacity)
+            UNET_PANIC("ring count ", count, " exceeds capacity ",
+                       _capacity);
+        if ((head + count) % _capacity != tail)
+            UNET_PANIC("ring head/tail/count inconsistent: head=", head,
+                       " tail=", tail, " count=", count,
+                       " capacity=", _capacity);
+        if (_pushed.value() - _popped.value() != count)
+            UNET_PANIC("ring stats inconsistent: pushed=",
+                       _pushed.value(), " popped=", _popped.value(),
+                       " count=", count);
+    }
+
     /** @name Statistics. @{ */
     std::uint64_t pushed() const { return _pushed.value(); }
+    std::uint64_t popped() const { return _popped.value(); }
     std::uint64_t rejected() const { return _rejected.value(); }
     /** @} */
 
@@ -85,6 +117,7 @@ class Ring
     std::size_t tail = 0;
     std::size_t count = 0;
     sim::Counter _pushed;
+    sim::Counter _popped;
     sim::Counter _rejected;
 };
 

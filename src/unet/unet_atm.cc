@@ -41,6 +41,9 @@ UNetAtm::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
     _host.cpu().busy(proc, _spec.sendPost);
     if (!ep.sendQueue().push(desc))
         return false;
+    if (!desc.isInline)
+        for (std::uint8_t i = 0; i < desc.fragmentCount; ++i)
+            ep.ownership().postSend(desc.fragments[i]);
     ++_posted;
     _nic.doorbell(&ep);
     return true;
@@ -54,7 +57,10 @@ UNetAtm::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
     if (!ep.buffers().contains(buf))
         UNET_PANIC("free buffer outside the endpoint buffer area");
     _host.cpu().busy(proc, _spec.freePost);
-    return ep.freeQueue().push(buf);
+    if (!ep.freeQueue().push(buf))
+        return false;
+    ep.ownership().postFree(buf);
+    return true;
 }
 
 ChannelId

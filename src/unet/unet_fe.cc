@@ -1,5 +1,7 @@
 #include "unet/unet_fe.hh"
 
+#include <array>
+
 #include "sim/logging.hh"
 
 namespace unet {
@@ -25,6 +27,7 @@ UNetFe::UNetFe(host::Host &host, nic::Dc21140 &nic, UNetFeSpec spec)
     headerBufOffset.resize(nic.txRingSize());
     for (auto &off : headerBufOffset)
         off = host.memory().alloc(header_buf_bytes, 8);
+    txSlotFrag.resize(nic.txRingSize());
 
     // Kernel receive buffers: pre-post the whole device RX ring
     // ("these are fixed buffers allocated by the device driver and are
@@ -108,8 +111,14 @@ UNetFe::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
 
     auto &cpu = _host.cpu();
     cpu.busy(proc, _spec.userDescriptorPush);
+    // Release fragments whose ring slots have since completed, so a
+    // legitimate re-post of the same buffer is not flagged below.
+    reapTx();
     if (!ep.sendQueue().push(desc))
         return false;
+    if (!desc.isInline)
+        for (std::uint8_t i = 0; i < desc.fragmentCount; ++i)
+            ep.ownership().postSend(desc.fragments[i]);
 
     // Fast trap into the kernel; the service routine runs in the
     // caller's context (this is host processor overhead, the U-Net/FE
@@ -143,6 +152,8 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
             break;
 
         SendDescriptor desc = *ep.sendQueue().pop();
+        if (!desc.isInline && desc.fragmentCount == 1)
+            ep.ownership().claimSend(desc.fragments[0]);
         sim::Tick cost = 0;
 
         step(txTrace, "check U-Net send parameters",
@@ -150,6 +161,8 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
         if (!ep.channelValid(desc.channel)) {
             UNET_WARN("U-Net/FE: send on invalid channel ",
                       desc.channel, "; dropped");
+            if (!desc.isInline && desc.fragmentCount == 1)
+                ep.ownership().releaseSend(desc.fragments[0]);
             cpu.busy(proc, cost);
             continue;
         }
@@ -190,6 +203,10 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
 
         step(txTrace, "device send ring descriptor set-up",
              _spec.txRingDescSetup, cost);
+        // cpu.busy() above may have advanced simulated time, so the
+        // slot could have completed a previous frame since the reap at
+        // trap entry; release its fragment before reusing the slot.
+        reapTxSlot(slot);
         ring_desc.buf1Offset =
             static_cast<std::uint32_t>(headerBufOffset[slot]);
         ring_desc.buf1Length = static_cast<std::uint32_t>(header.size());
@@ -198,8 +215,10 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
             ring_desc.buf2Offset = static_cast<std::uint32_t>(
                 ep.buffers().baseOffset() + frag.offset);
             ring_desc.buf2Length = frag.length;
+            txSlotFrag[slot] = {&ep, frag};
         } else {
             ring_desc.buf2Length = 0;
+            txSlotFrag[slot].reset();
         }
         ring_desc.transmitted = false;
         ring_desc.aborted = false;
@@ -220,6 +239,23 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
     }
 }
 
+void
+UNetFe::reapTxSlot(std::size_t slot)
+{
+    auto &record = txSlotFrag[slot];
+    if (!record || _nic.txDesc(slot).own)
+        return;
+    record->first->ownership().releaseSend(record->second);
+    record.reset();
+}
+
+void
+UNetFe::reapTx()
+{
+    for (std::size_t i = 0; i < txSlotFrag.size(); ++i)
+        reapTxSlot(i);
+}
+
 std::size_t
 UNetFe::txBacklog(const Endpoint &ep) const
 {
@@ -235,7 +271,10 @@ UNetFe::txBacklog(const Endpoint &ep) const
 void
 UNetFe::flush(sim::Process &proc, Endpoint &ep)
 {
-    if (!checkOwner(proc, ep) || ep.sendQueue().empty())
+    if (!checkOwner(proc, ep))
+        return;
+    reapTx();
+    if (ep.sendQueue().empty())
         return;
     _host.trapEnter(proc);
     serviceSendQueue(proc, ep);
@@ -250,7 +289,10 @@ UNetFe::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
     if (!ep.buffers().contains(buf))
         UNET_PANIC("free buffer outside the endpoint buffer area");
     _host.cpu().busy(proc, _spec.userFreePost);
-    return ep.freeQueue().push(buf);
+    if (!ep.freeQueue().push(buf))
+        return false;
+    ep.ownership().postFree(buf);
+    return true;
 }
 
 void
@@ -341,11 +383,24 @@ UNetFe::rxInterrupt()
         } else {
             step(rxTrace, "allocate U-Net recv buffer",
                  _spec.rxAllocBuffer, cost);
-            // Fill one or more free buffers.
+            // Return a claimed buffer to the free queue at its original
+            // size; a buffer lost to a momentarily full queue leaves
+            // the protection domain for good.
+            auto recycle = [ep](BufferRef buf) {
+                if (ep->freeQueue().push(buf))
+                    ep->ownership().unclaimRecv(buf);
+                else
+                    ep->ownership().releaseRecv(buf);
+            };
+            // Fill one or more free buffers. Keep the original
+            // free-queue entries: the descriptor references may be
+            // truncated to the message length, but drop paths must
+            // recycle whole buffers.
             RecvDescriptor rd;
             rd.channel = chan;
             rd.length = msg_len;
             rd.isSmall = false;
+            std::array<BufferRef, maxFragments> claimed{};
             std::uint32_t copied = 0;
             bool ok = true;
             while (copied < msg_len) {
@@ -358,6 +413,8 @@ UNetFe::rxInterrupt()
                     ok = false;
                     break;
                 }
+                ep->ownership().claimRecv(*buf);
+                claimed[rd.bufferCount] = *buf;
                 std::uint32_t chunk =
                     std::min(buf->length, msg_len - copied);
                 rd.buffers[rd.bufferCount++] = {buf->offset, chunk};
@@ -367,7 +424,7 @@ UNetFe::rxInterrupt()
                 ++_noFreeBuf;
                 // Return claimed buffers and drop the message.
                 for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
-                    ep->freeQueue().push(rd.buffers[i]);
+                    recycle(claimed[i]);
                 continue;
             }
             step(rxTrace, "init descriptor buffer pointers",
@@ -375,17 +432,25 @@ UNetFe::rxInterrupt()
             if (_spec.chargeRxCopy)
                 step(rxTrace, "copy message",
                      cpu.spec().memcpyTime(msg_len), cost);
-            effects.push_back([this, ep, rd, payload] {
+            effects.push_back([this, ep, rd, payload, claimed,
+                               recycle] {
                 std::uint32_t off = 0;
                 for (std::uint8_t i = 0; i < rd.bufferCount; ++i) {
+                    ep->ownership().rxWrite(rd.buffers[i]);
                     ep->buffers().write(
                         rd.buffers[i],
                         std::span(payload.data() + off,
                                   rd.buffers[i].length));
                     off += rd.buffers[i].length;
                 }
-                if (ep->deliver(rd))
+                if (ep->deliver(rd)) {
                     ++_delivered;
+                } else {
+                    // Receive queue full: the message is lost, but the
+                    // buffers must not leak with it.
+                    for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+                        recycle(claimed[i]);
+                }
             });
         }
         step(rxTrace, "bump device recv ring", _spec.rxBumpRing, cost);

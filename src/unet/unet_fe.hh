@@ -26,7 +26,9 @@
 #define UNET_UNET_UNET_FE_HH
 
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nic/dc21140.hh"
@@ -179,6 +181,13 @@ class UNetFe : public UNet
     /** DC21140 receive interrupt handler. */
     void rxInterrupt();
 
+    /** Release ownership of a user fragment whose TX ring slot the
+     *  device has completed (own bit cleared). */
+    void reapTxSlot(std::size_t slot);
+
+    /** Reap every completed TX ring slot. */
+    void reapTx();
+
     void
     step(StepTrace *trace, const char *stage, sim::Tick cost,
          sim::Tick &acc)
@@ -206,6 +215,11 @@ class UNetFe : public UNet
 
     /** Kernel header buffers, one per TX ring slot. */
     std::vector<std::size_t> headerBufOffset;
+
+    /** User fragment each TX ring slot references while the device owns
+     *  it (ownership tracking: released when the slot completes). */
+    std::vector<std::optional<std::pair<Endpoint *, BufferRef>>>
+        txSlotFrag;
 
     /** Kernel receive buffers behind the device RX ring. */
     std::size_t kernelRxHead = 0;

@@ -105,6 +105,26 @@ TEST(Fiber, DeepStackUsage)
     EXPECT_EQ(result, 2584);
 }
 
+TEST(FiberDeathTest, RunOnFinishedFiberPanics)
+{
+    Fiber f([] {});
+    f.run();
+    ASSERT_TRUE(f.finished());
+    EXPECT_DEATH(f.run(), "finished fiber");
+}
+
+TEST(FiberDeathTest, NestedRunPanics)
+{
+    Fiber inner([] {});
+    Fiber outer([&] { inner.run(); });
+    EXPECT_DEATH(outer.run(), "nested Fiber::run");
+}
+
+TEST(FiberDeathTest, YieldOutsideAnyFiberPanics)
+{
+    EXPECT_DEATH(Fiber::yield(), "outside any fiber");
+}
+
 TEST(Fiber, DestroyUnfinishedFiberIsSafe)
 {
     auto *f = new Fiber([] {

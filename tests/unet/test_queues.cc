@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "unet/queues.hh"
 #include "unet/types.hh"
 
@@ -66,6 +68,75 @@ TEST(Ring, InterleavedProducerConsumer)
         ++consumed;
     }
     EXPECT_EQ(produced, consumed);
+}
+
+TEST(Ring, WrapAroundCrossesModuloBoundaryManyTimes)
+{
+    // Fill ratio 3/4 forces head and tail to cross the modulo
+    // boundary at different phases; the invariant audit must hold at
+    // every step.
+    Ring<int> r(4);
+    int produced = 0, consumed = 0;
+    for (int round = 0; round < 25; ++round) {
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(r.push(produced++));
+        r.check();
+        for (int i = 0; i < 3; ++i) {
+            auto v = r.pop();
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, consumed++);
+        }
+        r.check();
+    }
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(produced, consumed);
+}
+
+TEST(Ring, PoppedCounterMatchesAccounting)
+{
+    Ring<int> r(4);
+    EXPECT_EQ(r.popped(), 0u);
+    for (int i = 0; i < 6; ++i)
+        r.push(i); // two rejected
+    for (int i = 0; i < 3; ++i)
+        r.pop();
+    EXPECT_EQ(r.pushed(), 4u);
+    EXPECT_EQ(r.rejected(), 2u);
+    EXPECT_EQ(r.popped(), 3u);
+    EXPECT_EQ(r.pushed() - r.popped(), r.size());
+    r.check();
+}
+
+TEST(Ring, CheckPassesOnFullAndEmptyRings)
+{
+    Ring<int> r(2);
+    r.check();
+    r.push(1);
+    r.push(2);
+    EXPECT_TRUE(r.full());
+    r.check();
+    r.pop();
+    r.pop();
+    EXPECT_TRUE(r.empty());
+    r.check();
+}
+
+TEST(Ring, PopScrubsTheVacatedSlot)
+{
+    // A popped slot must not keep a stale copy alive: the shared_ptr's
+    // use count exposes whether the ring still references it.
+    Ring<std::shared_ptr<int>> r(2);
+    auto p = std::make_shared<int>(7);
+    r.push(p);
+    EXPECT_EQ(p.use_count(), 2);
+    {
+        auto popped = r.pop();
+        ASSERT_TRUE(popped.has_value());
+        // Only the original and the popped copy remain — the slot
+        // was scrubbed, not left holding a third reference.
+        EXPECT_EQ(p.use_count(), 2);
+    }
+    EXPECT_EQ(p.use_count(), 1);
 }
 
 TEST(SendDescriptor, TotalLength)

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Static-analysis driver: clang-tidy over the library sources and a
+# clang-format style check. Each stage is skipped (with a notice, not
+# a failure) when its tool is not installed, so the script works both
+# in CI images with LLVM and in minimal local containers.
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir must contain compile_commands.json for the tidy stage
+#   (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON); defaults to
+#   ./build.
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FAILED=0
+
+SOURCES=$(find src bench examples -name '*.cc' | sort)
+HEADERS=$(find src bench examples -name '*.hh' | sort)
+
+# --- clang-format ----------------------------------------------------
+if command -v clang-format >/dev/null 2>&1; then
+    echo "== clang-format (dry run) =="
+    # shellcheck disable=SC2086
+    if ! clang-format --dry-run -Werror $SOURCES $HEADERS; then
+        echo "clang-format: style violations found (run with -i to fix)"
+        FAILED=1
+    fi
+else
+    echo "clang-format not installed; skipping format check"
+fi
+
+# --- clang-tidy ------------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+    if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+        echo "no $BUILD_DIR/compile_commands.json; configure with" \
+             "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first"
+        exit 1
+    fi
+    echo "== clang-tidy =="
+    # shellcheck disable=SC2086
+    if ! clang-tidy -p "$BUILD_DIR" --quiet $SOURCES; then
+        FAILED=1
+    fi
+else
+    echo "clang-tidy not installed; skipping tidy check"
+fi
+
+exit $FAILED
