@@ -33,10 +33,18 @@ main()
         std::printf(" %14s", fabricName(f));
     std::printf("\n");
 
+    Sweep sweep;
+    sweep.begin(std::size(fabrics), sizes.size());
     for (std::size_t size : sizes) {
-        std::printf("%8zu", size);
-        for (Fabric f : fabrics)
-            std::printf(" %14.1f", bandwidthMbps(f, size));
+        sweep.addPoint(size);
+        for (std::size_t fi = 0; fi < std::size(fabrics); ++fi)
+            sweep.add(fi, bandwidthMbps(fabrics[fi], size));
+    }
+
+    for (std::size_t i = 0; i < sweep.points(); ++i) {
+        std::printf("%8zu", sweep.x(i));
+        for (std::size_t fi = 0; fi < std::size(fabrics); ++fi)
+            std::printf(" %14.1f", sweep.value(fi, i));
         std::printf("\n");
     }
 

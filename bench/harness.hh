@@ -371,6 +371,50 @@ bandwidthMbps(Fabric fabric, std::size_t size, int messages = 400,
     return bits / secs / 1e6;
 }
 
+/**
+ * Result collector for a figure sweep: one x-axis plus one series per
+ * column (fabric). The vectors are reserved up front and reused across
+ * collect passes — begin() clears but keeps capacity — so repeated
+ * sweeps (e.g. wall-clock trials in bench/macro_wallclock) perform no
+ * steady-state allocations, instead of reallocating every row at every
+ * message-size step.
+ */
+class Sweep
+{
+  public:
+    /** Start a (re)collection of @p series_count series, hinting
+     *  @p points_hint points per series. Keeps prior capacity. */
+    void
+    begin(std::size_t series_count, std::size_t points_hint)
+    {
+        if (_series.size() < series_count)
+            _series.resize(series_count);
+        for (auto &s : _series) {
+            s.clear();
+            s.reserve(points_hint);
+        }
+        _xs.clear();
+        _xs.reserve(points_hint);
+    }
+
+    /** Append the next x-axis point (message size). */
+    void addPoint(std::size_t x) { _xs.push_back(x); }
+
+    /** Append a value to series @p si at the current point. */
+    void add(std::size_t si, double v) { _series[si].push_back(v); }
+
+    std::size_t points() const { return _xs.size(); }
+    std::size_t x(std::size_t i) const { return _xs[i]; }
+    double value(std::size_t si, std::size_t i) const
+    {
+        return _series[si][i];
+    }
+
+  private:
+    std::vector<std::size_t> _xs;
+    std::vector<std::vector<double>> _series;
+};
+
 /** printf-style row helper. */
 inline void
 row(const char *fmt, ...)

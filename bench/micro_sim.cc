@@ -3,9 +3,18 @@
  * google-benchmark micro-benchmarks of the simulation substrate
  * itself (host wall-clock, not simulated time): event queue throughput
  * and fiber context-switch cost.
+ *
+ * This translation unit overrides global operator new/delete to count
+ * heap allocations, so every benchmark can report allocs_per_op and
+ * the steady-state benchmarks can demonstrate the zero-allocation
+ * event hot path (pooled records + small-buffer-optimized callables).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include "sim/event.hh"
 #include "sim/fiber.hh"
@@ -15,18 +24,157 @@ using namespace unet::sim;
 
 namespace {
 
+/** Global heap-allocation counter (single-threaded benchmarks). */
+std::uint64_t allocCount = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+/** Report events/sec and the per-iteration allocation count measured
+ *  across the timed loop. */
+void
+finishEventBench(benchmark::State &state, std::uint64_t allocs_before)
+{
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(allocCount - allocs_before) /
+        static_cast<double>(state.iterations()));
+}
+
 void
 BM_EventScheduleFire(benchmark::State &state)
 {
     EventQueue q;
     std::int64_t n = 0;
+    // Steady state: warm the record pool and the heap vector so the
+    // timed loop exercises the zero-allocation path.
+    for (int i = 0; i < 1024; ++i) {
+        q.scheduleIn(1, [&n] { ++n; });
+        q.step();
+    }
+    std::uint64_t allocs = allocCount;
     for (auto _ : state) {
         q.scheduleIn(1, [&n] { ++n; });
         q.step();
     }
     benchmark::DoNotOptimize(n);
+    finishEventBench(state, allocs);
 }
 BENCHMARK(BM_EventScheduleFire);
+
+void
+BM_EventScheduleFireLargeCapture(benchmark::State &state)
+{
+    // A capture beyond the SBO threshold: every schedule pays one heap
+    // allocation for the callable (reported via allocs_per_op).
+    EventQueue q;
+    std::int64_t n = 0;
+    struct Big
+    {
+        std::int64_t *target;
+        char pad[96];
+    };
+    Big big{&n, {}};
+    for (int i = 0; i < 1024; ++i) {
+        q.scheduleIn(1, [big] { ++*big.target; });
+        q.step();
+    }
+    std::uint64_t allocs = allocCount;
+    for (auto _ : state) {
+        q.scheduleIn(1, [big] { ++*big.target; });
+        q.step();
+    }
+    benchmark::DoNotOptimize(n);
+    finishEventBench(state, allocs);
+}
+BENCHMARK(BM_EventScheduleFireLargeCapture);
+
+void
+BM_EventCancelReuse(benchmark::State &state)
+{
+    // Schedule + cancel: the record returns to the free list without
+    // ever reaching the heap top.
+    EventQueue q;
+    std::int64_t n = 0;
+    for (int i = 0; i < 1024; ++i) {
+        auto h = q.scheduleIn(1000, [&n] { ++n; });
+        h.cancel();
+    }
+    std::uint64_t allocs = allocCount;
+    for (auto _ : state) {
+        auto h = q.scheduleIn(1000, [&n] { ++n; });
+        h.cancel();
+    }
+    benchmark::DoNotOptimize(n);
+    finishEventBench(state, allocs);
+}
+BENCHMARK(BM_EventCancelReuse);
+
+void
+BM_MemberEventRearm(benchmark::State &state)
+{
+    // The hoisted-closure pattern used by the NIC/link pumps: one
+    // std::function fixed at construction, re-armed each firing.
+    EventQueue q;
+    std::int64_t n = 0;
+    MemberEvent ev(q, [&n] { ++n; });
+    for (int i = 0; i < 1024; ++i) {
+        ev.scheduleIn(1);
+        q.step();
+    }
+    std::uint64_t allocs = allocCount;
+    for (auto _ : state) {
+        ev.scheduleIn(1);
+        q.step();
+    }
+    benchmark::DoNotOptimize(n);
+    finishEventBench(state, allocs);
+}
+BENCHMARK(BM_MemberEventRearm);
 
 void
 BM_EventQueueDepth(benchmark::State &state)
@@ -74,9 +222,13 @@ BM_ProcessDelay(benchmark::State &state)
         }
     });
     p.start();
+    for (int i = 0; i < 1024; ++i)
+        s.events().step();
+    std::uint64_t allocs = allocCount;
     for (auto _ : state)
         s.events().step();
     benchmark::DoNotOptimize(rounds);
+    finishEventBench(state, allocs);
 }
 BENCHMARK(BM_ProcessDelay);
 

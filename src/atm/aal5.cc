@@ -10,38 +10,58 @@ namespace unet::atm::aal5 {
 std::vector<Cell>
 segment(std::span<const std::uint8_t> pdu, Vci vci)
 {
+    std::vector<Cell> cells;
+    segmentInto(pdu, vci, cells);
+    return cells;
+}
+
+void
+segmentInto(std::span<const std::uint8_t> pdu, Vci vci,
+            std::vector<Cell> &out)
+{
     if (pdu.size() > maxPdu)
         UNET_PANIC("AAL5 PDU of ", pdu.size(), " bytes exceeds the ",
                    maxPdu, "-byte maximum");
 
-    // Build the CS-PDU: payload, pad, trailer.
-    std::size_t total = cellCount(pdu.size()) * Cell::payloadBytes;
-    std::vector<std::uint8_t> cs(total, 0);
-    std::copy(pdu.begin(), pdu.end(), cs.begin());
+    // Build the CS-PDU — payload, pad, trailer — directly in the cell
+    // payloads, accumulating the CRC incrementally instead of staging
+    // the padded PDU in a scratch buffer.
+    std::size_t n = cellCount(pdu.size());
+    out.resize(n);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        Cell &c = out[i];
+        c.vci = vci;
+        c.endOfPdu = (i == n - 1);
+        std::size_t take = off < pdu.size()
+            ? std::min<std::size_t>(pdu.size() - off, Cell::payloadBytes)
+            : 0;
+        std::copy_n(pdu.begin() + static_cast<std::ptrdiff_t>(off), take,
+                    c.payload.begin());
+        std::fill(c.payload.begin() + static_cast<std::ptrdiff_t>(take),
+                  c.payload.end(), 0);
+        off += take;
+    }
 
-    std::uint8_t *trailer = cs.data() + total - trailerBytes;
+    Cell &last = out[n - 1];
+    std::uint8_t *trailer =
+        last.payload.data() + Cell::payloadBytes - trailerBytes;
     trailer[0] = 0; // CPCS-UU
     trailer[1] = 0; // CPI
     trailer[2] = static_cast<std::uint8_t>(pdu.size() >> 8);
     trailer[3] = static_cast<std::uint8_t>(pdu.size());
     // CRC over everything up to (not including) the CRC field itself.
-    std::uint32_t crc =
-        net::crc32(std::span(cs.data(), total - 4));
+    std::uint32_t state = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        state = net::crc32Update(
+            state, std::span(out[i].payload.data(), Cell::payloadBytes));
+    state = net::crc32Update(
+        state, std::span(last.payload.data(), Cell::payloadBytes - 4));
+    std::uint32_t crc = net::crc32Finish(state);
     trailer[4] = static_cast<std::uint8_t>(crc >> 24);
     trailer[5] = static_cast<std::uint8_t>(crc >> 16);
     trailer[6] = static_cast<std::uint8_t>(crc >> 8);
     trailer[7] = static_cast<std::uint8_t>(crc);
-
-    // Slice into cells.
-    std::vector<Cell> cells(total / Cell::payloadBytes);
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        cells[i].vci = vci;
-        cells[i].endOfPdu = (i == cells.size() - 1);
-        std::copy_n(cs.begin() +
-                        static_cast<std::ptrdiff_t>(i * Cell::payloadBytes),
-                    Cell::payloadBytes, cells[i].payload.begin());
-    }
-    return cells;
 }
 
 std::optional<std::vector<std::uint8_t>>

@@ -52,6 +52,13 @@ wireBytes(std::size_t pdu_bytes)
 std::vector<Cell> segment(std::span<const std::uint8_t> pdu, Vci vci);
 
 /**
+ * segment() into @p out (resized to the cell count), reusing its
+ * capacity — the allocation-free variant for per-message hot paths.
+ */
+void segmentInto(std::span<const std::uint8_t> pdu, Vci vci,
+                 std::vector<Cell> &out);
+
+/**
  * Per-VC reassembler.
  *
  * Feed cells in arrival order; when the end-of-PDU cell arrives the

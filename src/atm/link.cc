@@ -1,8 +1,19 @@
 #include "atm/link.hh"
 
 #include "sim/logging.hh"
+#include "sim/pool.hh"
 
 namespace unet::atm {
+
+void
+CellTap::sendTrain(std::span<const Cell> cells,
+                   std::function<void()> on_done)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        send(cells[i],
+             i + 1 == cells.size() ? std::move(on_done)
+                                   : std::function<void()>{});
+}
 
 LinkSpec
 LinkSpec::oc3()
@@ -28,29 +39,38 @@ LinkSpec::taxi140()
     return s;
 }
 
+/**
+ * One direction of the fiber. In-flight cells sit in a recycled ring —
+ * no per-cell closure or allocation — and a single member event walks
+ * their delivery boundaries: it fires at the head cell's arrival time,
+ * delivers, and re-arms for the next cell. A back-to-back train of N
+ * cells therefore has one pending event at any moment, not N.
+ */
 class AtmLink::Side : public CellTap
 {
   public:
-    Side(AtmLink &link, int index) : link(link), index(index) {}
+    Side(AtmLink &link, int index)
+        : link(link), index(index),
+          deliver(link.sim.events(), [this] { deliverDue(); })
+    {}
 
     void
-    send(Cell cell, std::function<void()> on_done) override
+    send(const Cell &cell, std::function<void()> on_done) override
     {
-        auto &l = link;
-        if (l.attached < 2)
-            UNET_PANIC("cell sent on a link with ", l.attached,
-                       " attachment(s)");
-        sim::Tick start = std::max(l.sim.now(), l.busyUntil[index]);
-        sim::Tick end = start + l._spec.cellTime();
-        l.busyUntil[index] = end;
-
-        CellSink *peer = l.sinks[1 - index];
-        l.sim.schedule(end + l._spec.propDelay, [&l, peer, cell] {
-            ++l._delivered;
-            peer->cellArrived(cell);
-        });
+        sim::Tick end = serialize(cell);
         if (on_done)
-            l.sim.schedule(end, std::move(on_done));
+            link.sim.schedule(end, std::move(on_done));
+    }
+
+    void
+    sendTrain(std::span<const Cell> cells,
+              std::function<void()> on_done) override
+    {
+        sim::Tick end = link.sim.now();
+        for (const Cell &cell : cells)
+            end = serialize(cell);
+        if (on_done)
+            link.sim.schedule(end, std::move(on_done));
     }
 
     sim::Tick
@@ -61,8 +81,54 @@ class AtmLink::Side : public CellTap
     }
 
   private:
+    struct InFlight
+    {
+        Cell cell;
+        sim::Tick arrivesAt = 0;
+    };
+
+    /** Queue one cell on the wire; @return when it has left us. */
+    sim::Tick
+    serialize(const Cell &cell)
+    {
+        auto &l = link;
+        if (l.attached < 2)
+            UNET_PANIC("cell sent on a link with ", l.attached,
+                       " attachment(s)");
+        sim::Tick start = std::max(l.sim.now(), l.busyUntil[index]);
+        sim::Tick end = start + l._spec.cellTime();
+        l.busyUntil[index] = end;
+
+        InFlight &slot = inFlight.pushSlot();
+        slot.cell = cell;
+        slot.arrivesAt = end + l._spec.propDelay;
+        if (!deliver.pending())
+            deliver.scheduleAt(slot.arrivesAt);
+        return end;
+    }
+
+    /** Deliver every cell whose boundary has been reached; re-arm. */
+    void
+    deliverDue()
+    {
+        auto &l = link;
+        CellSink *peer = l.sinks[1 - index];
+        while (!inFlight.empty() &&
+               inFlight.front().arrivesAt <= l.sim.now()) {
+            ++l._delivered;
+            // Copy out: a reentrant send() could recycle the slot.
+            Cell cell = inFlight.front().cell;
+            inFlight.popFront();
+            peer->cellArrived(cell);
+        }
+        if (!inFlight.empty())
+            deliver.scheduleAt(inFlight.front().arrivesAt);
+    }
+
     AtmLink &link;
     int index;
+    sim::SlotRing<InFlight> inFlight;
+    sim::MemberEvent deliver;
 };
 
 AtmLink::AtmLink(sim::Simulation &sim, LinkSpec spec)

@@ -18,6 +18,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "atm/cell.hh"
@@ -79,7 +80,19 @@ class CellTap
      * Send one cell; cells queue behind each other at the link's cell
      * rate. @p on_done fires when the cell has left this station.
      */
-    virtual void send(Cell cell, std::function<void()> on_done = {}) = 0;
+    virtual void send(const Cell &cell,
+                      std::function<void()> on_done = {}) = 0;
+
+    /**
+     * Send a contiguous back-to-back cell train. Timing-equivalent to
+     * calling send() once per cell at the current tick — each cell
+     * serializes at its own boundary and arrives separately — but the
+     * whole train is covered by one pending delivery event instead of
+     * one per cell, and @p on_done fires once, when the last cell has
+     * left this station. The default implementation loops over send().
+     */
+    virtual void sendTrain(std::span<const Cell> cells,
+                           std::function<void()> on_done = {});
 
     /** When a cell submitted now would finish serializing. */
     virtual sim::Tick nextFreeAt() const = 0;

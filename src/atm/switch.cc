@@ -34,7 +34,8 @@ struct Switch::Port : public CellSink
 };
 
 Switch::Switch(sim::Simulation &sim, SwitchSpec spec)
-    : sim(sim), _spec(std::move(spec))
+    : sim(sim), _spec(std::move(spec)),
+      forwardEvent(sim.events(), [this] { forwardDue(); })
 {
 }
 
@@ -80,18 +81,40 @@ Switch::cellIn(std::size_t in_port, const Cell &cell)
     }
     auto [out_port, out_vci] = it->second;
 
-    Cell forwarded = cell;
-    forwarded.vci = out_vci;
-    sim.scheduleIn(_spec.forwardDelay, [this, out_port, forwarded] {
-        Port &out = *ports[out_port];
+    // Park the cell in the forwarding pipeline; one member event walks
+    // the ready boundaries (readyAt is nondecreasing: same constant
+    // delay, nondecreasing arrival times), replacing a closure per cell.
+    PendingForward &slot = pipeline.pushSlot();
+    slot.cell = cell;
+    slot.cell.vci = out_vci;
+    slot.outPort = out_port;
+    slot.readyAt = sim.now() + _spec.forwardDelay;
+    if (!forwardEvent.pending())
+        forwardEvent.scheduleAt(slot.readyAt);
+}
+
+void
+Switch::forwardDue()
+{
+    while (!pipeline.empty() && pipeline.front().readyAt <= sim.now()) {
+        PendingForward &head = pipeline.front();
+        Port &out = *ports[head.outPort];
         if (out.outstanding >= _spec.queueCells) {
             ++_dropped;
-            return;
+            pipeline.popFront();
+            continue;
         }
         ++out.outstanding;
         ++_forwarded;
-        out.tap->send(forwarded, [&out] { --out.outstanding; });
-    });
+        // Copy out: the tap may deliver synchronously in degenerate
+        // zero-delay configurations, and the sink could route a new
+        // cell back through us, recycling the slot.
+        Cell cell = head.cell;
+        pipeline.popFront();
+        out.tap->send(cell, [&out] { --out.outstanding; });
+    }
+    if (!pipeline.empty())
+        forwardEvent.scheduleAt(pipeline.front().readyAt);
 }
 
 Vci

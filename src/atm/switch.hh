@@ -21,6 +21,7 @@
 
 #include "atm/cell.hh"
 #include "atm/link.hh"
+#include "sim/pool.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 
@@ -79,12 +80,28 @@ class Switch
   private:
     struct Port;
 
+    /** A routed cell traversing the forwarding pipeline. */
+    struct PendingForward
+    {
+        Cell cell;
+        std::size_t outPort = 0;
+        sim::Tick readyAt = 0;
+    };
+
     /** A cell arrived from the link on @p in_port. */
     void cellIn(std::size_t in_port, const Cell &cell);
+
+    /** Emit every pipelined cell whose forwarding delay has elapsed. */
+    void forwardDue();
 
     sim::Simulation &sim;
     SwitchSpec _spec;
     std::vector<std::unique_ptr<Port>> ports;
+
+    /** Cells in the forwarding pipeline: a recycled ring walked by one
+     *  member event instead of a closure per cell. */
+    sim::SlotRing<PendingForward> pipeline;
+    sim::MemberEvent forwardEvent;
 
     /** (port << 16 | vci) -> (out port, out vci). */
     std::map<std::uint32_t, std::pair<std::size_t, Vci>> routes;

@@ -10,11 +10,19 @@ namespace unet::eth {
 std::vector<std::uint8_t>
 Frame::serialize() const
 {
+    std::vector<std::uint8_t> out;
+    serializeInto(out);
+    return out;
+}
+
+void
+Frame::serializeInto(std::vector<std::uint8_t> &out) const
+{
     if (!payloadSizeValid())
         UNET_PANIC("frame payload of ", payload.size(),
                    " bytes exceeds the 1500-byte Ethernet maximum");
 
-    std::vector<std::uint8_t> out;
+    out.clear();
     out.reserve(frameBytes());
     out.insert(out.end(), dst.raw().begin(), dst.raw().end());
     out.insert(out.end(), src.raw().begin(), src.raw().end());
@@ -29,23 +37,28 @@ Frame::serialize() const
     out.push_back(static_cast<std::uint8_t>(fcs >> 8));
     out.push_back(static_cast<std::uint8_t>(fcs >> 16));
     out.push_back(static_cast<std::uint8_t>(fcs >> 24));
-    return out;
 }
 
 Frame
 Frame::fromBytes(std::span<const std::uint8_t> raw)
 {
+    Frame f;
+    fromBytesInto(raw, f);
+    return f;
+}
+
+void
+Frame::fromBytesInto(std::span<const std::uint8_t> raw, Frame &out)
+{
     if (raw.size() < headerBytes)
         UNET_PANIC("frame bytes shorter than the Ethernet header");
-    Frame f;
     std::array<std::uint8_t, 6> mac{};
     std::copy_n(raw.begin(), 6, mac.begin());
-    f.dst = MacAddress(mac);
+    out.dst = MacAddress(mac);
     std::copy_n(raw.begin() + 6, 6, mac.begin());
-    f.src = MacAddress(mac);
-    f.etherType = static_cast<std::uint16_t>((raw[12] << 8) | raw[13]);
-    f.payload.assign(raw.begin() + headerBytes, raw.end());
-    return f;
+    out.src = MacAddress(mac);
+    out.etherType = static_cast<std::uint16_t>((raw[12] << 8) | raw[13]);
+    out.payload.assign(raw.begin() + headerBytes, raw.end());
 }
 
 std::optional<Frame>

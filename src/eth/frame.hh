@@ -66,6 +66,10 @@ struct Frame
     /** Serialize header + padded payload + computed FCS. */
     std::vector<std::uint8_t> serialize() const;
 
+    /** serialize() into @p out (cleared first), reusing its capacity —
+     *  the allocation-free variant for per-frame hot paths. */
+    void serializeInto(std::vector<std::uint8_t> &out) const;
+
     /**
      * Parse raw bytes back into a frame, validating the FCS.
      * @return nullopt if the frame is short or the FCS mismatches.
@@ -80,6 +84,11 @@ struct Frame
      * generated in hardware on the way out). Panics on short input.
      */
     static Frame fromBytes(std::span<const std::uint8_t> raw);
+
+    /** fromBytes() into @p out, reusing its payload capacity — the
+     *  allocation-free variant for per-frame hot paths. */
+    static void fromBytesInto(std::span<const std::uint8_t> raw,
+                              Frame &out);
 };
 
 } // namespace unet::eth

@@ -21,10 +21,10 @@ class Hub::StationTap : public Tap
     StationTap(Hub &hub, int index) : hub(hub), index(index) {}
 
     void
-    transmit(Frame frame, TxCallback on_done) override
+    transmit(const Frame &frame, TxCallback on_done) override
     {
         auto attempt = std::make_shared<Attempt>();
-        attempt->frame = std::move(frame);
+        attempt->frame = frame;
         attempt->onDone = std::move(on_done);
         attempt->station = index;
         attempt->attempts = 1;

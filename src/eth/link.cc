@@ -22,7 +22,7 @@ FullDuplexLink::attach(Station &station)
 }
 
 void
-FullDuplexLink::Side::transmit(Frame frame, TxCallback on_done)
+FullDuplexLink::Side::transmit(const Frame &frame, TxCallback on_done)
 {
     auto &l = link;
     if (l.attached < 2)
@@ -37,14 +37,34 @@ FullDuplexLink::Side::transmit(Frame frame, TxCallback on_done)
     sim::Tick end = start + ser;
     l.busyUntil[index] = end;
 
-    Station *peer = l.stations[1 - index];
-    auto shared = std::make_shared<Frame>(std::move(frame));
-    l.sim.schedule(end + l.propDelay, [&l, peer, shared] {
-        ++l._delivered;
-        peer->frameArrived(*shared);
-    });
+    // Copy-assign into a recycled slot: the payload vector keeps its
+    // capacity across frames, so steady state allocates nothing.
+    InFlight &slot = inFlight.pushSlot();
+    slot.frame = frame;
+    slot.arrivesAt = end + l.propDelay;
+    if (!deliver.pending())
+        deliver.scheduleAt(slot.arrivesAt);
+
     if (on_done)
         l.sim.schedule(end, [cb = std::move(on_done)] { cb(true); });
+}
+
+void
+FullDuplexLink::Side::deliverDue()
+{
+    auto &l = link;
+    Station *peer = l.stations[1 - index];
+    while (!inFlight.empty() &&
+           inFlight.front().arrivesAt <= l.sim.now()) {
+        ++l._delivered;
+        // Copy into per-side scratch (capacity reused): a reentrant
+        // transmit from the receiver could recycle the ring slot.
+        scratch = inFlight.front().frame;
+        inFlight.popFront();
+        peer->frameArrived(scratch);
+    }
+    if (!inFlight.empty())
+        deliver.scheduleAt(inFlight.front().arrivesAt);
 }
 
 } // namespace unet::eth

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "eth/network.hh"
+#include "sim/pool.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
@@ -41,18 +42,37 @@ class FullDuplexLink : public Network
     std::uint64_t framesDelivered() const { return _delivered.value(); }
 
   private:
+    /**
+     * One direction of the cable. In-flight frames live in a recycled
+     * ring — payload buffers are reused across frames — and a single
+     * member event walks their arrival boundaries instead of a heap
+     * closure per frame.
+     */
     class Side : public Tap
     {
       public:
         Side(FullDuplexLink &link, int index)
-            : link(link), index(index)
+            : link(link), index(index),
+              deliver(link.sim.events(), [this] { deliverDue(); })
         {}
 
-        void transmit(Frame frame, TxCallback on_done) override;
+        void transmit(const Frame &frame, TxCallback on_done) override;
 
       private:
+        struct InFlight
+        {
+            Frame frame;
+            sim::Tick arrivesAt = 0;
+        };
+
+        void deliverDue();
+
         FullDuplexLink &link;
         int index;
+        sim::SlotRing<InFlight> inFlight;
+        sim::MemberEvent deliver;
+        /** Delivery staging buffer; see deliverDue(). */
+        Frame scratch;
     };
 
     sim::Simulation &sim;

@@ -42,9 +42,11 @@ class Tap
      * Begin transmitting @p frame. @p on_done fires when the frame has
      * fully left this station (or the attempt was abandoned). Callers
      * must not start a second transmit before the first completes; the
-     * DC21140 model serializes its own TX ring.
+     * DC21140 model serializes its own TX ring. The medium copies the
+     * frame into pooled in-flight storage before returning, so the
+     * caller may reuse its frame object immediately.
      */
-    virtual void transmit(Frame frame, TxCallback on_done) = 0;
+    virtual void transmit(const Frame &frame, TxCallback on_done) = 0;
 };
 
 /** Anything a station can be plugged into. */

@@ -32,10 +32,19 @@ SwitchSpec::fn100()
 
 /**
  * One switch port: the dedicated segment to its station plus the
- * output queue for the switch->station direction.
+ * output queue for the switch->station direction. In-flight frames in
+ * both directions sit in recycled rings (payload capacity reused)
+ * walked by member events — no per-frame heap traffic.
  */
 struct Switch::Port
 {
+    Port(Switch &sw, std::size_t index)
+        : uplinkDeliver(sw.sim.events(),
+                        [&sw, index] { sw.uplinkDue(index); }),
+          downlinkDeliver(sw.sim.events(),
+                          [&sw, index] { sw.downlinkDue(index); })
+    {}
+
     Station *station = nullptr;
     std::unique_ptr<PortTap> tap;
 
@@ -45,8 +54,22 @@ struct Switch::Port
     /** Switch->station channel occupancy. */
     sim::Tick downlinkBusyUntil = 0;
 
+    /** A frame in flight from the station toward the switch. */
+    struct InFlight
+    {
+        Frame frame;
+        sim::Tick arrivesAt = 0;
+    };
+
+    sim::SlotRing<InFlight> uplink;
+    sim::MemberEvent uplinkDeliver;
+
     /** Frames waiting for the downlink. */
-    std::deque<Switch::QueuedFrame> queue;
+    sim::SlotRing<Switch::QueuedFrame> queue;
+
+    /** The frame currently on the downlink wire. */
+    Frame txFrame;
+    sim::MemberEvent downlinkDeliver;
 
     bool pumping = false;
 };
@@ -58,7 +81,7 @@ class Switch::PortTap : public Tap
     PortTap(Switch &sw, std::size_t index) : sw(sw), index(index) {}
 
     void
-    transmit(Frame frame, TxCallback on_done) override
+    transmit(const Frame &frame, TxCallback on_done) override
     {
         auto &port = *sw.ports[index];
         sim::Tick ser = sim::serializationTime(
@@ -76,12 +99,15 @@ class Switch::PortTap : public Tap
         if (!sw._spec.fullDuplex)
             port.downlinkBusyUntil = end;
 
-        auto shared = std::make_shared<Frame>(std::move(frame));
-        sw.sim.schedule(end + sw._spec.propDelay, [this, shared] {
-            sw.frameIn(index, std::move(*shared));
-        });
+        auto &slot = port.uplink.pushSlot();
+        slot.frame = frame;
+        slot.arrivesAt = end + sw._spec.propDelay;
+        if (!port.uplinkDeliver.pending())
+            port.uplinkDeliver.scheduleAt(slot.arrivesAt);
+
         if (on_done)
-            sw.sim.schedule(end, [cb = std::move(on_done)] { cb(true); });
+            sw.sim.schedule(end,
+                            [cb = std::move(on_done)] { cb(true); });
     }
 
   private:
@@ -90,7 +116,8 @@ class Switch::PortTap : public Tap
 };
 
 Switch::Switch(sim::Simulation &sim, SwitchSpec spec)
-    : sim(sim), _spec(std::move(spec))
+    : sim(sim), _spec(std::move(spec)),
+      lookupEvent(sim.events(), [this] { lookupDue(); })
 {
 }
 
@@ -101,7 +128,7 @@ Switch::attach(Station &station)
 {
     if (_spec.maxPorts && ports.size() >= _spec.maxPorts)
         UNET_FATAL(_spec.name, " has only ", _spec.maxPorts, " ports");
-    auto port = std::make_unique<Port>();
+    auto port = std::make_unique<Port>(*this, ports.size());
     port->station = &station;
     port->tap = std::make_unique<PortTap>(*this, ports.size());
     ports.push_back(std::move(port));
@@ -109,13 +136,46 @@ Switch::attach(Station &station)
 }
 
 void
-Switch::frameIn(std::size_t in_port, Frame frame)
+Switch::uplinkDue(std::size_t index)
+{
+    auto &port = *ports[index];
+    while (!port.uplink.empty() &&
+           port.uplink.front().arrivesAt <= sim.now()) {
+        // frameIn copies into the lookup ring and never transmits
+        // reentrantly, so the slot stays valid across the call.
+        frameIn(index, port.uplink.front().frame);
+        port.uplink.popFront();
+    }
+    if (!port.uplink.empty())
+        port.uplinkDeliver.scheduleAt(port.uplink.front().arrivesAt);
+}
+
+void
+Switch::frameIn(std::size_t in_port, const Frame &frame)
 {
     // Learn the source address.
     macTable[frame.src.toU64()] = in_port;
 
-    sim.scheduleIn(_spec.forwardLatency,
-                   [this, in_port, f = std::move(frame)]() mutable {
+    // Park the frame for the lookup/fabric latency; readyAt is
+    // nondecreasing (constant delay, nondecreasing arrivals), so one
+    // member event walks the boundaries in order.
+    PendingLookup &slot = lookups.pushSlot();
+    slot.frame = frame;
+    slot.inPort = in_port;
+    slot.readyAt = sim.now() + _spec.forwardLatency;
+    if (!lookupEvent.pending())
+        lookupEvent.scheduleAt(slot.readyAt);
+}
+
+void
+Switch::lookupDue()
+{
+    while (!lookups.empty() && lookups.front().readyAt <= sim.now()) {
+        // enqueue() only copies and schedules — nothing reenters the
+        // lookup ring — so routing straight from the head slot is safe.
+        const PendingLookup &head = lookups.front();
+        const Frame &f = head.frame;
+        std::size_t in_port = head.inPort;
         auto it = f.dst.isBroadcast() || f.dst.isMulticast()
             ? macTable.end() : macTable.find(f.dst.toU64());
         if (it != macTable.end()) {
@@ -130,7 +190,10 @@ Switch::frameIn(std::size_t in_port, Frame frame)
                 if (p != in_port)
                     enqueue(p, f);
         }
-    });
+        lookups.popFront();
+    }
+    if (!lookups.empty())
+        lookupEvent.scheduleAt(lookups.front().readyAt);
 }
 
 void
@@ -141,7 +204,9 @@ Switch::enqueue(std::size_t out_port, const Frame &frame)
         ++_dropped;
         return;
     }
-    port.queue.push_back({frame, sim.now()});
+    QueuedFrame &slot = port.queue.pushSlot();
+    slot.frame = frame;
+    slot.arrived = sim.now();
     pump(out_port);
 }
 
@@ -152,12 +217,9 @@ Switch::pump(std::size_t out_port)
     if (port.pumping || port.queue.empty())
         return;
 
-    QueuedFrame qf = std::move(port.queue.front());
-    port.queue.pop_front();
-    Frame frame = std::move(qf.frame);
-
+    const QueuedFrame &qf = port.queue.front();
     sim::Tick ser = sim::serializationTime(
-        static_cast<std::int64_t>(frame.wireBytes()), _spec.bitRate);
+        static_cast<std::int64_t>(qf.frame.wireBytes()), _spec.bitRate);
     sim::Tick start = std::max(sim.now(), port.downlinkBusyUntil);
     if (!_spec.fullDuplex)
         start = std::max(start, port.uplinkBusyUntil);
@@ -177,14 +239,18 @@ Switch::pump(std::size_t out_port)
         port.uplinkBusyUntil = end;
 
     port.pumping = true;
-    auto shared = std::make_shared<Frame>(std::move(frame));
-    sim.schedule(end + _spec.propDelay,
-                 [this, out_port, shared] {
-        auto &p = *ports[out_port];
-        p.station->frameArrived(*shared);
-        p.pumping = false;
-        pump(out_port);
-    });
+    port.txFrame = qf.frame; // capacity-reusing copy
+    port.queue.popFront();
+    port.downlinkDeliver.scheduleAt(end + _spec.propDelay);
+}
+
+void
+Switch::downlinkDue(std::size_t out_port)
+{
+    auto &port = *ports[out_port];
+    port.station->frameArrived(port.txFrame);
+    port.pumping = false;
+    pump(out_port);
 }
 
 } // namespace unet::eth

@@ -17,13 +17,13 @@
 #ifndef UNET_ETH_SWITCH_HH
 #define UNET_ETH_SWITCH_HH
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "eth/network.hh"
+#include "sim/pool.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
@@ -96,7 +96,7 @@ class Switch : public Network
     class PortTap;
 
     /** A complete frame arrived at the switch on @p in_port. */
-    void frameIn(std::size_t in_port, Frame frame);
+    void frameIn(std::size_t in_port, const Frame &frame);
 
     /** Queue @p frame for transmission out of @p out_port. */
     void enqueue(std::size_t out_port, const Frame &frame);
@@ -106,8 +106,25 @@ class Switch : public Network
     struct QueuedFrame
     {
         Frame frame;
-        sim::Tick arrived;
+        sim::Tick arrived = 0;
     };
+
+    /** A received frame waiting out the lookup/fabric latency. */
+    struct PendingLookup
+    {
+        Frame frame;
+        std::size_t inPort = 0;
+        sim::Tick readyAt = 0;
+    };
+
+    /** Route every frame whose forwarding latency has elapsed. */
+    void lookupDue();
+
+    /** Deliver uplink frames that have fully arrived on @p port. */
+    void uplinkDue(std::size_t port);
+
+    /** The frame on @p out_port's downlink reached the station. */
+    void downlinkDue(std::size_t out_port);
 
     /** Start transmitting the head of @p out_port's queue if idle. */
     void pump(std::size_t out_port);
@@ -116,6 +133,11 @@ class Switch : public Network
     SwitchSpec _spec;
     std::vector<std::unique_ptr<Port>> ports;
     std::map<std::uint64_t, std::size_t> macTable;
+
+    /** Frames traversing the lookup/fabric stage: a recycled ring
+     *  walked by one member event instead of a closure per frame. */
+    sim::SlotRing<PendingLookup> lookups;
+    sim::MemberEvent lookupEvent;
 
     sim::Counter _forwarded;
     sim::Counter _flooded;

@@ -55,14 +55,12 @@ Bus::transferTime(std::size_t bytes) const
 }
 
 void
-Bus::dma(std::size_t bytes, std::function<void()> on_done)
+Bus::charge(std::size_t bytes)
 {
     sim::Tick start = std::max(sim.now(), busyUntil);
     busyUntil = start + transferTime(bytes);
     ++_transactions;
     _bytesMoved += bytes;
-    if (on_done)
-        sim.schedule(busyUntil, std::move(on_done));
 }
 
 sim::Tick

@@ -59,9 +59,25 @@ class Bus
 
     /**
      * Start a DMA of @p bytes. @p on_done fires when the last byte has
-     * crossed the bus. Transactions queue behind each other.
+     * crossed the bus. Transactions queue behind each other. The
+     * callback goes straight into the pooled event queue — no
+     * std::function wrapper on the hot path.
      */
-    void dma(std::size_t bytes, std::function<void()> on_done);
+    template <typename F>
+    void
+    dma(std::size_t bytes, F &&on_done)
+    {
+        charge(bytes);
+        if constexpr (requires { static_cast<bool>(on_done); }) {
+            if (!static_cast<bool>(on_done))
+                return;
+        }
+        sim.schedule(busyUntil, std::forward<F>(on_done));
+    }
+
+    /** DMA with no completion callback (charge the bus only). */
+    void dma(std::size_t bytes, std::nullptr_t) { charge(bytes); }
+    void dma(std::size_t bytes) { charge(bytes); }
 
     /**
      * When a DMA submitted now would complete (for pipelining
@@ -75,6 +91,9 @@ class Bus
     /** @} */
 
   private:
+    /** Queue @p bytes on the bus, advancing busyUntil. */
+    void charge(std::size_t bytes);
+
     sim::Simulation &sim;
     BusSpec _spec;
     sim::Tick busyUntil = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/pool.hh"
 
 namespace unet::host {
 
@@ -25,7 +26,13 @@ namespace unet::host {
 class Memory
 {
   public:
-    explicit Memory(std::size_t size = 4 * 1024 * 1024) : bytes(size, 0) {}
+    explicit Memory(std::size_t size = 4 * 1024 * 1024) : bytes(size)
+    {
+        // The arena is pooled across simulations (benchmark sweeps
+        // construct hosts in bursts); a recycled buffer carries stale
+        // contents, so restore the zeroed-memory contract here.
+        std::memset(bytes.data(), 0, bytes.size());
+    }
 
     std::size_t size() const { return bytes.size(); }
 
@@ -86,7 +93,7 @@ class Memory
     }
 
   private:
-    std::vector<std::uint8_t> bytes;
+    sim::RecycledBuffer bytes;
     std::size_t brk = 0;
 };
 

@@ -47,25 +47,25 @@ Dc21140::txFetchNext()
     // Fetch the descriptor, then gather the frame buffers, via DMA.
     host.bus().dma(_spec.descriptorBytes, [this, &desc] {
         std::size_t total = desc.buf1Length + desc.buf2Length;
-        host.bus().dma(total, [this, &desc, total] {
-            // Gather real bytes from host memory.
-            std::vector<std::uint8_t> bytes;
-            bytes.reserve(total);
-            auto b1 = host.memory().read(desc.buf1Offset,
-                                         desc.buf1Length);
-            bytes.insert(bytes.end(), b1.begin(), b1.end());
+        host.bus().dma(total, [this, &desc] {
+            // Gather real bytes from host memory into the reusable
+            // staging buffer (txFetching stays set until the frame is
+            // handed to the tap, so txGather/txFrame are exclusive).
+            auto b1 = host.memory().region(desc.buf1Offset,
+                                           desc.buf1Length);
+            txGather.assign(b1.begin(), b1.end());
             if (desc.buf2Length) {
-                auto b2 = host.memory().read(desc.buf2Offset,
-                                             desc.buf2Length);
-                bytes.insert(bytes.end(), b2.begin(), b2.end());
+                auto b2 = host.memory().region(desc.buf2Offset,
+                                               desc.buf2Length);
+                txGather.insert(txGather.end(), b2.begin(), b2.end());
             }
-            eth::Frame frame = eth::Frame::fromBytes(bytes);
+            eth::Frame::fromBytesInto(txGather, txFrame);
 
             host.simulation().scheduleIn(
-                _spec.perFrameProcessing, [this, &desc, frame] {
+                _spec.perFrameProcessing, [this, &desc] {
                 _lastTxWireStart = host.simulation().now();
                 ++txInFlight;
-                tap->transmit(frame, [this, &desc](bool sent) {
+                tap->transmit(txFrame, [this, &desc](bool sent) {
                     // Status writeback.
                     desc.own = false;
                     desc.transmitted = sent;
@@ -101,26 +101,36 @@ Dc21140::frameArrived(const eth::Frame &frame)
         return;
     }
 
-    auto bytes = frame.serialize();
-    if (bytes.size() > desc.bufLength) {
-        UNET_WARN("dc21140: ", bytes.size(), "-byte frame exceeds the ",
-                  desc.bufLength, "-byte receive buffer; dropped");
+    if (frame.frameBytes() > desc.bufLength) {
+        UNET_WARN("dc21140: ", frame.frameBytes(),
+                  "-byte frame exceeds the ", desc.bufLength,
+                  "-byte receive buffer; dropped");
         ++_rxMissed;
         return;
     }
 
     // Reception DMA is pipelined with the wire; charge the residual
-    // plus the bus transaction for the tail of the frame.
+    // plus the bus transaction for the tail of the frame. The frame
+    // bytes sit in a recycled ring slot while in the pipeline; both
+    // stages are FIFO (constant residual latency, then the serial
+    // bus), so the n-th residual expiry belongs to the n-th entry.
     desc.own = false; // the NIC is filling it now
     _rxHead = (_rxHead + 1) % rxRing.size();
-    host.simulation().scheduleIn(_spec.rxResidualDma,
-                                 [this, &desc, bytes] {
-        host.bus().dma(bytes.size() % 128 + 32, [this, &desc, bytes] {
-            host.memory().write(desc.bufOffset, bytes);
-            desc.complete = true;
-            desc.frameLength = static_cast<std::uint32_t>(bytes.size());
+    PendingRx &slot = rxPending.pushSlot();
+    frame.serializeInto(slot.bytes);
+    slot.desc = &desc;
+    host.simulation().scheduleIn(_spec.rxResidualDma, [this] {
+        PendingRx &rx = rxPending.at(rxStaged++);
+        host.bus().dma(rx.bytes.size() % 128 + 32, [this] {
+            PendingRx &done = rxPending.front();
+            host.memory().write(done.desc->bufOffset, done.bytes);
+            done.desc->complete = true;
+            done.desc->frameLength =
+                static_cast<std::uint32_t>(done.bytes.size());
             ++_framesRecv;
             irq->assertLine();
+            rxPending.popFront();
+            --rxStaged;
         });
     });
 }

@@ -27,6 +27,7 @@
 #include "eth/frame.hh"
 #include "eth/network.hh"
 #include "host/host.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 
 namespace unet::nic {
@@ -174,6 +175,23 @@ class Dc21140 : public eth::Station
     bool txActive = false;
     bool txFetching = false;    ///< a descriptor fetch is in progress
     std::size_t txInFlight = 0; ///< frames handed to the wire
+
+    /** TX gather/staging buffers, reused across frames (txFetching
+     *  serializes the gather stage, so one of each suffices). */
+    std::vector<std::uint8_t> txGather;
+    eth::Frame txFrame;
+
+    /** An RX frame between the wire tail and descriptor writeback. */
+    struct PendingRx
+    {
+        std::vector<std::uint8_t> bytes;
+        RxDescriptor *desc = nullptr;
+    };
+
+    /** RX frames in the residual-DMA / bus pipeline (FIFO: constant
+     *  residual latency, then the serial bus). */
+    sim::SlotRing<PendingRx> rxPending;
+    std::size_t rxStaged = 0; ///< entries already past the residual
 
     sim::Tick _lastTxWireStart = 0;
     sim::Counter _framesSent;

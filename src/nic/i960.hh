@@ -29,20 +29,25 @@ class I960
 
     /**
      * Execute @p cost of firmware work; @p on_done fires when it
-     * completes (after all previously queued work).
+     * completes (after all previously queued work). The callback is
+     * forwarded straight into the pooled event queue: no type erasure
+     * on the way there.
      */
+    template <typename F>
     void
-    run(sim::Tick cost, std::function<void()> on_done)
+    run(sim::Tick cost, F &&on_done)
     {
-        if (cost < 0)
-            UNET_PANIC("negative i960 work");
-        sim::Tick start = std::max(sim.now(), _busyUntil);
-        _busyUntil = start + cost;
-        _busyTime += cost;
-        ++_workItems;
-        if (on_done)
-            sim.schedule(_busyUntil, std::move(on_done));
+        charge(cost);
+        if constexpr (requires { static_cast<bool>(on_done); }) {
+            if (!static_cast<bool>(on_done))
+                return;
+        }
+        sim.schedule(_busyUntil, std::forward<F>(on_done));
     }
+
+    /** Execute @p cost of firmware work with no completion callback. */
+    void run(sim::Tick cost) { charge(cost); }
+    void run(sim::Tick cost, std::nullptr_t) { charge(cost); }
 
     /** When currently queued work will drain. */
     sim::Tick busyUntil() const { return _busyUntil; }
@@ -56,6 +61,18 @@ class I960
     /** @} */
 
   private:
+    /** Account @p cost of serialized work, advancing busyUntil. */
+    void
+    charge(sim::Tick cost)
+    {
+        if (cost < 0)
+            UNET_PANIC("negative i960 work");
+        sim::Tick start = std::max(sim.now(), _busyUntil);
+        _busyUntil = start + cost;
+        _busyTime += cost;
+        ++_workItems;
+    }
+
     sim::Simulation &sim;
     sim::Tick _busyUntil = 0;
     sim::Tick _busyTime = 0;

@@ -8,14 +8,18 @@ using namespace sim::literals;
 
 Pca200::Pca200(host::Host &host, atm::AtmLink &link, Pca200Spec spec)
     : host(host), _spec(spec), coproc(host.simulation()),
-      tap(&link.attach(*this))
+      tap(&link.attach(*this)),
+      rxService(host.simulation().events(), [this] { serviceRxFifo(); })
 {
 }
 
 void
 Pca200::attachEndpoint(Endpoint *ep)
 {
-    endpoints[ep].ep = ep;
+    EpState &state = endpoints[ep];
+    state.ep = ep;
+    state.txService.emplace(host.simulation().events(),
+                            [this, &state] { serviceTx(state); });
 }
 
 void
@@ -57,8 +61,7 @@ Pca200::scheduleTxService(EpState &state)
     bool active = state.lastActive >= 0 &&
         now - state.lastActive < _spec.activityWindow;
     sim::Tick latency = active ? _spec.txPollActive : _spec.txPollIdle;
-    host.simulation().scheduleIn(latency,
-                                 [this, &state] { serviceTx(state); });
+    state.txService->scheduleIn(latency);
 }
 
 void
@@ -92,56 +95,53 @@ Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
 
     // Gather the payload: inline from the (NIC-resident) descriptor or
     // by DMA from the user buffer area in host memory. Once gathered,
-    // the application may reuse the fragments.
-    std::vector<std::uint8_t> payload;
+    // the application may reuse the fragments. The staging vectors live
+    // in the EpState and keep their capacity across messages.
+    state.txPayload.clear();
     if (desc.isInline) {
-        payload.assign(desc.inlineData.begin(),
-                       desc.inlineData.begin() + desc.inlineLength);
+        state.txPayload.assign(desc.inlineData.begin(),
+                               desc.inlineData.begin() +
+                                   desc.inlineLength);
     } else {
         for (std::uint8_t i = 0; i < desc.fragmentCount; ++i) {
             auto span = ep.buffers().span(desc.fragments[i]);
-            payload.insert(payload.end(), span.begin(), span.end());
+            state.txPayload.insert(state.txPayload.end(), span.begin(),
+                                   span.end());
             ep.ownership().releaseSend(desc.fragments[i]);
         }
     }
 
-    auto cells = std::make_shared<std::vector<atm::Cell>>(
-        atm::aal5::segment(payload, vci));
-
-    auto start_cells = [this, &state, cells] {
-        // Emit cells one at a time; each costs i960 segmentation work
-        // and then paces onto the fiber. The emitter references itself
-        // weakly: each scheduled hop holds the only strong reference,
-        // so the chain is freed when the last cell goes out (a strong
-        // self-capture would be a reference cycle and leak).
-        auto emit = std::make_shared<std::function<void(std::size_t)>>();
-        *emit = [this, &state, cells,
-                 weak = std::weak_ptr(emit)](std::size_t idx) {
-            auto self = weak.lock();
-            coproc.run(_spec.txPerCell, [this, &state, cells, self,
-                                         idx] {
-                tap->send((*cells)[idx]);
-                ++_cellsSent;
-                if (idx + 1 < cells->size()) {
-                    (*self)(idx + 1);
-                } else {
-                    ++_msgsSent;
-                    state.lastActive = host.simulation().now();
-                    serviceTx(state); // next queued message, if any
-                }
-            });
-        };
-        (*emit)(0);
-    };
+    atm::aal5::segmentInto(state.txPayload, vci, state.txCells);
+    state.txCellIdx = 0;
 
     // Per-message firmware work, then (for buffer-area sends) the DMA
-    // from host memory, then segmentation.
-    std::size_t dma_bytes = desc.isInline ? 0 : payload.size();
-    coproc.run(_spec.txPerMessage, [this, dma_bytes, start_cells] {
+    // from host memory, then per-cell emission.
+    std::size_t dma_bytes = desc.isInline ? 0 : state.txPayload.size();
+    coproc.run(_spec.txPerMessage, [this, &state, dma_bytes] {
         if (dma_bytes)
-            host.bus().dma(dma_bytes, start_cells);
+            host.bus().dma(dma_bytes,
+                           [this, &state] { emitNextCell(state); });
         else
-            start_cells();
+            emitNextCell(state);
+    });
+}
+
+void
+Pca200::emitNextCell(EpState &state)
+{
+    // Emit cells one at a time; each costs i960 segmentation work and
+    // then paces onto the fiber. All state lives in the EpState, so
+    // each hop is a two-pointer capture — no heap emitter chain.
+    coproc.run(_spec.txPerCell, [this, &state] {
+        tap->send(state.txCells[state.txCellIdx]);
+        ++_cellsSent;
+        if (++state.txCellIdx < state.txCells.size()) {
+            emitNextCell(state);
+        } else {
+            ++_msgsSent;
+            state.lastActive = host.simulation().now();
+            serviceTx(state); // next queued message, if any
+        }
     });
 }
 
@@ -153,11 +153,10 @@ Pca200::cellArrived(const atm::Cell &cell)
         ++_fifoOverflow;
         return;
     }
-    rxFifo.push_back(cell);
+    rxFifo.pushSlot() = cell;
     if (!rxServiceScheduled) {
         rxServiceScheduled = true;
-        host.simulation().scheduleIn(_spec.rxPollLatency,
-                                     [this] { serviceRxFifo(); });
+        rxService.scheduleIn(_spec.rxPollLatency);
     }
 }
 
@@ -169,7 +168,7 @@ Pca200::serviceRxFifo()
         return;
     }
     atm::Cell cell = rxFifo.front();
-    rxFifo.pop_front();
+    rxFifo.popFront();
     handleCell(cell);
 }
 
@@ -192,7 +191,9 @@ Pca200::handleCell(const atm::Cell &cell)
     if (!vc.firstCellSeen && cell.endOfPdu &&
         _spec.singleCellOptimization) {
         auto payload = vc.reasm.addCell(cell);
-        coproc.run(_spec.rxSingleCell, [this, &vc, payload, next] {
+        coproc.run(_spec.rxSingleCell,
+                   [this, &vc, payload = std::move(payload),
+                    next]() mutable {
             if (!payload) {
                 ++_crcDrops;
             } else if (payload->size() > smallMessageMax) {
@@ -200,7 +201,8 @@ Pca200::handleCell(const atm::Cell &cell)
                 UNET_PANIC("single-cell PDU larger than inline area");
             } else {
                 // DMA descriptor + data into the host-resident queue.
-                host.bus().dma(64, [this, &vc, payload] {
+                host.bus().dma(64, [this, &vc,
+                                    payload = std::move(payload)] {
                     RecvDescriptor rd;
                     rd.channel = vc.channel;
                     rd.length =
@@ -253,7 +255,8 @@ Pca200::handleCell(const atm::Cell &cell)
     }
 
     bool end = cell.endOfPdu;
-    coproc.run(cost, [this, &vc, end, payload, next] {
+    coproc.run(cost, [this, &vc, end, payload = std::move(payload),
+                      next]() mutable {
         if (end) {
             if (!payload || vc.poisoned) {
                 if (!payload)

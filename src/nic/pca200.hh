@@ -20,15 +20,16 @@
 #ifndef UNET_NIC_PCA200_HH
 #define UNET_NIC_PCA200_HH
 
-#include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "atm/aal5.hh"
 #include "atm/link.hh"
 #include "host/host.hh"
 #include "nic/i960.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "unet/endpoint.hh"
 
@@ -129,6 +130,16 @@ class Pca200 : public atm::CellSink
         Endpoint *ep = nullptr;
         sim::Tick lastActive = -1;
         bool txScheduled = false;
+
+        /** Reusable poll event (the endpoints map gives EpState a
+         *  stable address, so the closure can capture it). */
+        std::optional<sim::MemberEvent> txService;
+
+        /** Per-endpoint transmit staging, reused across messages (one
+         *  message is in flight per endpoint at a time). */
+        std::vector<std::uint8_t> txPayload;
+        std::vector<atm::Cell> txCells;
+        std::size_t txCellIdx = 0;
     };
 
     /** Per-VC receive reassembly state. */
@@ -146,6 +157,7 @@ class Pca200 : public atm::CellSink
     void scheduleTxService(EpState &state);
     void serviceTx(EpState &state);
     void transmitMessage(EpState &state, const SendDescriptor &desc);
+    void emitNextCell(EpState &state);
     void serviceRxFifo();
     void handleCell(const atm::Cell &cell);
     void completePdu(VcState &vc, std::vector<std::uint8_t> payload);
@@ -161,7 +173,8 @@ class Pca200 : public atm::CellSink
     std::map<Endpoint *, EpState> endpoints;
     std::map<atm::Vci, VcState> vcs;
 
-    std::deque<atm::Cell> rxFifo;
+    sim::SlotRing<atm::Cell> rxFifo;
+    sim::MemberEvent rxService; ///< reusable rx-poll event
     bool rxServiceScheduled = false;
 
     sim::Counter _cellsSent;

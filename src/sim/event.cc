@@ -1,59 +1,66 @@
 #include "sim/event.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace unet::sim {
 
-bool
-EventHandle::pending() const
+EventQueue::~EventQueue()
 {
-    return record && !record->cancelled && !record->fired;
+    // Destroy the callables of still-pending events; cancelled and fired
+    // slots were already cleaned when they were released.
+    while (!heap.empty()) {
+        HeapEntry entry = heap.front();
+        popHeap();
+        Record &rec = recordAt(entry.slot);
+        if (rec.seq == entry.seq && rec.state == Record::State::pending) {
+            destroyAction(rec);
+            rec.state = Record::State::free;
+        }
+    }
 }
 
 void
-EventHandle::cancel()
+EventQueue::panicEmptyAction()
 {
-    if (record)
-        record->cancelled = true;
+    UNET_PANIC("event scheduled with empty action");
 }
 
-EventHandle
-EventQueue::schedule(Tick when, std::function<void()> action)
+void
+EventQueue::panicPastEvent(Tick when) const
 {
-    if (when < _now)
-        UNET_PANIC("event scheduled in the past: when=", when,
-                   " now=", _now);
-    if (!action)
-        UNET_PANIC("event scheduled with empty action");
-
-    auto rec = std::make_shared<EventHandle::Record>();
-    rec->when = when;
-    rec->seq = nextSeq++;
-    rec->action = std::move(action);
-    heap.push(HeapEntry{when, rec->seq, rec});
-    return EventHandle(std::move(rec));
+    UNET_PANIC("event scheduled in the past: when=", when, " now=", _now);
 }
 
-bool
-EventQueue::step()
+void
+EventQueue::growPool()
 {
-    while (!heap.empty()) {
-        HeapEntry entry = heap.top();
-        heap.pop();
-        if (entry.record->cancelled)
-            continue;
-
-        _now = entry.when;
-        entry.record->fired = true;
-        ++_firedCount;
-
-        // Move the action out so self-rescheduling callbacks can't
-        // invalidate the storage we're executing from.
-        auto action = std::move(entry.record->action);
-        action();
-        return true;
+    // Grow the slab by one chunk and thread it onto the free list.
+    auto base = static_cast<std::uint32_t>(poolCapacity());
+    chunks.push_back(std::make_unique<Record[]>(chunkRecords));
+    for (std::size_t i = chunkRecords; i-- > 0;) {
+        Record &rec = chunks.back()[i];
+        rec.nextFree = freeHead;
+        freeHead = base + static_cast<std::uint32_t>(i);
     }
-    return false;
+}
+
+void
+EventQueue::compactIfWorthwhile()
+{
+    // Rebuild only once dead entries dominate: below that, lazy pops
+    // absorb them for free. The floor avoids thrashing tiny queues.
+    if (heap.size() < 64 || _deadInHeap * 2 <= heap.size())
+        return;
+    std::erase_if(heap, [this](const HeapEntry &entry) {
+        const Record &rec = recordAt(entry.slot);
+        return rec.seq != entry.seq ||
+            rec.state != Record::State::pending;
+    });
+    std::make_heap(heap.begin(), heap.end(), laterThan);
+    _deadInHeap = 0;
+    ++_compactions;
 }
 
 Tick
@@ -68,12 +75,15 @@ Tick
 EventQueue::runUntil(Tick limit)
 {
     while (!heap.empty()) {
-        // Skip over cancelled entries without advancing time.
-        if (heap.top().record->cancelled) {
-            heap.pop();
+        // Purge dead entries without advancing time.
+        const HeapEntry &top = heap.front();
+        const Record &rec = recordAt(top.slot);
+        if (rec.seq != top.seq || rec.state != Record::State::pending) {
+            popHeap();
+            --_deadInHeap;
             continue;
         }
-        if (heap.top().when > limit)
+        if (top.when > limit)
             break;
         step();
     }
@@ -82,21 +92,6 @@ EventQueue::runUntil(Tick limit)
     if (_now < limit)
         _now = limit;
     return _now;
-}
-
-bool
-EventQueue::empty() const
-{
-    // Cancelled events may linger in the heap; scan lazily via a copy of
-    // the top is not possible with priority_queue, so treat any entry as
-    // potentially live unless everything is cancelled. For exactness we
-    // walk the underlying container through a const reference.
-    if (heap.empty())
-        return true;
-    // priority_queue gives no iteration; approximate by checking top.
-    // Cancelled tops are purged by step()/runUntil(), so "empty" here
-    // means "no entries at all".
-    return false;
 }
 
 } // namespace unet::sim

@@ -6,21 +6,36 @@
  * scheduled for the same tick fire in scheduling order (FIFO), which keeps
  * runs deterministic. Scheduled events can be cancelled through the
  * EventHandle returned at scheduling time.
+ *
+ * The queue is allocation-free in steady state: event records live in a
+ * slab of fixed-size slots threaded on a free list, and callables whose
+ * captures fit the small-buffer area (EventQueue::sboBytes) are stored
+ * in-place in the record. Larger callables fall back to one heap
+ * allocation each; heapCallableAllocs() counts them so benchmarks and
+ * tests can assert the hot paths stay on the inline route. Handles carry
+ * the record's schedule-time sequence number as a generation tag, so a
+ * stale handle (its event fired or was cancelled, and the slot may have
+ * been reused) is always a harmless no-op.
  */
 
 #ifndef UNET_SIM_EVENT_HH
 #define UNET_SIM_EVENT_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <string>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hh"
 
 namespace unet::sim {
+
+class EventQueue;
 
 /**
  * A cancellable reference to a scheduled event.
@@ -43,20 +58,13 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    struct Record
-    {
-        Tick when = 0;
-        std::uint64_t seq = 0;
-        bool cancelled = false;
-        bool fired = false;
-        std::function<void()> action;
-    };
-
-    explicit EventHandle(std::shared_ptr<Record> rec)
-        : record(std::move(rec))
+    EventHandle(EventQueue *queue, std::uint32_t slot, std::uint64_t seq)
+        : queue(queue), slot(slot), seq(seq)
     {}
 
-    std::shared_ptr<Record> record;
+    EventQueue *queue = nullptr;
+    std::uint32_t slot = 0;
+    std::uint64_t seq = 0;
 };
 
 /**
@@ -68,7 +76,11 @@ class EventHandle
 class EventQueue
 {
   public:
+    /** Callables up to this capture size are stored in the record. */
+    static constexpr std::size_t sboBytes = 64;
+
     EventQueue() = default;
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -79,30 +91,95 @@ class EventQueue
     /** Number of events that have fired so far. */
     std::uint64_t firedCount() const { return _firedCount; }
 
-    /** Number of events currently pending (including cancelled ones). */
-    std::size_t pendingCount() const { return heap.size(); }
+    /** Number of live (scheduled, uncancelled, unfired) events. */
+    std::size_t pendingCount() const { return _livePending; }
 
     /**
      * Schedule @p action to fire at absolute time @p when.
      *
      * @param when   Absolute tick; must be >= now().
-     * @param action Callback invoked when the event fires.
+     * @param action Callback invoked when the event fires. Captures up
+     *               to sboBytes are stored inline in a pooled record;
+     *               larger ones cost one heap allocation.
      * @return a handle that can cancel the event.
      */
-    EventHandle schedule(Tick when, std::function<void()> action);
+    template <typename F>
+    EventHandle
+    schedule(Tick when, F &&action)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (requires { static_cast<bool>(action); }) {
+            if (!static_cast<bool>(action))
+                panicEmptyAction();
+        }
+        if (when < _now)
+            panicPastEvent(when);
+
+        std::uint32_t slot = allocSlot();
+        Record &rec = recordAt(slot);
+        rec.when = when;
+        rec.seq = nextSeq++;
+        rec.state = Record::State::pending;
+        if constexpr (sizeof(Fn) <= sboBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(rec.store))
+                Fn(std::forward<F>(action));
+            rec.call = &callInline<Fn>;
+            rec.drop = std::is_trivially_destructible_v<Fn>
+                ? nullptr : &dropInline<Fn>;
+        } else {
+            auto *fn = new Fn(std::forward<F>(action));
+            ::new (static_cast<void *>(rec.store)) Fn *(fn);
+            rec.call = &callHeap<Fn>;
+            rec.drop = &dropHeap<Fn>;
+            ++_heapCallableAllocs;
+        }
+        pushHeap(HeapEntry{when, rec.seq, slot});
+        ++_livePending;
+        return EventHandle(this, slot, rec.seq);
+    }
 
     /** Schedule @p action to fire @p delay ticks from now. */
+    template <typename F>
     EventHandle
-    scheduleIn(Tick delay, std::function<void()> action)
+    scheduleIn(Tick delay, F &&action)
     {
-        return schedule(_now + delay, std::move(action));
+        return schedule(_now + delay, std::forward<F>(action));
     }
 
     /**
      * Fire the next pending event, advancing the clock to its time.
      * @return false if the queue was empty.
      */
-    bool step();
+    bool
+    step()
+    {
+        while (!heap.empty()) {
+            HeapEntry entry = heap.front();
+            popHeap();
+            Record &rec = recordAt(entry.slot);
+            if (rec.seq != entry.seq ||
+                rec.state != Record::State::pending) {
+                --_deadInHeap;
+                continue;
+            }
+
+            _now = entry.when;
+            rec.state = Record::State::firing;
+            --_livePending;
+            ++_firedCount;
+
+            // The slot stays off the free list while firing, so a
+            // callback that schedules new events can never clobber the
+            // storage it is executing from; its captures are destroyed
+            // after it returns.
+            rec.call(rec);
+            destroyAction(rec);
+            releaseSlot(entry.slot);
+            return true;
+        }
+        return false;
+    }
 
     /** Run until the queue drains. @return the final simulated time. */
     Tick run();
@@ -115,30 +192,273 @@ class EventQueue
     Tick runUntil(Tick limit);
 
     /** True if no uncancelled event is pending. */
-    bool empty() const;
+    bool empty() const { return _livePending == 0; }
+
+    /** @name Pool introspection (perf tests and benchmarks). @{ */
+
+    /** Record slots ever allocated (slab capacity, in records). */
+    std::size_t poolCapacity() const { return chunks.size() * chunkRecords; }
+
+    /** Callables too big for the inline area (each cost one heap
+     *  allocation). */
+    std::uint64_t heapCallableAllocs() const { return _heapCallableAllocs; }
+
+    /** Times the heap was rebuilt to purge cancelled entries. */
+    std::uint64_t compactions() const { return _compactions; }
+
+    /** @} */
 
   private:
+    friend class EventHandle;
+
+    static constexpr std::size_t chunkRecords = 256;
+    static constexpr std::uint32_t noSlot = ~std::uint32_t{0};
+
+    /** One pooled event: timing, generation tag, and callable storage. */
+    struct Record
+    {
+        enum class State : std::uint8_t { free, pending, firing };
+
+        Tick when = 0;
+        std::uint64_t seq = 0;       ///< doubles as the generation tag
+        std::uint32_t nextFree = noSlot;
+        State state = State::free;
+        void (*call)(Record &) = nullptr;
+        void (*drop)(Record &) = nullptr;
+        alignas(std::max_align_t) std::byte store[sboBytes];
+    };
+
     struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        std::shared_ptr<EventHandle::Record> record;
-
-        bool
-        operator>(const HeapEntry &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
+        std::uint32_t slot;
     };
 
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<HeapEntry>> heap;
+    template <typename Fn>
+    static void
+    callInline(Record &rec)
+    {
+        (*std::launder(reinterpret_cast<Fn *>(rec.store)))();
+    }
+
+    template <typename Fn>
+    static void
+    dropInline(Record &rec)
+    {
+        std::launder(reinterpret_cast<Fn *>(rec.store))->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    callHeap(Record &rec)
+    {
+        (**std::launder(reinterpret_cast<Fn **>(rec.store)))();
+    }
+
+    template <typename Fn>
+    static void
+    dropHeap(Record &rec)
+    {
+        delete *std::launder(reinterpret_cast<Fn **>(rec.store));
+    }
+
+    Record &
+    recordAt(std::uint32_t slot)
+    {
+        return chunks[slot / chunkRecords][slot % chunkRecords];
+    }
+
+    const Record &
+    recordAt(std::uint32_t slot) const
+    {
+        return chunks[slot / chunkRecords][slot % chunkRecords];
+    }
+
+    /** Min-heap order on (when, seq): strict FIFO within a tick. */
+    static bool
+    laterThan(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    [[noreturn]] static void panicEmptyAction();
+    [[noreturn]] void panicPastEvent(Tick when) const;
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (freeHead == noSlot)
+            growPool();
+        std::uint32_t slot = freeHead;
+        freeHead = recordAt(slot).nextFree;
+        return slot;
+    }
+
+    void
+    releaseSlot(std::uint32_t slot)
+    {
+        Record &rec = recordAt(slot);
+        rec.state = Record::State::free;
+        rec.nextFree = freeHead;
+        freeHead = slot;
+    }
+
+    void
+    destroyAction(Record &rec)
+    {
+        // call/drop are left stale: every path that reads them first
+        // checks the (seq, state) generation, and schedule() overwrites
+        // them before arming a reused slot.
+        if (rec.drop)
+            rec.drop(rec);
+    }
+
+    /** Manual sift-up: inlines fully and writes the entry once. */
+    void
+    pushHeap(HeapEntry entry)
+    {
+        std::size_t i = heap.size();
+        heap.push_back(entry);
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!laterThan(heap[parent], entry))
+                break;
+            heap[i] = heap[parent];
+            i = parent;
+        }
+        heap[i] = entry;
+    }
+
+    /** Manual sift-down of the relocated tail entry. */
+    void
+    popHeap()
+    {
+        HeapEntry tail = heap.back();
+        heap.pop_back();
+        std::size_t n = heap.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && laterThan(heap[child], heap[child + 1]))
+                ++child;
+            if (!laterThan(tail, heap[child]))
+                break;
+            heap[i] = heap[child];
+            i = child;
+        }
+        heap[i] = tail;
+    }
+
+    bool
+    handlePending(std::uint32_t slot, std::uint64_t seq) const
+    {
+        if (slot >= poolCapacity())
+            return false;
+        const Record &rec = recordAt(slot);
+        return rec.seq == seq && rec.state == Record::State::pending;
+    }
+
+    void
+    cancelHandle(std::uint32_t slot, std::uint64_t seq)
+    {
+        if (!handlePending(slot, seq))
+            return; // stale: fired, already cancelled, or slot reused
+        Record &rec = recordAt(slot);
+        destroyAction(rec);
+        releaseSlot(slot);
+        --_livePending;
+        // The heap entry stays behind (lazy deletion); it is skipped on
+        // pop because the record's generation no longer matches.
+        ++_deadInHeap;
+        compactIfWorthwhile();
+    }
+
+    void growPool();
+    void compactIfWorthwhile();
+
+    std::vector<std::unique_ptr<Record[]>> chunks;
+    std::uint32_t freeHead = noSlot;
+    std::vector<HeapEntry> heap;
 
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t _firedCount = 0;
+    std::size_t _livePending = 0;
+    std::size_t _deadInHeap = 0;
+    std::uint64_t _heapCallableAllocs = 0;
+    std::uint64_t _compactions = 0;
+};
+
+inline bool
+EventHandle::pending() const
+{
+    return queue && queue->handlePending(slot, seq);
+}
+
+inline void
+EventHandle::cancel()
+{
+    if (queue)
+        queue->cancelHandle(slot, seq);
+}
+
+/**
+ * A reusable one-shot event owned by a model object.
+ *
+ * The callback is fixed at construction (one std::function set up once,
+ * never per schedule); each scheduleAt()/scheduleIn() arms a fresh pooled
+ * event that captures only a pointer to this object, so rescheduling on
+ * a hot path is allocation-free. Re-arming while pending moves the event
+ * (the old occurrence is cancelled). Not movable: the armed event points
+ * back at this object.
+ */
+class MemberEvent
+{
+  public:
+    template <typename F>
+    MemberEvent(EventQueue &queue, F fn)
+        : queue(queue), fn(std::move(fn))
+    {}
+
+    ~MemberEvent() { cancel(); }
+
+    MemberEvent(const MemberEvent &) = delete;
+    MemberEvent &operator=(const MemberEvent &) = delete;
+
+    /** Arm (or move) the event to fire at absolute time @p when. */
+    void
+    scheduleAt(Tick when)
+    {
+        handle.cancel();
+        handle = queue.schedule(when, Trampoline{this});
+    }
+
+    /** Arm (or move) the event to fire @p delay ticks from now. */
+    void scheduleIn(Tick delay) { scheduleAt(queue.now() + delay); }
+
+    /** Disarm if pending. */
+    void cancel() { handle.cancel(); }
+
+    /** True while armed and unfired. */
+    bool pending() const { return handle.pending(); }
+
+  private:
+    struct Trampoline
+    {
+        MemberEvent *event;
+        void operator()() const { event->fn(); }
+    };
+
+    EventQueue &queue;
+    std::function<void()> fn;
+    EventHandle handle;
 };
 
 } // namespace unet::sim

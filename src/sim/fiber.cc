@@ -86,7 +86,7 @@ Fiber::checkCanary() const
 #if defined(UNET_CHECK) && UNET_CHECK
     std::size_t n = std::min(canaryBytes, stack.size() / 4);
     for (std::size_t i = 0; i < n; ++i) {
-        if (stack[i] != canaryByte)
+        if (stack.data()[i] != canaryByte)
             UNET_PANIC("fiber stack overflow: canary byte ", i, " of ",
                        n, " clobbered (stack size ", stack.size(),
                        " bytes)");

@@ -16,8 +16,8 @@
 
 #include <cstddef>
 #include <functional>
-#include <memory>
-#include <vector>
+
+#include "sim/pool.hh"
 
 namespace unet::sim {
 
@@ -72,7 +72,11 @@ class Fiber
     void checkCanary() const;
 
     std::function<void()> body;
-    std::vector<unsigned char> stack;
+    /** Pooled stack storage: acquired unzeroed from a per-thread free
+     *  list and returned on destruction, so fiber churn does not pay
+     *  an mmap + page-fault cycle per spawn. Stacks need no zeroing —
+     *  makecontext overwrites what it uses. */
+    RecycledBuffer stack;
     ucontext_t context;
     ucontext_t returnContext;
     bool started = false;

@@ -1,0 +1,46 @@
+#include "sim/pool.hh"
+
+#include <memory>
+
+namespace unet::sim {
+
+namespace {
+
+/** Retired buffers awaiting reuse, matched by exact size. */
+struct PooledBlock
+{
+    std::unique_ptr<unsigned char[]> mem;
+    std::size_t size;
+};
+
+thread_local std::vector<PooledBlock> blockPool;
+
+/** Retention cap: enough for a simulation's worth of fibers and
+ *  arenas without holding the whole high-water mark forever. */
+constexpr std::size_t blockPoolMax = 32;
+
+} // namespace
+
+RecycledBuffer::RecycledBuffer(std::size_t size) : bytes(size)
+{
+    for (std::size_t i = blockPool.size(); i-- > 0;) {
+        if (blockPool[i].size == size) {
+            mem = blockPool[i].mem.release();
+            blockPool.erase(blockPool.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            return;
+        }
+    }
+    mem = new unsigned char[size];
+}
+
+RecycledBuffer::~RecycledBuffer()
+{
+    if (blockPool.size() < blockPoolMax)
+        blockPool.push_back(
+            {std::unique_ptr<unsigned char[]>(mem), bytes});
+    else
+        delete[] mem;
+}
+
+} // namespace unet::sim

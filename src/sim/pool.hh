@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Allocation-recycling containers for simulation hot paths.
+ *
+ * SlotRing is a FIFO ring whose slots stay alive across reuse: popping
+ * the front only advances the head index, so the element object (and any
+ * heap capacity it owns, e.g. a payload std::vector) is recycled by the
+ * next assignment into that slot. In steady state — once the ring has
+ * grown to the workload's high-water mark — pushing and popping perform
+ * zero allocations.
+ */
+
+#ifndef UNET_SIM_POOL_HH
+#define UNET_SIM_POOL_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace unet::sim {
+
+/** FIFO ring with live, capacity-retaining slots. */
+template <typename T>
+class SlotRing
+{
+  public:
+    bool empty() const { return _count == 0; }
+    std::size_t size() const { return _count; }
+    std::size_t capacity() const { return slots.size(); }
+
+    /**
+     * Append a slot and return it for assignment. The returned object
+     * is a recycled previous occupant (or default-constructed on first
+     * use), so vector-backed members keep their capacity.
+     */
+    T &
+    pushSlot()
+    {
+        if (_count == slots.size())
+            grow();
+        T &slot = slots[(head + _count) & (slots.size() - 1)];
+        ++_count;
+        return slot;
+    }
+
+    /** The oldest element. Undefined when empty. */
+    T &front() { return slots[head]; }
+    const T &front() const { return slots[head]; }
+
+    /** The @p i-th oldest element (0 == front). Undefined past size. */
+    T &at(std::size_t i) { return slots[(head + i) & (slots.size() - 1)]; }
+
+    /** Retire the oldest element, leaving its slot alive for reuse. */
+    void
+    popFront()
+    {
+        head = (head + 1) & (slots.size() - 1);
+        --_count;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::size_t cap = slots.empty() ? 8 : slots.size() * 2;
+        std::vector<T> bigger(cap);
+        for (std::size_t i = 0; i < _count; ++i)
+            bigger[i] = std::move(slots[(head + i) & (slots.size() - 1)]);
+        slots.swap(bigger);
+        head = 0;
+    }
+
+    std::vector<T> slots;
+    std::size_t head = 0;
+    std::size_t _count = 0;
+};
+
+/**
+ * A large byte buffer drawn from a per-thread recycling pool.
+ *
+ * Fiber stacks and host memory arenas are allocated in bursts (a fresh
+ * simulation per benchmark sweep point) and sit at sizes where glibc
+ * serves them straight from mmap: every churn cycle then pays an mmap,
+ * a page fault per touched page, and an munmap. Recycling the buffers
+ * keeps the pages mapped and warm across simulations.
+ *
+ * The storage is NOT zeroed on acquisition — callers that need zeroed
+ * contents (e.g. host::Memory) must clear it themselves.
+ */
+class RecycledBuffer
+{
+  public:
+    explicit RecycledBuffer(std::size_t size);
+    ~RecycledBuffer();
+
+    RecycledBuffer(const RecycledBuffer &) = delete;
+    RecycledBuffer &operator=(const RecycledBuffer &) = delete;
+
+    unsigned char *data() { return mem; }
+    const unsigned char *data() const { return mem; }
+    std::size_t size() const { return bytes; }
+
+  private:
+    unsigned char *mem;
+    std::size_t bytes;
+};
+
+} // namespace unet::sim
+
+#endif // UNET_SIM_POOL_HH

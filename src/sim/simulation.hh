@@ -38,17 +38,19 @@ class Simulation
     Tick now() const { return queue.now(); }
 
     /** Schedule @p action at absolute time @p when. */
+    template <typename F>
     EventHandle
-    schedule(Tick when, std::function<void()> action)
+    schedule(Tick when, F &&action)
     {
-        return queue.schedule(when, std::move(action));
+        return queue.schedule(when, std::forward<F>(action));
     }
 
     /** Schedule @p action @p delay ticks from now. */
+    template <typename F>
     EventHandle
-    scheduleIn(Tick delay, std::function<void()> action)
+    scheduleIn(Tick delay, F &&action)
     {
-        return queue.scheduleIn(delay, std::move(action));
+        return queue.scheduleIn(delay, std::forward<F>(action));
     }
 
     /** Run to completion. @return final time. */

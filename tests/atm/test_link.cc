@@ -144,3 +144,67 @@ TEST(AtmLink, NextFreeAtTracksQueue)
     tapA.send(makeCell(1));
     EXPECT_EQ(tapA.nextFreeAt(), 2 * link.spec().cellTime());
 }
+
+TEST(AtmLink, SendTrainMatchesPerCellTiming)
+{
+    // A train must be timing-equivalent to send() per cell at the same
+    // tick: each cell serializes at its own boundary and arrives
+    // separately.
+    sim::Simulation s1;
+    AtmLink loop(s1, LinkSpec::oc3());
+    Sink la(s1), lb(s1);
+    auto &loopTap = loop.attach(la);
+    loop.attach(lb);
+    for (int i = 0; i < 5; ++i)
+        loopTap.send(makeCell(static_cast<Vci>(i)));
+    s1.run();
+
+    sim::Simulation s2;
+    AtmLink train(s2, LinkSpec::oc3());
+    Sink ta(s2), tb(s2);
+    auto &trainTap = train.attach(ta);
+    train.attach(tb);
+    std::vector<Cell> cells;
+    for (int i = 0; i < 5; ++i)
+        cells.push_back(makeCell(static_cast<Vci>(i)));
+    trainTap.sendTrain(cells);
+    s2.run();
+
+    ASSERT_EQ(tb.stamps.size(), lb.stamps.size());
+    for (std::size_t i = 0; i < lb.stamps.size(); ++i) {
+        EXPECT_EQ(tb.stamps[i], lb.stamps[i]) << "cell " << i;
+        EXPECT_EQ(tb.cells[i].vci, lb.cells[i].vci) << "cell " << i;
+    }
+}
+
+TEST(AtmLink, SendTrainIsOnePendingEvent)
+{
+    // The batching point: N back-to-back cells in flight are covered by
+    // one pending delivery event (plus nothing else), not N.
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::oc3());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    std::vector<Cell> cells(16, makeCell(3));
+    tapA.sendTrain(cells);
+    EXPECT_EQ(s.events().pendingCount(), 1u);
+    s.run();
+    EXPECT_EQ(b.cells.size(), 16u);
+}
+
+TEST(AtmLink, SendTrainCompletionFiresAtLastBoundary)
+{
+    sim::Simulation s;
+    AtmLink link(s, LinkSpec::oc3());
+    Sink a(s), b(s);
+    auto &tapA = link.attach(a);
+    link.attach(b);
+
+    std::vector<Cell> cells(4, makeCell(9));
+    sim::Tick done_at = -1;
+    tapA.sendTrain(cells, [&] { done_at = s.now(); });
+    s.run();
+    EXPECT_EQ(done_at, 4 * link.spec().cellTime());
+}

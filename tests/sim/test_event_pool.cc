@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests of the pooled event core: slab reuse, small-buffer-optimized
+ * callable storage, generation-tagged handles, heap compaction, and
+ * the reusable MemberEvent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/event.hh"
+
+using namespace unet::sim;
+
+TEST(EventPool, SlotsAreReusedAfterFiring)
+{
+    EventQueue q;
+    int n = 0;
+    // Warm the pool past its first chunk, then drain.
+    for (int i = 0; i < 100; ++i)
+        q.scheduleIn(1, [&n] { ++n; });
+    q.run();
+    std::size_t capacity = q.poolCapacity();
+    ASSERT_GT(capacity, 0u);
+
+    // Steady-state schedule/fire cycles must recycle freed slots: the
+    // slab never grows again.
+    for (int i = 0; i < 10000; ++i) {
+        q.scheduleIn(1, [&n] { ++n; });
+        q.step();
+    }
+    EXPECT_EQ(q.poolCapacity(), capacity);
+    EXPECT_EQ(n, 10100);
+}
+
+TEST(EventPool, SlotsAreReusedAfterCancel)
+{
+    EventQueue q;
+    int n = 0;
+    for (int i = 0; i < 100; ++i)
+        q.scheduleIn(1, [&n] { ++n; }).cancel();
+    std::size_t capacity = q.poolCapacity();
+
+    for (int i = 0; i < 10000; ++i)
+        q.scheduleIn(1, [&n] { ++n; }).cancel();
+    EXPECT_EQ(q.poolCapacity(), capacity);
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_EQ(n, 0);
+}
+
+TEST(EventPool, SmallCapturesNeedNoHeapAllocation)
+{
+    EventQueue q;
+    std::int64_t n = 0;
+    for (int i = 0; i < 100; ++i) {
+        q.scheduleIn(1, [&n] { ++n; });
+        q.step();
+    }
+    EXPECT_EQ(q.heapCallableAllocs(), 0u);
+}
+
+TEST(EventPool, LargeCapturesFallBackToTheHeap)
+{
+    EventQueue q;
+    std::int64_t n = 0;
+    struct Big
+    {
+        std::int64_t *target;
+        char pad[96]; // past the SBO threshold
+    };
+    Big big{&n, {}};
+    q.scheduleIn(1, [big] { ++*big.target; });
+    EXPECT_EQ(q.heapCallableAllocs(), 1u);
+    q.run();
+    EXPECT_EQ(n, 1);
+}
+
+TEST(EventPool, StaleHandleCancelIsNoopAfterFire)
+{
+    EventQueue q;
+    int n = 0;
+    EventHandle h = q.scheduleIn(1, [&n] { ++n; });
+    q.run();
+    EXPECT_EQ(n, 1);
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // must not disturb anything
+    q.scheduleIn(1, [&n] { ++n; });
+    q.run();
+    EXPECT_EQ(n, 2);
+}
+
+TEST(EventPool, StaleHandleCannotCancelSlotReuser)
+{
+    EventQueue q;
+    int first = 0;
+    int second = 0;
+    EventHandle h = q.scheduleIn(1, [&first] { ++first; });
+    q.run();
+
+    // The fired event's slot is on the free list; the next schedule
+    // reuses it with a bumped generation. The old handle must see a
+    // stale generation, not the new occupant.
+    EventHandle h2 = q.scheduleIn(1, [&second] { ++second; });
+    h.cancel();
+    EXPECT_TRUE(h2.pending());
+    q.run();
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(EventPool, SameTickFifoSurvivesChurnAndCancels)
+{
+    // Property test: schedule batches at the same tick interleaved with
+    // random cancellations; surviving events must still fire in their
+    // original scheduling order.
+    std::mt19937 rng(12345);
+    for (int round = 0; round < 20; ++round) {
+        EventQueue q;
+        std::vector<int> fired;
+        std::vector<EventHandle> handles;
+        std::vector<int> expect;
+        std::vector<bool> cancelled(200, false);
+        for (int i = 0; i < 200; ++i)
+            handles.push_back(
+                q.schedule(50, [&fired, i] { fired.push_back(i); }));
+        // Cancel a random half, some twice (double-cancel is a no-op).
+        for (int c = 0; c < 150; ++c) {
+            auto victim =
+                static_cast<std::size_t>(rng() % handles.size());
+            handles[victim].cancel();
+            cancelled[victim] = true;
+        }
+        for (int i = 0; i < 200; ++i)
+            if (!cancelled[static_cast<std::size_t>(i)])
+                expect.push_back(i);
+        EXPECT_EQ(q.pendingCount(), expect.size());
+        q.run();
+        EXPECT_EQ(fired, expect);
+    }
+}
+
+TEST(EventPool, PendingCountExcludesCancelledHeapEntries)
+{
+    EventQueue q;
+    int n = 0;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 10; ++i)
+        handles.push_back(q.scheduleIn(100, [&n] { ++n; }));
+    EXPECT_EQ(q.pendingCount(), 10u);
+    // Cancelled entries stay in the heap lazily but must not count.
+    for (int i = 0; i < 5; ++i)
+        handles[static_cast<std::size_t>(i)].cancel();
+    EXPECT_EQ(q.pendingCount(), 5u);
+    q.run();
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_EQ(n, 5);
+}
+
+TEST(EventPool, MassCancelTriggersHeapCompaction)
+{
+    EventQueue q;
+    int n = 0;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 1000; ++i)
+        handles.push_back(q.scheduleIn(100 + i, [&n] { ++n; }));
+    // Cancel far more than half: the heap must rebuild rather than
+    // carry the dead entries to the next pop.
+    for (int i = 0; i < 900; ++i)
+        handles[static_cast<std::size_t>(i)].cancel();
+    EXPECT_GE(q.compactions(), 1u);
+    EXPECT_EQ(q.pendingCount(), 100u);
+    q.run();
+    EXPECT_EQ(n, 100);
+}
+
+TEST(EventPool, SelfReschedulingEventIsSafe)
+{
+    // The record being fired is off the free list while its callable
+    // runs: a callback that immediately schedules again must not
+    // clobber its own executing storage.
+    EventQueue q;
+    int n = 0;
+    std::function<void()> hop = [&] {
+        if (++n < 100)
+            q.scheduleIn(1, [&] { hop(); });
+    };
+    q.scheduleIn(1, [&] { hop(); });
+    q.run();
+    EXPECT_EQ(n, 100);
+}
+
+TEST(MemberEvent, FiresAndRearms)
+{
+    EventQueue q;
+    int n = 0;
+    MemberEvent ev(q, [&n] { ++n; });
+    EXPECT_FALSE(ev.pending());
+    for (int i = 0; i < 5; ++i) {
+        ev.scheduleIn(10);
+        EXPECT_TRUE(ev.pending());
+        q.run();
+        EXPECT_FALSE(ev.pending());
+    }
+    EXPECT_EQ(n, 5);
+    EXPECT_EQ(q.now(), 50);
+}
+
+TEST(MemberEvent, RescheduleSupersedesPriorArm)
+{
+    EventQueue q;
+    int n = 0;
+    MemberEvent ev(q, [&n] { ++n; });
+    ev.scheduleIn(10);
+    ev.scheduleIn(20); // re-arm: the 10-tick occurrence is cancelled
+    q.run();
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(q.now(), 20);
+}
+
+TEST(MemberEvent, CancelDisarms)
+{
+    EventQueue q;
+    int n = 0;
+    MemberEvent ev(q, [&n] { ++n; });
+    ev.scheduleIn(10);
+    ev.cancel();
+    EXPECT_FALSE(ev.pending());
+    q.run();
+    EXPECT_EQ(n, 0);
+}
+
+TEST(MemberEvent, ReschedulingNeedsNoHeapAllocation)
+{
+    EventQueue q;
+    int n = 0;
+    MemberEvent ev(q, [&n] { ++n; });
+    for (int i = 0; i < 100; ++i) {
+        ev.scheduleIn(1);
+        q.step();
+    }
+    // The trampoline capture is one pointer — always inline storage.
+    EXPECT_EQ(q.heapCallableAllocs(), 0u);
+    EXPECT_EQ(n, 100);
+}
