@@ -4,7 +4,9 @@
  *
  * Regenerates the paper's step-by-step breakdown of the U-Net/FE send
  * trap: eight labelled steps summing to ~4.2 us of processor overhead,
- * of which ~20% is the trap itself.
+ * of which ~20% is the trap itself. The rows are the Step spans the
+ * kernel agent records into the simulation's TraceSession; pass
+ * `--trace FILE` / `--metrics FILE` to also export the raw artifacts.
  */
 
 #include "bench/harness.hh"
@@ -13,18 +15,17 @@ using namespace unet;
 using namespace unet::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsOutputs outs(argc, argv);
+
     sim::Simulation s;
+    s.enableTrace();
     RawPair rig(s, Fabric::FeBay);
 
-    UNetFe::StepTrace trace;
     sim::Process echo(s, "echo", [](sim::Process &) {});
     sim::Process tx(s, "tx", [&](sim::Process &self) {
-        auto &fe = static_cast<UNetFe &>(rig.unetOf(0));
-        fe.setTxTrace(&trace);
-        rawSend(fe, self, rig.ep(0), rig.chan(0), 40, 16384);
-        fe.setTxTrace(nullptr);
+        rawSend(rig.unetOf(0), self, rig.ep(0), rig.chan(0), 40, 16384);
     });
     rig.wire(tx, echo);
     tx.start();
@@ -33,20 +34,31 @@ main()
     std::printf("Figure 3: U-Net/FE transmission timeline, 40-byte "
                 "message (60-byte frame)\n");
     std::printf("%-52s %10s %10s\n", "step", "cost (us)", "cum (us)");
-    double cum = 0;
-    for (std::size_t i = 0; i < trace.size(); ++i) {
-        double us = sim::toMicroseconds(trace[i].second);
+#if UNET_TRACE
+    // One message: the sender's Step spans come out in timeline order.
+    auto *tr = s.trace();
+    double cum = 0, trap = 0;
+    std::size_t i = 0;
+    tr->forEach([&](const obs::Span &sp) {
+        if (sp.kind != obs::SpanKind::Step ||
+            tr->nameOf(sp.track) != "A.cpu")
+            return;
+        double us = sim::toMicroseconds(sp.end - sp.start);
         cum += us;
-        std::printf("%2zu. %-48s %10.2f %10.2f\n", i + 1,
-                    trace[i].first.c_str(), us, cum);
-    }
-    double trap_frac =
-        trace.empty() ? 0.0
-                      : sim::toMicroseconds(trace.front().second +
-                                            trace.back().second) / cum;
+        const std::string &label = tr->nameOf(sp.label);
+        if (label == "trap entry" || label == "return from trap")
+            trap += us;
+        std::printf("%2zu. %-48s %10.2f %10.2f\n", ++i, label.c_str(),
+                    us, cum);
+    });
     std::printf("\ntotal processor overhead: %.2f us  (paper: ~4.2 us)\n",
                 cum);
     std::printf("trap entry+exit share:    %.0f%%    (paper: ~20%%)\n",
-                trap_frac * 100);
+                cum > 0 ? trap / cum * 100 : 0.0);
+#else
+    std::printf("(tracing compiled out; rebuild with -DUNET_TRACE=ON "
+                "to regenerate the timeline)\n");
+#endif
+    outs.write(s);
     return 0;
 }

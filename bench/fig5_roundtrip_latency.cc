@@ -22,6 +22,33 @@ main(int argc, char **argv)
 {
     bool fine = argc > 1 && std::string(argv[1]) == "--fine";
 
+    // `--trace FILE` / `--metrics FILE`: run one traced 40-byte round
+    // trip per substrate class instead of the full sweep, exporting the
+    // span timeline. Custody spans tile each round, so their durations
+    // sum to the reported RTT (validated by tools/trace_report.py).
+    ObsOutputs outs(argc, argv);
+    if (outs.requested()) {
+#if UNET_TRACE
+        double rtt = roundTripTracedUs(
+            Fabric::FeBay, 40, 4, {},
+            [&](sim::Simulation &s, double mean) {
+                outs.write(s);
+                std::printf("traced 40B FE Bay28115 round trip: "
+                            "%.2f us mean\n",
+                            mean);
+            });
+        double atm = roundTripTracedUs(Fabric::AtmOc3, 40, 4, {});
+        std::printf("traced 40B ATM OC-3c round trip:   %.2f us mean "
+                    "(not exported)\n",
+                    atm);
+        return rtt > 0 && atm > 0 ? 0 : 1;
+#else
+        std::printf("tracing compiled out; rebuild with -DUNET_TRACE=ON "
+                    "for --trace\n");
+        return 1;
+#endif
+    }
+
     std::vector<std::size_t> sizes = {0,   8,   16,  24,  32,  40,
                                       44,  48,  64,  80,  96,  128,
                                       192, 256, 384, 512, 768, 1024,

@@ -13,6 +13,8 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,10 +23,61 @@
 #include "eth/hub.hh"
 #include "eth/link.hh"
 #include "eth/switch.hh"
+#include "obs/export.hh"
 #include "unet/unet_atm.hh"
 #include "unet/unet_fe.hh"
 
 namespace unet::bench {
+
+/**
+ * Observability outputs shared by the figure benches: `--trace FILE`
+ * writes a Perfetto trace_event JSON of the run's TraceSession,
+ * `--metrics FILE` a flat JSON snapshot of the metrics registry.
+ */
+struct ObsOutputs
+{
+    const char *tracePath = nullptr;
+    const char *metricsPath = nullptr;
+
+    ObsOutputs(int argc, char **argv)
+    {
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (!std::strcmp(argv[i], "--trace"))
+                tracePath = argv[i + 1];
+            else if (!std::strcmp(argv[i], "--metrics"))
+                metricsPath = argv[i + 1];
+        }
+    }
+
+    bool requested() const { return tracePath || metricsPath; }
+
+    /** Write whatever was requested; call after run(), before
+     *  teardown. */
+    void
+    write(sim::Simulation &s) const
+    {
+        if (tracePath) {
+#if UNET_TRACE
+            if (auto *tr = s.trace()) {
+                std::ofstream os(tracePath);
+                obs::writePerfettoJson(os, *tr);
+                std::printf("# trace: %zu spans -> %s\n", tr->size(),
+                            tracePath);
+            } else {
+                std::printf("# --trace: no trace session enabled\n");
+            }
+#else
+            std::printf("# --trace: tracing compiled out; rebuild with "
+                        "-DUNET_TRACE=ON\n");
+#endif
+        }
+        if (metricsPath) {
+            std::ofstream os(metricsPath);
+            s.metrics().writeJson(os);
+            std::printf("# metrics -> %s\n", metricsPath);
+        }
+    }
+};
 
 /** Fabric selection for the raw (non-Split-C) rigs. */
 enum class Fabric { FeHub, FeBay, FeFn100, AtmOc3, AtmTaxi };
@@ -290,6 +343,112 @@ roundTripUs(Fabric fabric, std::size_t size, int rounds = 8,
     s.run();
     return measured ? total_us / measured : -1.0;
 }
+
+#if UNET_TRACE
+/**
+ * roundTripUs() with a TraceSession enabled and custody stamped so the
+ * spans of every measured round tile the round-trip interval exactly:
+ * each side back-dates the next message's context to the instant the
+ * previous custody ended (the measurement start for the first hop, the
+ * receive-queue pop for the echo), recording the application turnaround
+ * as an App span. The per-round custody durations therefore sum to the
+ * measured RTT (tools/trace_report.py checks this).
+ *
+ * @p after runs before teardown with the live simulation (trace ring
+ * and metrics intact) and the measured mean RTT in microseconds.
+ */
+inline double
+roundTripTracedUs(
+    Fabric fabric, std::size_t size, int rounds = 4, RigOptions opts = {},
+    const std::function<void(sim::Simulation &, double)> &after = {})
+{
+    sim::Simulation s;
+    s.enableTrace();
+    RawPair rig(s, fabric, opts);
+
+    double total_us = 0;
+    int measured = 0;
+
+    auto sendTraced = [&](UNet &un, sim::Process &self, Endpoint &ep,
+                          ChannelId chan, sim::Tick handoff,
+                          std::string_view app_track) {
+        SendDescriptor sd;
+        sd.channel = chan;
+        if (size <= un.inlineMax() && rig.isAtm()) {
+            sd.isInline = true;
+            sd.inlineLength = static_cast<std::uint32_t>(size);
+        } else {
+            sd.isInline = false;
+            sd.fragmentCount = 1;
+            sd.fragments[0] = {16384, static_cast<std::uint32_t>(size)};
+        }
+        auto *tr = s.trace();
+        tr->begin(sd.trace, handoff);
+        // Application turnaround, from the previous custody end to this
+        // post; advances the handoff so TxPost starts at the post.
+        tr->hop(sd.trace, obs::SpanKind::App, app_track, s.now());
+        return un.send(self, ep, sd);
+    };
+
+    sim::Process echo(s, "echo", [&](sim::Process &self) {
+        auto &un = rig.unetOf(1);
+        auto &ep = rig.ep(1);
+        for (int i = 0; i < 8; ++i)
+            un.postFree(self, ep,
+                        {static_cast<std::uint32_t>(i * 2048), 2048});
+        auto &cpu = rig.hostOf(1).cpu();
+        RecvDescriptor rd;
+        for (int r = 0; r < rounds + 1; ++r) {
+            if (!ep.wait(self, rd, sim::seconds(1)))
+                return;
+            sim::Tick consumed = s.now();
+            cpu.busy(self, cpu.spec().memcpyTime(size));
+            if (!rd.isSmall)
+                for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+                    un.postFree(self, ep, {rd.buffers[i].offset, 2048});
+            cpu.busy(self, cpu.spec().memcpyTime(size));
+            sendTraced(un, self, ep, rig.chan(1), consumed, "B.app");
+            un.flush(self, ep);
+        }
+    });
+
+    sim::Process ping(s, "ping", [&](sim::Process &self) {
+        auto &un = rig.unetOf(0);
+        auto &ep = rig.ep(0);
+        for (int i = 0; i < 8; ++i)
+            un.postFree(self, ep,
+                        {static_cast<std::uint32_t>(i * 2048), 2048});
+        auto &cpu = rig.hostOf(0).cpu();
+        RecvDescriptor rd;
+        for (int r = 0; r < rounds + 1; ++r) {
+            sim::Tick t0 = s.now();
+            cpu.busy(self, cpu.spec().memcpyTime(size));
+            sendTraced(un, self, ep, rig.chan(0), t0, "A.app");
+            un.flush(self, ep);
+            if (!ep.wait(self, rd, sim::seconds(1)))
+                return;
+            // Measured at the pop, where the reply's RxQueue span ends.
+            if (r > 0) {
+                total_us += sim::toMicroseconds(s.now() - t0);
+                ++measured;
+            }
+            if (!rd.isSmall)
+                for (std::uint8_t i = 0; i < rd.bufferCount; ++i)
+                    un.postFree(self, ep, {rd.buffers[i].offset, 2048});
+        }
+    });
+
+    rig.wire(ping, echo);
+    echo.start();
+    ping.start(sim::microseconds(5));
+    s.run();
+
+    double mean = measured ? total_us / measured : -1.0;
+    if (after)
+        after(s, mean);
+    return mean;
+}
+#endif // UNET_TRACE
 
 /**
  * Measure one-way streaming bandwidth in Mbit/s of payload for

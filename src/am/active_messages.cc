@@ -30,8 +30,19 @@ getWord(std::span<const std::uint8_t> in, std::size_t off)
 
 ActiveMessages::ActiveMessages(UNet &unet, Endpoint &ep, AmSpec spec)
     : unet(unet), ep(ep), _spec(spec), handlers(256),
-      txPool(0, 0, 0) // replaced below once the layout is known
+      txPool(0, 0, 0), // replaced below once the layout is known
+      _trackApp(unet.host().name() + ".app"),
+      _metrics(unet.host().simulation().metrics(),
+               unet.host().simulation().metrics().uniquePrefix(
+                   "host." + unet.host().name() + ".am"))
 {
+    _metrics.counter("sent", _sent);
+    _metrics.counter("received", _received);
+    _metrics.counter("retransmits", _retransmits);
+    _metrics.counter("duplicates", _duplicates);
+    _metrics.counter("explicitAcks", _explicitAcks);
+    _metrics.counter("deadChannels", _dead);
+
     // Carve the endpoint buffer area: receive chunks first (posted to
     // the free queue), transmit chunks from the remainder.
     std::size_t chunk = std::min<std::size_t>(
@@ -343,10 +354,21 @@ ActiveMessages::processInbound(sim::Process &proc,
     switch (type) {
       case Type::Request:
       case Type::Reply:
-        if (!handlers[handler])
+        if (!handlers[handler]) {
             UNET_WARN("AM: no handler ", static_cast<int>(handler));
-        else
+        } else {
+#if UNET_TRACE
+            auto &simulation = unet.host().simulation();
+            sim::Tick h0 = simulation.now();
+#endif
             handlers[handler](proc, token, args, payload);
+#if UNET_TRACE
+            if (auto *tr = simulation.trace())
+                tr->record(rd.trace.id, obs::SpanKind::AmHandler,
+                           _trackApp, h0, simulation.now(),
+                           "am handler");
+#endif
+        }
         break;
 
       case Type::BulkFragment: {

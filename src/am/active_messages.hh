@@ -34,6 +34,7 @@
 
 #include "am/pool.hh"
 #include "check/credits.hh"
+#include "obs/metrics.hh"
 #include "sim/stats.hh"
 #include "unet/unet.hh"
 
@@ -296,6 +297,12 @@ class ActiveMessages
     sim::Counter _duplicates;
     sim::Counter _explicitAcks;
     sim::Counter _dead;
+
+    /** Trace track for handler-dispatch spans. */
+    std::string _trackApp;
+
+    /** Declared after the counters it registers. */
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet::am

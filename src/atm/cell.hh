@@ -14,6 +14,8 @@
 #include <array>
 #include <cstdint>
 
+#include "obs/trace_ctx.hh"
+
 namespace unet::atm {
 
 /** A virtual channel identifier. */
@@ -34,6 +36,10 @@ struct Cell
 
     /** The 48 payload bytes. */
     std::array<std::uint8_t, payloadBytes> payload{};
+
+    /** Message-trace custody state; set on the last cell of a PDU only
+     *  (model metadata, not part of the 53 wire bytes). */
+    obs::TraceContext trace;
 };
 
 } // namespace unet::atm

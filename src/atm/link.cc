@@ -132,10 +132,12 @@ class AtmLink::Side : public CellTap
 };
 
 AtmLink::AtmLink(sim::Simulation &sim, LinkSpec spec)
-    : sim(sim), _spec(std::move(spec))
+    : sim(sim), _spec(std::move(spec)),
+      _metrics(sim.metrics(), sim.metrics().uniquePrefix("atm.link"))
 {
     sides[0] = std::make_unique<Side>(*this, 0);
     sides[1] = std::make_unique<Side>(*this, 1);
+    _metrics.counter("cellsDelivered", _delivered);
 }
 
 AtmLink::~AtmLink() = default;

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "atm/cell.hh"
+#include "obs/metrics.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
@@ -122,6 +123,9 @@ class AtmLink
     std::array<sim::Tick, 2> busyUntil{};
     int attached = 0;
     sim::Counter _delivered;
+
+    /** Declared after the counter it registers. */
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet::atm

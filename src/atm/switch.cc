@@ -35,8 +35,12 @@ struct Switch::Port : public CellSink
 
 Switch::Switch(sim::Simulation &sim, SwitchSpec spec)
     : sim(sim), _spec(std::move(spec)),
-      forwardEvent(sim.events(), [this] { forwardDue(); })
+      forwardEvent(sim.events(), [this] { forwardDue(); }),
+      _metrics(sim.metrics(), sim.metrics().uniquePrefix("atm.switch"))
 {
+    _metrics.counter("cellsForwarded", _forwarded);
+    _metrics.counter("cellsUnroutable", _unroutable);
+    _metrics.counter("cellsDropped", _dropped);
 }
 
 Switch::~Switch() = default;

@@ -21,6 +21,7 @@
 
 #include "atm/cell.hh"
 #include "atm/link.hh"
+#include "obs/metrics.hh"
 #include "sim/pool.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -109,6 +110,9 @@ class Switch
     sim::Counter _forwarded;
     sim::Counter _unroutable;
     sim::Counter _dropped;
+
+    /** Declared after the counters it registers. */
+    obs::MetricGroup _metrics;
 };
 
 /**

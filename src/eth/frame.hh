@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "eth/mac_address.hh"
+#include "obs/trace_ctx.hh"
 
 namespace unet::eth {
 
@@ -37,6 +38,11 @@ struct Frame
     MacAddress src;
     std::uint16_t etherType = 0;
     std::vector<std::uint8_t> payload;
+
+    /** Message-trace custody state. Model metadata only: it rides along
+     *  frame copies but is NOT carried by serialize()/parse() — paths
+     *  that cross a byte boundary re-attach it from their descriptor. */
+    obs::TraceContext trace;
 
     /** Frame length as counted on the wire (header+padded payload+FCS). */
     std::size_t

@@ -37,8 +37,13 @@ class Hub::StationTap : public Tap
 };
 
 Hub::Hub(sim::Simulation &sim, HubSpec spec)
-    : sim(sim), spec(spec)
+    : sim(sim), spec(spec),
+      _metrics(sim.metrics(), sim.metrics().uniquePrefix("eth.hub"))
 {
+    _metrics.counter("framesDelivered", _delivered);
+    _metrics.counter("collisions", _collisions);
+    _metrics.counter("framesDropped", _drops);
+    _metrics.counter("deferrals", _deferrals);
 }
 
 Hub::~Hub() = default;

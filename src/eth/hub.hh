@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "eth/network.hh"
+#include "obs/metrics.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
@@ -77,9 +78,10 @@ class Hub : public Network
 
     Tap &attach(Station &station) override;
 
-    /** @name Statistics. @{ */
+    /** @name Statistics (also in the registry under eth.hub.*). @{ */
     std::uint64_t framesDelivered() const { return _delivered.value(); }
     std::uint64_t collisions() const { return _collisions.value(); }
+    [[deprecated("read eth.hub.framesDropped from the metrics registry")]]
     std::uint64_t drops() const { return _drops.value(); }
     std::uint64_t deferrals() const { return _deferrals.value(); }
     /** @} */
@@ -115,6 +117,9 @@ class Hub : public Network
     sim::Counter _collisions;
     sim::Counter _drops;
     sim::Counter _deferrals;
+
+    /** Declared after the counters it registers. */
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet::eth

@@ -117,8 +117,15 @@ class Switch::PortTap : public Tap
 
 Switch::Switch(sim::Simulation &sim, SwitchSpec spec)
     : sim(sim), _spec(std::move(spec)),
-      lookupEvent(sim.events(), [this] { lookupDue(); })
+      lookupEvent(sim.events(), [this] { lookupDue(); }),
+      _metrics(sim.metrics(), sim.metrics().uniquePrefix("eth.switch"))
 {
+    _metrics.counter("framesForwarded", _forwarded);
+    _metrics.counter("framesFlooded", _flooded);
+    _metrics.counter("framesDropped", _dropped);
+    _metrics.gauge("learnedAddresses", [this] {
+        return static_cast<double>(macTable.size());
+    });
 }
 
 Switch::~Switch() = default;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "eth/network.hh"
+#include "obs/metrics.hh"
 #include "sim/pool.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -84,9 +85,11 @@ class Switch : public Network
 
     const SwitchSpec &spec() const { return _spec; }
 
-    /** @name Statistics. @{ */
+    /** @name Statistics (also in the registry under eth.switch.*). @{ */
     std::uint64_t framesForwarded() const { return _forwarded.value(); }
     std::uint64_t framesFlooded() const { return _flooded.value(); }
+    [[deprecated(
+        "read eth.switch.framesDropped from the metrics registry")]]
     std::uint64_t framesDropped() const { return _dropped.value(); }
     std::size_t learnedAddresses() const { return macTable.size(); }
     /** @} */
@@ -142,6 +145,9 @@ class Switch : public Network
     sim::Counter _forwarded;
     sim::Counter _flooded;
     sim::Counter _dropped;
+
+    /** Declared after the counters it registers. */
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet::eth

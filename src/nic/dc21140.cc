@@ -9,8 +9,16 @@ Dc21140::Dc21140(host::Host &host, eth::Network &network,
     : host(host), _spec(spec), _address(address),
       tap(&network.attach(*this)),
       irq(host.makeInterruptLine("dc21140")),
-      txRing(spec.txRingSize), rxRing(spec.rxRingSize)
+      txRing(spec.txRingSize), rxRing(spec.rxRingSize),
+      _trackCpu(host.name() + ".cpu"), _trackNic(host.name() + ".nic"),
+      _metrics(host.simulation().metrics(),
+               host.simulation().metrics().uniquePrefix(
+                   "host." + host.name() + ".nic.dc21140"))
 {
+    _metrics.counter("framesSent", _framesSent);
+    _metrics.counter("framesReceived", _framesRecv);
+    _metrics.counter("rxMissed", _rxMissed);
+    _metrics.counter("txAborted", _txAborted);
 }
 
 void
@@ -60,10 +68,23 @@ Dc21140::txFetchNext()
                 txGather.insert(txGather.end(), b2.begin(), b2.end());
             }
             eth::Frame::fromBytesInto(txGather, txFrame);
+            // The byte gather drops model metadata; re-attach the trace
+            // context from the descriptor. The NIC takes custody here.
+            txFrame.trace = desc.trace;
+#if UNET_TRACE
+            if (auto *tr = host.simulation().trace())
+                tr->hop(txFrame.trace, obs::SpanKind::TxPost, _trackCpu,
+                        host.simulation().now());
+#endif
 
             host.simulation().scheduleIn(
                 _spec.perFrameProcessing, [this, &desc] {
                 _lastTxWireStart = host.simulation().now();
+#if UNET_TRACE
+                if (auto *tr = host.simulation().trace())
+                    tr->hop(txFrame.trace, obs::SpanKind::TxNic,
+                            _trackNic, _lastTxWireStart);
+#endif
                 ++txInFlight;
                 tap->transmit(txFrame, [this, &desc](bool sent) {
                     // Status writeback.
@@ -119,11 +140,20 @@ Dc21140::frameArrived(const eth::Frame &frame)
     PendingRx &slot = rxPending.pushSlot();
     frame.serializeInto(slot.bytes);
     slot.desc = &desc;
+    slot.trace = frame.trace; // recycled slot: always (re)assign
     host.simulation().scheduleIn(_spec.rxResidualDma, [this] {
         PendingRx &rx = rxPending.at(rxStaged++);
         host.bus().dma(rx.bytes.size() % 128 + 32, [this] {
             PendingRx &done = rxPending.front();
             host.memory().write(done.desc->bufOffset, done.bytes);
+#if UNET_TRACE
+            // Wire custody ends when the frame is visible in host
+            // memory (serialization + residual DMA + bus).
+            if (auto *tr = host.simulation().trace())
+                tr->hop(done.trace, obs::SpanKind::Wire, "eth.wire",
+                        host.simulation().now());
+#endif
+            done.desc->trace = done.trace;
             done.desc->complete = true;
             done.desc->frameLength =
                 static_cast<std::uint32_t>(done.bytes.size());

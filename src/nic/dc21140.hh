@@ -27,6 +27,8 @@
 #include "eth/frame.hh"
 #include "eth/network.hh"
 #include "host/host.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_ctx.hh"
 #include "sim/pool.hh"
 #include "sim/stats.hh"
 
@@ -84,6 +86,9 @@ struct TxDescriptor
 
     /** Status writeback: frame abandoned (excessive collisions). */
     bool aborted = false;
+
+    /** Message-trace custody state, set by the driver. */
+    obs::TraceContext trace;
 };
 
 /** Receive descriptor (lives in host memory, modeled in place). */
@@ -99,6 +104,9 @@ struct RxDescriptor
     /** Status writeback. */
     bool complete = false;
     std::uint32_t frameLength = 0;
+
+    /** Message-trace custody state, set with the writeback. */
+    obs::TraceContext trace;
 };
 
 /** The NIC device. */
@@ -186,6 +194,7 @@ class Dc21140 : public eth::Station
     {
         std::vector<std::uint8_t> bytes;
         RxDescriptor *desc = nullptr;
+        obs::TraceContext trace;
     };
 
     /** RX frames in the residual-DMA / bus pipeline (FIFO: constant
@@ -198,6 +207,12 @@ class Dc21140 : public eth::Station
     sim::Counter _framesRecv;
     sim::Counter _rxMissed;
     sim::Counter _txAborted;
+
+    /** Trace track names (interned lazily by the session). */
+    std::string _trackCpu;
+    std::string _trackNic;
+
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet::nic

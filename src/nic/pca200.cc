@@ -9,8 +9,20 @@ using namespace sim::literals;
 Pca200::Pca200(host::Host &host, atm::AtmLink &link, Pca200Spec spec)
     : host(host), _spec(spec), coproc(host.simulation()),
       tap(&link.attach(*this)),
-      rxService(host.simulation().events(), [this] { serviceRxFifo(); })
+      rxService(host.simulation().events(), [this] { serviceRxFifo(); }),
+      _trackCpu(host.name() + ".cpu"), _trackFw(host.name() + ".fw"),
+      _metrics(host.simulation().metrics(),
+               host.simulation().metrics().uniquePrefix(
+                   "host." + host.name() + ".nic.pca200"))
 {
+    _metrics.counter("cellsSent", _cellsSent);
+    _metrics.counter("cellsReceived", _cellsRecv);
+    _metrics.counter("messagesSent", _msgsSent);
+    _metrics.counter("messagesDelivered", _msgsDeliv);
+    _metrics.counter("fifoOverflows", _fifoOverflow);
+    _metrics.counter("noBufferDrops", _noBuffer);
+    _metrics.counter("badVciCells", _badVci);
+    _metrics.counter("crcDrops", _crcDrops);
 }
 
 void
@@ -72,6 +84,12 @@ Pca200::serviceTx(EpState &state)
         state.txScheduled = false;
         return;
     }
+#if UNET_TRACE
+    // The firmware takes custody of the message at the pop.
+    if (auto *tr = host.simulation().trace())
+        tr->hop(desc->trace, obs::SpanKind::TxPost, _trackCpu,
+                host.simulation().now());
+#endif
     if (!desc->isInline)
         for (std::uint8_t i = 0; i < desc->fragmentCount; ++i)
             state.ep->ownership().claimSend(desc->fragments[i]);
@@ -113,6 +131,7 @@ Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
 
     atm::aal5::segmentInto(state.txPayload, vci, state.txCells);
     state.txCellIdx = 0;
+    state.txTrace = desc.trace; // recycled state: always (re)assign
 
     // Per-message firmware work, then (for buffer-area sends) the DMA
     // from host memory, then per-cell emission.
@@ -133,7 +152,18 @@ Pca200::emitNextCell(EpState &state)
     // then paces onto the fiber. All state lives in the EpState, so
     // each hop is a two-pointer capture — no heap emitter chain.
     coproc.run(_spec.txPerCell, [this, &state] {
-        tap->send(state.txCells[state.txCellIdx]);
+        atm::Cell &cell = state.txCells[state.txCellIdx];
+#if UNET_TRACE
+        // Only a PDU's final cell carries the custody state; the
+        // firmware hands off to the wire when that cell leaves.
+        if (cell.endOfPdu) {
+            if (auto *tr = host.simulation().trace())
+                tr->hop(state.txTrace, obs::SpanKind::TxFw, _trackFw,
+                        host.simulation().now());
+            cell.trace = state.txTrace; // recycled cell: always assign
+        }
+#endif
+        tap->send(cell);
         ++_cellsSent;
         if (++state.txCellIdx < state.txCells.size()) {
             emitNextCell(state);
@@ -153,7 +183,15 @@ Pca200::cellArrived(const atm::Cell &cell)
         ++_fifoOverflow;
         return;
     }
-    rxFifo.pushSlot() = cell;
+    atm::Cell &slot = rxFifo.pushSlot();
+    slot = cell;
+#if UNET_TRACE
+    // Wire custody ends when the final cell lands in the input FIFO.
+    if (slot.endOfPdu)
+        if (auto *tr = host.simulation().trace())
+            tr->hop(slot.trace, obs::SpanKind::Wire, "atm.wire",
+                    host.simulation().now());
+#endif
     if (!rxServiceScheduled) {
         rxServiceScheduled = true;
         rxService.scheduleIn(_spec.rxPollLatency);
@@ -192,8 +230,8 @@ Pca200::handleCell(const atm::Cell &cell)
         _spec.singleCellOptimization) {
         auto payload = vc.reasm.addCell(cell);
         coproc.run(_spec.rxSingleCell,
-                   [this, &vc, payload = std::move(payload),
-                    next]() mutable {
+                   [this, &vc, payload = std::move(payload), next,
+                    ctx = cell.trace]() mutable {
             if (!payload) {
                 ++_crcDrops;
             } else if (payload->size() > smallMessageMax) {
@@ -202,7 +240,8 @@ Pca200::handleCell(const atm::Cell &cell)
             } else {
                 // DMA descriptor + data into the host-resident queue.
                 host.bus().dma(64, [this, &vc,
-                                    payload = std::move(payload)] {
+                                    payload = std::move(payload),
+                                    ctx]() mutable {
                     RecvDescriptor rd;
                     rd.channel = vc.channel;
                     rd.length =
@@ -210,6 +249,12 @@ Pca200::handleCell(const atm::Cell &cell)
                     rd.isSmall = true;
                     std::copy(payload->begin(), payload->end(),
                               rd.inlineData.begin());
+#if UNET_TRACE
+                    if (auto *tr = host.simulation().trace())
+                        tr->hop(ctx, obs::SpanKind::RxFw, _trackFw,
+                                host.simulation().now());
+#endif
+                    rd.trace = ctx;
                     if (vc.ep->deliver(rd))
                         ++_msgsDeliv;
                 });
@@ -255,6 +300,8 @@ Pca200::handleCell(const atm::Cell &cell)
     }
 
     bool end = cell.endOfPdu;
+    if (end)
+        vc.trace = cell.trace; // recycled VC state: always (re)assign
     coproc.run(cost, [this, &vc, end, payload = std::move(payload),
                       next]() mutable {
         if (end) {
@@ -271,6 +318,7 @@ Pca200::handleCell(const atm::Cell &cell)
             vc.filled = 0;
             vc.firstCellSeen = false;
             vc.poisoned = false;
+            vc.trace = {};
         }
         next();
     });
@@ -312,6 +360,12 @@ Pca200::completePdu(VcState &vc, std::vector<std::uint8_t> payload)
     for (std::size_t i = bi; i < vc.buffers.size(); ++i)
         recycleRxBuffer(vc.ep, vc.buffers[i]);
 
+#if UNET_TRACE
+    if (auto *tr = host.simulation().trace())
+        tr->hop(vc.trace, obs::SpanKind::RxFw, _trackFw,
+                host.simulation().now());
+#endif
+    rd.trace = vc.trace;
     if (vc.ep->deliver(rd)) {
         ++_msgsDeliv;
     } else {

@@ -29,6 +29,8 @@
 #include "atm/link.hh"
 #include "host/host.hh"
 #include "nic/i960.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_ctx.hh"
 #include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "unet/endpoint.hh"
@@ -140,6 +142,9 @@ class Pca200 : public atm::CellSink
         std::vector<std::uint8_t> txPayload;
         std::vector<atm::Cell> txCells;
         std::size_t txCellIdx = 0;
+
+        /** Custody state of the message being segmented. */
+        obs::TraceContext txTrace;
     };
 
     /** Per-VC receive reassembly state. */
@@ -152,6 +157,9 @@ class Pca200 : public atm::CellSink
         std::uint32_t filled = 0;
         bool firstCellSeen = false;
         bool poisoned = false; ///< dropping until end-of-PDU
+
+        /** Custody state from the PDU's final cell. */
+        obs::TraceContext trace;
     };
 
     void scheduleTxService(EpState &state);
@@ -185,6 +193,12 @@ class Pca200 : public atm::CellSink
     sim::Counter _noBuffer;
     sim::Counter _badVci;
     sim::Counter _crcDrops;
+
+    /** Trace track names (interned lazily by the session). */
+    std::string _trackCpu;
+    std::string _trackFw;
+
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet::nic

@@ -1,0 +1,120 @@
+#include "obs/trace.hh"
+
+namespace unet::obs {
+
+const char *
+spanKindName(SpanKind k)
+{
+    switch (k) {
+      case SpanKind::App:
+        return "App";
+      case SpanKind::TxPost:
+        return "TxPost";
+      case SpanKind::TxNic:
+        return "TxNic";
+      case SpanKind::TxFw:
+        return "TxFw";
+      case SpanKind::Wire:
+        return "Wire";
+      case SpanKind::RxKernel:
+        return "RxKernel";
+      case SpanKind::RxFw:
+        return "RxFw";
+      case SpanKind::RxQueue:
+        return "RxQueue";
+      case SpanKind::AmHandler:
+        return "AmHandler";
+      case SpanKind::Step:
+        return "Step";
+      case SpanKind::Count:
+        break;
+    }
+    return "?";
+}
+
+bool
+isCustody(SpanKind k)
+{
+    switch (k) {
+      case SpanKind::App:
+      case SpanKind::TxPost:
+      case SpanKind::TxNic:
+      case SpanKind::TxFw:
+      case SpanKind::Wire:
+      case SpanKind::RxKernel:
+      case SpanKind::RxFw:
+      case SpanKind::RxQueue:
+        return true;
+      default:
+        return false;
+    }
+}
+
+TraceSession::TraceSession(std::size_t capacity, Registry *reg)
+    : _cap(capacity ? capacity : 1)
+{
+    _ring.resize(_cap);
+    _names.emplace_back(); // index 0: the empty name
+    if (reg) {
+        _metrics.emplace(*reg, reg->uniquePrefix("trace"));
+        _metrics->counter("messages", _messages);
+        _metrics->counter("spans", _spans);
+        _metrics->gauge("droppedSpans", [this] {
+            return static_cast<double>(dropped());
+        });
+        for (std::size_t k = 0;
+             k < static_cast<std::size_t>(SpanKind::Count); ++k) {
+            _metrics->histogram(
+                std::string("span.") +
+                    spanKindName(static_cast<SpanKind>(k)) + ".ns",
+                _kindHist[k]);
+        }
+    }
+}
+
+std::uint16_t
+TraceSession::name(std::string_view s)
+{
+    auto it = _nameIds.find(s);
+    if (it != _nameIds.end())
+        return it->second;
+    auto idx = static_cast<std::uint16_t>(_names.size());
+    _names.emplace_back(s);
+    _nameIds.emplace(_names.back(), idx);
+    return idx;
+}
+
+void
+TraceSession::record(std::uint64_t id, SpanKind kind, std::uint16_t track,
+                     sim::Tick start, sim::Tick end, std::uint16_t label)
+{
+    Span &s = _ring[static_cast<std::size_t>(_written % _cap)];
+    s.id = id;
+    s.kind = kind;
+    s.track = track;
+    s.start = start;
+    s.end = end;
+    s.label = label;
+    ++_written;
+    ++_spans;
+    sim::Tick dur = end > start ? end - start : 0;
+    _kindHist[static_cast<std::size_t>(kind)].record(
+        static_cast<std::uint64_t>(dur / 1000));
+}
+
+std::vector<Span>
+TraceSession::snapshot() const
+{
+    std::vector<Span> out;
+    out.reserve(size());
+    forEach([&](const Span &s) { out.push_back(s); });
+    return out;
+}
+
+void
+TraceSession::clear()
+{
+    _written = 0;
+}
+
+} // namespace unet::obs

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The trace context that travels with a message.
+ *
+ * Custody-handoff tracing: a TraceContext is stamped onto a message when
+ * the application posts it and is copied along with the message through
+ * every queue, descriptor, frame, and cell it passes through. Each
+ * custody transfer records the span [ctx.handoff, now] and advances
+ * ctx.handoff to now, so a message's custody spans *partition* the
+ * interval from send-post to final consumption — their durations sum
+ * exactly to the end-to-end latency, even when hardware stages overlap.
+ *
+ * With UNET_TRACE=0 the context collapses to an empty struct and every
+ * hook site compiles away; with UNET_TRACE=1 but no TraceSession enabled
+ * the hooks cost one pointer test.
+ */
+
+#ifndef UNET_OBS_TRACE_CTX_HH
+#define UNET_OBS_TRACE_CTX_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+#ifndef UNET_TRACE
+#define UNET_TRACE 1
+#endif
+
+namespace unet::obs {
+
+#if UNET_TRACE
+
+/** Per-message trace state; id 0 means "not traced". */
+struct TraceContext
+{
+    std::uint64_t id = 0;
+    sim::Tick handoff = 0;
+
+    explicit operator bool() const { return id != 0; }
+};
+
+#else
+
+/** Tracing compiled out: no state, always false. */
+struct TraceContext
+{
+    explicit operator bool() const { return false; }
+};
+
+#endif
+
+} // namespace unet::obs
+
+#endif // UNET_OBS_TRACE_CTX_HH

@@ -12,7 +12,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/event.hh"
 #include "sim/random.hh"
 #include "sim/time.hh"
@@ -33,6 +36,27 @@ class Simulation
 
     /** The shared deterministic PRNG. */
     Random &random() { return rng; }
+
+    /** The metrics registry every component publishes into. */
+    obs::Registry &metrics() { return registry; }
+    const obs::Registry &metrics() const { return registry; }
+
+    /**
+     * The active trace session, or nullptr when tracing is disabled.
+     * Hook sites test this pointer — that test is the entire runtime
+     * cost of disabled tracing.
+     */
+    obs::TraceSession *trace() { return tracer.get(); }
+
+    /** Turn on span recording (idempotent). @return the session. */
+    obs::TraceSession &
+    enableTrace(std::size_t capacity = 1 << 16)
+    {
+        if (!tracer)
+            tracer = std::make_unique<obs::TraceSession>(capacity,
+                                                         &registry);
+        return *tracer;
+    }
 
     /** Current simulated time. */
     Tick now() const { return queue.now(); }
@@ -62,6 +86,10 @@ class Simulation
   private:
     EventQueue queue;
     Random rng;
+    // registry before tracer: the session deregisters its trace.*
+    // metrics in its destructor, so it must die first.
+    obs::Registry registry;
+    std::unique_ptr<obs::TraceSession> tracer;
 };
 
 } // namespace unet::sim

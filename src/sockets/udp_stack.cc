@@ -55,8 +55,15 @@ Socket::recvFrom(sim::Process &proc, sim::Tick timeout)
 
 UdpStack::UdpStack(host::Host &host, nic::Dc21140 &nic,
                    UdpStackSpec spec)
-    : _host(host), _nic(nic), _spec(spec)
+    : _host(host), _nic(nic), _spec(spec),
+      _metrics(host.simulation().metrics(),
+               host.simulation().metrics().uniquePrefix(
+                   "host." + host.name() + ".sockets.udp"))
 {
+    _metrics.counter("packetsSent", _sent);
+    _metrics.counter("packetsDelivered", _delivered);
+    _metrics.counter("noPortDrops", _noPort);
+
     const std::size_t mbuf_bytes = eth::Frame::headerBytes +
         eth::Frame::maxPayload;
     mbufOffset.resize(nic.txRingSize());
@@ -84,6 +91,8 @@ UdpStack::createSocket(const sim::Process *owner, std::uint16_t port)
         port, std::unique_ptr<Socket>(new Socket(*this, owner, port)));
     if (!inserted)
         UNET_FATAL("UDP port ", port, " already bound");
+    _metrics.counter("socket." + std::to_string(port) + ".drops",
+                     it->second->_drops);
     return *it->second;
 }
 

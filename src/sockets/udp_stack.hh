@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "nic/dc21140.hh"
+#include "obs/metrics.hh"
 #include "sim/process.hh"
 
 namespace unet::sockets {
@@ -164,6 +165,9 @@ class UdpStack
     sim::Counter _sent;
     sim::Counter _delivered;
     sim::Counter _noPort;
+
+    /** Declared after the counters (and sockets) it registers. */
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet::sockets

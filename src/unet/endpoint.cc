@@ -10,8 +10,11 @@ Endpoint::Endpoint(sim::Simulation &sim, host::Memory &memory,
       _sendQueue(config.sendQueueDepth),
       _recvQueue(config.recvQueueDepth),
       _freeQueue(config.freeQueueDepth),
-      _ownership(config.bufferAreaBytes)
+      _ownership(config.bufferAreaBytes),
+      _metrics(sim.metrics(), sim.metrics().uniquePrefix(
+                                  "unet.ep" + std::to_string(id)))
 {
+    _metrics.counter("rxQueueDrops", _rxQueueDrops);
 }
 
 void
@@ -67,6 +70,12 @@ Endpoint::poll(RecvDescriptor &out)
     if (!desc)
         return false;
     out = *desc;
+#if UNET_TRACE
+    // The application consumes the message: close out its custody.
+    if (auto *tr = sim.trace())
+        tr->hop(out.trace, obs::SpanKind::RxQueue, _metrics.prefix(),
+                sim.now());
+#endif
     if (!out.isSmall)
         for (std::uint8_t i = 0; i < out.bufferCount; ++i)
             _ownership.consume(out.buffers[i]);
@@ -132,6 +141,11 @@ Endpoint::scheduleUpcall()
         RecvDescriptor desc;
         while (!_recvQueue.empty()) {
             desc = *_recvQueue.pop();
+#if UNET_TRACE
+            if (auto *tr = sim.trace())
+                tr->hop(desc.trace, obs::SpanKind::RxQueue,
+                        _metrics.prefix(), sim.now());
+#endif
             if (!desc.isSmall)
                 for (std::uint8_t i = 0; i < desc.bufferCount; ++i)
                     _ownership.consume(desc.buffers[i]);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "check/ownership.hh"
+#include "obs/metrics.hh"
 #include "sim/process.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -139,6 +140,11 @@ class Endpoint
     bool upcallPending = false;
 
     sim::Counter _rxQueueDrops;
+
+    /** Registered under "unet.ep<N>" (uniquified across instances);
+     *  the prefix doubles as this endpoint's trace track. Declared
+     *  last so it deregisters before the counters it references. */
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet

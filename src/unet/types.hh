@@ -16,6 +16,8 @@
 #include <array>
 #include <cstdint>
 
+#include "obs/trace_ctx.hh"
+
 namespace unet {
 
 /** Index of a communication channel within an endpoint. */
@@ -69,6 +71,9 @@ struct SendDescriptor
     std::uint8_t fragmentCount = 0;
     std::array<BufferRef, maxFragments> fragments{};
 
+    /** Message-trace custody state (empty unless tracing). */
+    obs::TraceContext trace;
+
     /** Total message length in bytes. */
     std::uint32_t
     totalLength() const
@@ -99,6 +104,9 @@ struct RecvDescriptor
 
     std::uint8_t bufferCount = 0;
     std::array<BufferRef, maxFragments> buffers{};
+
+    /** Message-trace custody state (empty unless tracing). */
+    obs::TraceContext trace;
 };
 
 /** Default queue depths for an endpoint. */

@@ -5,8 +5,13 @@
 namespace unet {
 
 UNetAtm::UNetAtm(host::Host &host, nic::Pca200 &nic, UNetAtmSpec spec)
-    : UNet(host), _spec(spec), _nic(nic)
+    : UNet(host), _spec(spec), _nic(nic),
+      _metrics(host.simulation().metrics(),
+               host.simulation().metrics().uniquePrefix(
+                   "host." + host.name() + ".unet.atm"))
 {
+    _metrics.counter("messagesPosted", _posted);
+    _metrics.counter("protectionFaults", _protFaults);
 }
 
 Endpoint &
@@ -25,6 +30,22 @@ UNetAtm::createEndpoint(const sim::Process *owner,
 
 bool
 UNetAtm::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
+{
+#if UNET_TRACE
+    // Stamp untraced messages on the way in. The caller's descriptor is
+    // const, so custody tracking rides on a copy.
+    if (auto *tr = _host.simulation().trace(); tr && !desc.trace) {
+        SendDescriptor traced = desc;
+        tr->begin(traced.trace, _host.simulation().now());
+        return sendImpl(proc, ep, traced);
+    }
+#endif
+    return sendImpl(proc, ep, desc);
+}
+
+bool
+UNetAtm::sendImpl(sim::Process &proc, Endpoint &ep,
+                  const SendDescriptor &desc)
 {
     if (!checkOwner(proc, ep))
         return false;

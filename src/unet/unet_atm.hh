@@ -123,9 +123,15 @@ class UNetAtm : public UNet
     /** @} */
 
   private:
+    /** send() once the descriptor carries its trace context. */
+    bool sendImpl(sim::Process &proc, Endpoint &ep,
+                  const SendDescriptor &desc);
+
     UNetAtmSpec _spec;
     nic::Pca200 &_nic;
     sim::Counter _posted;
+
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet

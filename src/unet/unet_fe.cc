@@ -17,8 +17,20 @@ tagKey(const eth::MacAddress &mac, PortId port)
 } // namespace
 
 UNetFe::UNetFe(host::Host &host, nic::Dc21140 &nic, UNetFeSpec spec)
-    : UNet(host), _spec(spec), _nic(nic)
+    : UNet(host), _spec(spec), _nic(nic),
+      _trackCpu(host.name() + ".cpu"),
+      _metrics(host.simulation().metrics(),
+               host.simulation().metrics().uniquePrefix(
+                   "host." + host.name() + ".unet.fe"))
 {
+    _metrics.counter("messagesSent", _sent);
+    _metrics.counter("messagesDelivered", _delivered);
+    _metrics.counter("rxNoFreeBuffer", _noFreeBuf);
+    _metrics.counter("rxUnknownPort", _unknownPort);
+    _metrics.counter("rxNoChannel", _noChannel);
+    _metrics.counter("rxBadFrame", _badFrame);
+    _metrics.counter("protectionFaults", _protFaults);
+
     // Kernel header buffers: one per TX ring slot, large enough for the
     // Ethernet + U-Net headers plus an inline small message.
     const std::size_t header_buf_bytes =
@@ -98,6 +110,22 @@ UNetFe::connect(UNetFe &a, Endpoint &ep_a, UNetFe &b, Endpoint &ep_b,
 bool
 UNetFe::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
 {
+#if UNET_TRACE
+    // Stamp untraced messages on the way in. The caller's descriptor is
+    // const, so custody tracking rides on a copy.
+    if (auto *tr = _host.simulation().trace(); tr && !desc.trace) {
+        SendDescriptor traced = desc;
+        tr->begin(traced.trace, _host.simulation().now());
+        return sendImpl(proc, ep, traced);
+    }
+#endif
+    return sendImpl(proc, ep, desc);
+}
+
+bool
+UNetFe::sendImpl(sim::Process &proc, Endpoint &ep,
+                 const SendDescriptor &desc)
+{
     if (!checkOwner(proc, ep))
         return false;
     if (desc.totalLength() > maxMessage - _spec.extraHeaderBytes())
@@ -123,14 +151,14 @@ UNetFe::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
     // Fast trap into the kernel; the service routine runs in the
     // caller's context (this is host processor overhead, the U-Net/FE
     // trade-off).
-    if (txTrace)
-        txTrace->emplace_back("trap entry",
-                              cpu.spec().trapEntryCost);
+    sim::Tick trap_acc = 0;
+    step(desc.trace, _host.simulation().now(), "trap entry",
+         cpu.spec().trapEntryCost, trap_acc);
     _host.trapEnter(proc);
     serviceSendQueue(proc, ep);
-    if (txTrace)
-        txTrace->emplace_back("return from trap",
-                              cpu.spec().trapExitCost);
+    trap_acc = 0;
+    step(desc.trace, _host.simulation().now(), "return from trap",
+         cpu.spec().trapExitCost, trap_acc);
     _host.trapExit(proc);
     return true;
 }
@@ -154,9 +182,10 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
         SendDescriptor desc = *ep.sendQueue().pop();
         if (!desc.isInline && desc.fragmentCount == 1)
             ep.ownership().claimSend(desc.fragments[0]);
+        const sim::Tick base = _host.simulation().now();
         sim::Tick cost = 0;
 
-        step(txTrace, "check U-Net send parameters",
+        step(desc.trace, base, "check U-Net send parameters",
              _spec.txCheckParams, cost);
         if (!ep.channelValid(desc.channel)) {
             UNET_WARN("U-Net/FE: send on invalid channel ",
@@ -168,7 +197,7 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
         }
         const ChannelInfo &chan = ep.channel(desc.channel);
 
-        step(txTrace, "Ethernet header set-up",
+        step(desc.trace, base, "Ethernet header set-up",
              _spec.txEthHeaderSetup, cost);
         std::uint32_t msg_len = desc.totalLength();
         std::vector<std::uint8_t> header;
@@ -201,7 +230,7 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
         }
         mem.write(headerBufOffset[slot], header);
 
-        step(txTrace, "device send ring descriptor set-up",
+        step(desc.trace, base, "device send ring descriptor set-up",
              _spec.txRingDescSetup, cost);
         // cpu.busy() above may have advanced simulated time, so the
         // slot could have completed a previous frame since the reap at
@@ -222,13 +251,17 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
         }
         ring_desc.transmitted = false;
         ring_desc.aborted = false;
+        ring_desc.trace = desc.trace;
         ring_desc.own = true;
         _nic.bumpTxTail();
 
-        step(txTrace, "issue poll demand", _spec.txPollDemand, cost);
-        step(txTrace, "free send ring descriptor of previous message",
+        step(desc.trace, base, "issue poll demand", _spec.txPollDemand,
+             cost);
+        step(desc.trace, base,
+             "free send ring descriptor of previous message",
              _spec.txFreePrevRing, cost);
-        step(txTrace, "free U-Net send queue entry of previous message",
+        step(desc.trace, base,
+             "free U-Net send queue entry of previous message",
              _spec.txFreePrevQueue, cost);
 
         // Charge the accumulated kernel time, then kick the device at
@@ -301,15 +334,19 @@ UNetFe::rxInterrupt()
     auto &cpu = _host.cpu();
     auto &mem = _host.memory();
 
+    const sim::Tick base = _host.simulation().now();
     sim::Tick cost = 0;
     std::vector<std::function<void()>> effects;
-    step(rxTrace, "interrupt handler entry", _spec.rxHandlerEntry, cost);
+    step({}, base, "interrupt handler entry", _spec.rxHandlerEntry,
+         cost);
 
     while (true) {
         auto &ring_desc = _nic.rxDesc(kernelRxHead);
         if (!ring_desc.complete)
             break;
-        step(rxTrace, "poll device recv ring", _spec.rxPollRing, cost);
+        // Capture the custody state before the slot is re-armed.
+        obs::TraceContext ctx = ring_desc.trace;
+        step(ctx, base, "poll device recv ring", _spec.rxPollRing, cost);
 
         auto raw = mem.read(ring_desc.bufOffset, ring_desc.frameLength);
         auto frame = eth::Frame::parse(raw);
@@ -339,7 +376,8 @@ UNetFe::rxInterrupt()
             continue;
         }
 
-        step(rxTrace, "demux to correct endpoint", _spec.rxDemux, cost);
+        step(ctx, base, "demux to correct endpoint", _spec.rxDemux,
+             cost);
         auto pit = portMap.find(dst_port);
         if (pit == portMap.end()) {
             ++_unknownPort;
@@ -365,10 +403,10 @@ UNetFe::rxInterrupt()
             _spec.smallMessageOptimization) {
             // "small messages (under 64 bytes) are copied directly into
             // the U-Net receive descriptor itself"
-            step(rxTrace, "alloc+init U-Net recv descriptor",
+            step(ctx, base, "alloc+init U-Net recv descriptor",
                  _spec.rxInitDescr, cost);
             if (_spec.chargeRxCopy)
-                step(rxTrace, "copy message",
+                step(ctx, base, "copy message",
                      cpu.spec().memcpyTime(msg_len), cost);
             RecvDescriptor rd;
             rd.channel = chan;
@@ -376,12 +414,18 @@ UNetFe::rxInterrupt()
             rd.isSmall = true;
             std::copy(payload.begin(), payload.end(),
                       rd.inlineData.begin());
-            effects.push_back([this, ep, rd] {
+            effects.push_back([this, ep, rd, ctx]() mutable {
+#if UNET_TRACE
+                if (auto *tr = _host.simulation().trace())
+                    tr->hop(ctx, obs::SpanKind::RxKernel, _trackCpu,
+                            _host.simulation().now());
+#endif
+                rd.trace = ctx;
                 if (ep->deliver(rd))
                     ++_delivered;
             });
         } else {
-            step(rxTrace, "allocate U-Net recv buffer",
+            step(ctx, base, "allocate U-Net recv buffer",
                  _spec.rxAllocBuffer, cost);
             // Return a claimed buffer to the free queue at its original
             // size; a buffer lost to a momentarily full queue leaves
@@ -427,13 +471,13 @@ UNetFe::rxInterrupt()
                     recycle(claimed[i]);
                 continue;
             }
-            step(rxTrace, "init descriptor buffer pointers",
+            step(ctx, base, "init descriptor buffer pointers",
                  _spec.rxInitDescrPtrs, cost);
             if (_spec.chargeRxCopy)
-                step(rxTrace, "copy message",
+                step(ctx, base, "copy message",
                      cpu.spec().memcpyTime(msg_len), cost);
-            effects.push_back([this, ep, rd, payload, claimed,
-                               recycle] {
+            effects.push_back([this, ep, rd, payload, claimed, recycle,
+                               ctx]() mutable {
                 std::uint32_t off = 0;
                 for (std::uint8_t i = 0; i < rd.bufferCount; ++i) {
                     ep->ownership().rxWrite(rd.buffers[i]);
@@ -443,6 +487,12 @@ UNetFe::rxInterrupt()
                                   rd.buffers[i].length));
                     off += rd.buffers[i].length;
                 }
+#if UNET_TRACE
+                if (auto *tr = _host.simulation().trace())
+                    tr->hop(ctx, obs::SpanKind::RxKernel, _trackCpu,
+                            _host.simulation().now());
+#endif
+                rd.trace = ctx;
                 if (ep->deliver(rd)) {
                     ++_delivered;
                 } else {
@@ -453,9 +503,9 @@ UNetFe::rxInterrupt()
                 }
             });
         }
-        step(rxTrace, "bump device recv ring", _spec.rxBumpRing, cost);
+        step(ctx, base, "bump device recv ring", _spec.rxBumpRing, cost);
     }
-    step(rxTrace, "return from interrupt", _spec.rxReturn, cost);
+    step({}, base, "return from interrupt", _spec.rxReturn, cost);
 
     cpu.runKernel(cost, [effects = std::move(effects)] {
         for (const auto &effect : effects)

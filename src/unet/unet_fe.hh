@@ -159,12 +159,6 @@ class UNetFe : public UNet
     const UNetFeSpec &spec() const { return _spec; }
     nic::Dc21140 &nic() { return _nic; }
 
-    /** @name Step tracing for the Fig. 3 / Fig. 4 benches. @{ */
-    using StepTrace = std::vector<std::pair<std::string, sim::Tick>>;
-    void setTxTrace(StepTrace *trace) { txTrace = trace; }
-    void setRxTrace(StepTrace *trace) { rxTrace = trace; }
-    /** @} */
-
     /** @name Statistics. @{ */
     std::uint64_t messagesSent() const { return _sent.value(); }
     std::uint64_t messagesDelivered() const { return _delivered.value(); }
@@ -175,6 +169,10 @@ class UNetFe : public UNet
     /** @} */
 
   private:
+    /** send() once the descriptor carries its trace context. */
+    bool sendImpl(sim::Process &proc, Endpoint &ep,
+                  const SendDescriptor &desc);
+
     /** Kernel service routine for the send queue (runs in the trap). */
     void serviceSendQueue(sim::Process &proc, Endpoint &ep);
 
@@ -188,13 +186,27 @@ class UNetFe : public UNet
     /** Reap every completed TX ring slot. */
     void reapTx();
 
+    /**
+     * Account one modeled kernel step: advance the accumulated cost
+     * and, when tracing, record a Step detail span at the position the
+     * step occupies on the Figure 3/4 timeline (the accumulated cost is
+     * charged to the CPU in one lump after the steps, so span @p msg's
+     * wall placement is @p base + what accumulated before it).
+     */
     void
-    step(StepTrace *trace, const char *stage, sim::Tick cost,
-         sim::Tick &acc)
+    step(const obs::TraceContext &ctx, sim::Tick base, const char *stage,
+         sim::Tick cost, sim::Tick &acc)
     {
+#if UNET_TRACE
+        if (auto *tr = _host.simulation().trace())
+            tr->record(ctx.id, obs::SpanKind::Step, _trackCpu,
+                       base + acc, base + acc + cost, stage);
+#else
+        (void)ctx;
+        (void)base;
+        (void)stage;
+#endif
         acc += cost;
-        if (trace)
-            trace->emplace_back(stage, cost);
     }
 
     UNetFeSpec _spec;
@@ -224,15 +236,17 @@ class UNetFe : public UNet
     /** Kernel receive buffers behind the device RX ring. */
     std::size_t kernelRxHead = 0;
 
-    StepTrace *txTrace = nullptr;
-    StepTrace *rxTrace = nullptr;
-
     sim::Counter _sent;
     sim::Counter _delivered;
     sim::Counter _noFreeBuf;
     sim::Counter _unknownPort;
     sim::Counter _noChannel;
     sim::Counter _badFrame;
+
+    /** Trace track for kernel-agent work on this host. */
+    std::string _trackCpu;
+
+    obs::MetricGroup _metrics;
 };
 
 } // namespace unet

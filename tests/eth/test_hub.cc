@@ -179,3 +179,32 @@ TEST(Hub, BackoffIsDeterministicPerSeed)
     };
     EXPECT_EQ(run(5), run(5));
 }
+
+TEST(Hub, BackoffCapDropsAndCounts)
+{
+    sim::Simulation s;
+    eth::HubSpec spec;
+    spec.maxAttempts = 1;
+    eth::Hub hub(s, spec);
+    Sink a, b, c;
+    auto &tapA = hub.attach(a);
+    auto &tapB = hub.attach(b);
+    hub.attach(c);
+
+    int failures = 0;
+    s.schedule(0, [&] {
+        tapA.transmit(makeFrame(1, 3),
+                      [&](bool sent) { failures += !sent; });
+        tapB.transmit(makeFrame(2, 3),
+                      [&](bool sent) { failures += !sent; });
+    });
+    s.run();
+
+    // Same-tick starts collide; with a single permitted attempt both
+    // frames are abandoned and the failure is reported to the senders.
+    EXPECT_EQ(failures, 2);
+    EXPECT_EQ(c.count, 0);
+    EXPECT_EQ(hub.collisions(), 1u);
+    EXPECT_EQ(s.metrics().value("eth.hub.framesDropped"), 2.0);
+    EXPECT_EQ(s.metrics().value("eth.hub.collisions"), 1.0);
+}

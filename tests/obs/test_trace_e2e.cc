@@ -1,0 +1,120 @@
+/**
+ * @file
+ * End-to-end custody tiling: one traced message through the full
+ * U-Net/FE stack must produce a hop chain whose spans partition the
+ * send-post -> consume interval exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/unet/fixtures.hh"
+
+using namespace unet;
+using namespace unet::test;
+using namespace unet::sim::literals;
+
+#if UNET_TRACE
+
+TEST(TraceE2E, CustodySpansTileSendToConsume)
+{
+    sim::Simulation s;
+    s.enableTrace();
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+
+    Endpoint *epA = nullptr, *epB = nullptr;
+    ChannelId chanA = invalidChannel, chanB = invalidChannel;
+    auto data = pattern(40);
+    bool received = false;
+    sim::Tick t_post = -1, t_consume = -1;
+
+    sim::Process rx(s, "rx", [&](sim::Process &self) {
+        RecvDescriptor got;
+        received = epB->wait(self, got, 10_ms);
+        t_consume = s.now();
+    });
+    sim::Process tx(s, "tx", [&](sim::Process &self) {
+        t_post = s.now();
+        EXPECT_TRUE(a.unet.send(self, *epA, inlineSend(chanA, data)));
+    });
+
+    epA = &a.unet.createEndpoint(&tx, {});
+    epB = &b.unet.createEndpoint(&rx, {});
+    UNetFe::connect(a.unet, *epA, b.unet, *epB, chanA, chanB);
+
+    rx.start();
+    tx.start(1_us);
+    s.run();
+    ASSERT_TRUE(received);
+
+    auto *tr = s.trace();
+    ASSERT_NE(tr, nullptr);
+    std::vector<obs::Span> chain;
+    tr->forEach([&](const obs::Span &sp) {
+        if (obs::isCustody(sp.kind))
+            chain.push_back(sp);
+    });
+
+    // The FE hop chain for one message.
+    ASSERT_EQ(chain.size(), 5u);
+    EXPECT_EQ(chain[0].kind, obs::SpanKind::TxPost);
+    EXPECT_EQ(chain[1].kind, obs::SpanKind::TxNic);
+    EXPECT_EQ(chain[2].kind, obs::SpanKind::Wire);
+    EXPECT_EQ(chain[3].kind, obs::SpanKind::RxKernel);
+    EXPECT_EQ(chain[4].kind, obs::SpanKind::RxQueue);
+    EXPECT_EQ(tr->nameOf(chain[0].track), "node0.cpu");
+    EXPECT_EQ(tr->nameOf(chain[2].track), "eth.wire");
+    EXPECT_EQ(tr->nameOf(chain[3].track), "node1.cpu");
+
+    // All hops belong to the same (non-zero) message.
+    for (const auto &sp : chain)
+        EXPECT_EQ(sp.id, chain[0].id);
+    EXPECT_NE(chain[0].id, 0u);
+
+    // Custody starts when send() posts and ends when wait() consumes.
+    EXPECT_EQ(chain.front().start, t_post);
+    EXPECT_EQ(chain.back().end, t_consume);
+
+    // Tiling: contiguous handoffs, durations sum to the full latency.
+    sim::Tick total = 0;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (i > 0) {
+            EXPECT_EQ(chain[i].start, chain[i - 1].end)
+                << "gap/overlap before hop " << i;
+        }
+        total += chain[i].end - chain[i].start;
+    }
+    EXPECT_EQ(total, t_consume - t_post);
+}
+
+TEST(TraceE2E, DisabledTracerRecordsNothing)
+{
+    sim::Simulation s; // no enableTrace()
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+
+    Endpoint *epA = nullptr, *epB = nullptr;
+    ChannelId chanA = invalidChannel, chanB = invalidChannel;
+    auto data = pattern(40);
+    bool received = false;
+
+    sim::Process rx(s, "rx", [&](sim::Process &self) {
+        RecvDescriptor got;
+        received = epB->wait(self, got, 10_ms);
+    });
+    sim::Process tx(s, "tx", [&](sim::Process &self) {
+        EXPECT_TRUE(a.unet.send(self, *epA, inlineSend(chanA, data)));
+    });
+
+    epA = &a.unet.createEndpoint(&tx, {});
+    epB = &b.unet.createEndpoint(&rx, {});
+    UNetFe::connect(a.unet, *epA, b.unet, *epB, chanA, chanB);
+
+    rx.start();
+    tx.start(1_us);
+    s.run();
+    ASSERT_TRUE(received);
+    EXPECT_EQ(s.trace(), nullptr);
+}
+
+#endif // UNET_TRACE

@@ -159,3 +159,47 @@ TEST(UdpSockets, EphemeralPortsAreDistinct)
     p.start();
     rig.s.run();
 }
+
+TEST(UdpSockets, TxRingBacklogEnobufs)
+{
+    // A two-slot TX ring backs up under back-to-back sends: the driver
+    // finds the descriptor still device-owned and reports ENOBUFS (the
+    // datagram is silently dropped, 90s UDP semantics).
+    sim::Simulation s;
+    eth::Switch sw(s, eth::SwitchSpec::bay28115());
+    host::Host hostA(s, "a", host::CpuSpec::pentium120(),
+                     host::BusSpec::pci());
+    host::Host hostB(s, "b", host::CpuSpec::pentium120(),
+                     host::BusSpec::pci());
+    nic::Dc21140Spec tiny;
+    tiny.txRingSize = 2;
+    nic::Dc21140 nicA(hostA, sw, eth::MacAddress::fromIndex(1), tiny);
+    nic::Dc21140 nicB(hostB, sw, eth::MacAddress::fromIndex(2));
+    UdpStack stackA(hostA, nicA), stackB(hostB, nicB);
+
+    int ok = 0, enobufs = 0;
+    sim::Process rx(s, "rx", [&](sim::Process &self) {
+        auto &sock = stackB.createSocket(&self, 7000);
+        while (sock.recvFrom(self, 5_ms))
+            ;
+    });
+    sim::Process tx(s, "tx", [&](sim::Process &self) {
+        auto &sock = stackA.createSocket(&self, 5000);
+        auto payload = pattern(1400);
+        for (int i = 0; i < 8; ++i) {
+            if (sock.sendTo(self, stackB.address(), 7000, payload))
+                ++ok;
+            else
+                ++enobufs;
+        }
+    });
+    rx.start();
+    tx.start(1_us);
+    s.run();
+
+    EXPECT_GT(enobufs, 0);
+    EXPECT_GT(ok, 0);
+    EXPECT_EQ(s.metrics().value("host.a.sockets.udp.packetsSent"),
+              static_cast<double>(ok));
+    EXPECT_EQ(stackA.packetsSent(), static_cast<std::uint64_t>(ok));
+}

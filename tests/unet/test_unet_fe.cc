@@ -31,7 +31,7 @@ struct FePair
     ChannelId chanB = invalidChannel;
 };
 
-void
+[[maybe_unused]] void
 epSend(FePair &p, sim::Process &self)
 {
     auto data = pattern(40);
@@ -207,15 +207,13 @@ TEST(UNetFe, SendProcessorOverheadMatchesFig3)
     EXPECT_LT(sim::toMicroseconds(elapsed), 6.5);
 }
 
+#if UNET_TRACE
 TEST(UNetFe, TxTimelineSumsToFourPointTwo)
 {
     FePair p;
-    UNetFe::StepTrace trace;
-    sim::Process tx(p.s, "tx", [&](sim::Process &self) {
-        p.a.unet.setTxTrace(&trace);
-        epSend(p, self);
-        p.a.unet.setTxTrace(nullptr);
-    });
+    p.s.enableTrace();
+    sim::Process tx(p.s, "tx",
+                    [&](sim::Process &self) { epSend(p, self); });
     p.epA = &p.a.unet.createEndpoint(&tx, {});
     ChannelId ca, cb;
     UNetFe::connect(p.a.unet, *p.epA, p.b.unet, *p.epB, ca, cb);
@@ -223,19 +221,30 @@ TEST(UNetFe, TxTimelineSumsToFourPointTwo)
     tx.start();
     p.s.run();
 
-    ASSERT_EQ(trace.size(), 8u); // the eight Fig. 3 steps
+    // The Fig. 3 timeline is the Step spans on the sender's CPU track.
+    auto *tr = p.s.trace();
+    std::vector<obs::Span> steps;
+    tr->forEach([&](const obs::Span &sp) {
+        if (sp.kind == obs::SpanKind::Step &&
+            tr->nameOf(sp.track) == "node0.cpu")
+            steps.push_back(sp);
+    });
+
+    ASSERT_EQ(steps.size(), 8u); // the eight Fig. 3 steps
     sim::Tick total = 0;
-    for (auto &[name, cost] : trace)
-        total += cost;
+    for (const auto &sp : steps)
+        total += sp.end - sp.start;
     EXPECT_NEAR(sim::toMicroseconds(total), 4.2, 0.1);
-    EXPECT_EQ(trace.front().first, "trap entry");
-    EXPECT_EQ(trace.back().first, "return from trap");
+    EXPECT_EQ(tr->nameOf(steps.front().label), "trap entry");
+    EXPECT_EQ(tr->nameOf(steps.back().label), "return from trap");
 
     // "about 20% are consumed by the trap overhead"
-    double trap = sim::toMicroseconds(trace.front().second +
-                                      trace.back().second);
+    double trap = sim::toMicroseconds(
+        (steps.front().end - steps.front().start) +
+        (steps.back().end - steps.back().start));
     EXPECT_NEAR(trap / sim::toMicroseconds(total), 0.20, 0.03);
 }
+#endif // UNET_TRACE
 
 TEST(UNetFe, UnknownPortCounted)
 {

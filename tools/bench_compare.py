@@ -102,8 +102,12 @@ def compare(baseline, current, threshold):
             failures.append(line)
         else:
             print(line)
+    # New benches warn but never fail: adding a benchmark must not break
+    # CI until its baseline is recorded with --update.
     for name in sorted(set(cur) - set(base)):
-        print(f"new      {name}: {cur[name][0]:.4g} (no baseline)")
+        print(f"WARN     {name}: {cur[name][0]:.4g} present in run but "
+              "missing from baseline (record it with --update)",
+              file=sys.stderr)
     return failures
 
 
@@ -124,8 +128,14 @@ def main():
         print(f"updated {args.baseline} from {args.current}")
         return 0
 
-    failures = compare(load(args.baseline), load(args.current),
-                       args.threshold)
+    try:
+        baseline = load(args.baseline)
+    except FileNotFoundError:
+        print(f"WARN     no baseline at {args.baseline}; nothing to "
+              "compare (record one with --update)", file=sys.stderr)
+        return 0
+
+    failures = compare(baseline, load(args.current), args.threshold)
     if failures:
         print(f"\n{len(failures)} regression(s) vs baseline "
               f"(threshold {args.threshold:.0%}):", file=sys.stderr)

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Analyze a TraceSession export and validate custody tiling.
+
+Reads either exporter format:
+
+* Perfetto trace_event JSON (``--trace FILE`` on the benches): complete
+  ``ph:"X"`` events with ``ts``/``dur`` in microseconds, the message id
+  in ``args.msg``, and ``cat`` distinguishing ``custody`` from
+  ``detail`` spans.
+* the CSV exporter (``msg_id,kind,custody,track,label,start_ps,...``).
+
+Custody spans are a handoff chain: each hop records from where the
+previous hop left the message to where it handed it on, so per message
+they must tile the interval from first start to last end exactly — no
+gaps (lost custody) and no overlaps (double-counted time). This script
+checks that invariant, prints a per-hop summary, and, given
+``--rtt-us``, checks that per-round custody sums match the round-trip
+latency the bench reported.
+
+Usage:
+    trace_report.py TRACE [--rtt-us 58.4] [--tol-us 0.01]
+"""
+
+import argparse
+import csv
+import json
+import sys
+from collections import defaultdict
+
+
+def load_spans(path):
+    """Return a list of {msg, kind, custody, track, start, end} in us."""
+    with open(path) as f:
+        head = f.read(1)
+        f.seek(0)
+        if head == "{":
+            return _from_perfetto(json.load(f))
+        return _from_csv(f)
+
+
+def _from_perfetto(doc):
+    tracks = {}
+    spans = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tracks[ev["tid"]] = ev["args"]["name"]
+        elif ev.get("ph") == "X":
+            spans.append({
+                "msg": ev["args"]["msg"],
+                "kind": ev["args"]["kind"],
+                "custody": ev.get("cat") == "custody",
+                "track": ev["tid"],
+                "start": float(ev["ts"]),
+                "end": float(ev["ts"]) + float(ev["dur"]),
+            })
+    for s in spans:
+        s["track"] = tracks.get(s["track"], str(s["track"]))
+    return spans
+
+
+def _from_csv(f):
+    spans = []
+    for row in csv.DictReader(f):
+        spans.append({
+            "msg": int(row["msg_id"]),
+            "kind": row["kind"],
+            "custody": row["custody"] == "1",
+            "track": row["track"],
+            "start": int(row["start_ps"]) / 1e6,
+            "end": int(row["end_ps"]) / 1e6,
+        })
+    return spans
+
+
+def check_tiling(spans, tol_us):
+    """Validate the custody chain of every message. Returns (sums, errors):
+    per-message custody-duration sums (us, keyed by msg id) and a list of
+    human-readable violations."""
+    by_msg = defaultdict(list)
+    for s in spans:
+        if s["custody"] and s["msg"] != 0:
+            by_msg[s["msg"]].append(s)
+
+    sums = {}
+    errors = []
+    for msg, chain in sorted(by_msg.items()):
+        chain.sort(key=lambda s: s["start"])
+        total = sum(s["end"] - s["start"] for s in chain)
+        span = chain[-1]["end"] - chain[0]["start"]
+        sums[msg] = total
+        if abs(total - span) > tol_us:
+            errors.append(
+                f"msg {msg}: custody durations sum to {total:.3f} us "
+                f"but the message lifetime is {span:.3f} us")
+        for prev, cur in zip(chain, chain[1:]):
+            delta = cur["start"] - prev["end"]
+            if abs(delta) > tol_us:
+                what = "gap" if delta > 0 else "overlap"
+                errors.append(
+                    f"msg {msg}: {abs(delta):.3f} us {what} between "
+                    f"{prev['kind']} ({prev['track']}) and "
+                    f"{cur['kind']} ({cur['track']})")
+    return sums, errors
+
+
+def hop_summary(spans):
+    by_kind = defaultdict(list)
+    for s in spans:
+        by_kind[s["kind"]].append(s["end"] - s["start"])
+    print(f"{'kind':<10} {'count':>6} {'mean_us':>9} {'min_us':>9} "
+          f"{'max_us':>9}")
+    for kind, durs in sorted(by_kind.items()):
+        print(f"{kind:<10} {len(durs):>6} {sum(durs)/len(durs):>9.3f} "
+              f"{min(durs):>9.3f} {max(durs):>9.3f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Perfetto JSON or CSV trace export")
+    parser.add_argument("--rtt-us", type=float,
+                        help="reported round-trip latency: per-round "
+                             "(request+reply) custody sums must match")
+    parser.add_argument("--tol-us", type=float, default=0.01,
+                        help="tiling/RTT tolerance in us (default 0.01)")
+    args = parser.parse_args()
+
+    spans = load_spans(args.trace)
+    if not spans:
+        print(f"no spans in {args.trace}", file=sys.stderr)
+        return 1
+    custody = sum(1 for s in spans if s["custody"])
+    print(f"{len(spans)} spans ({custody} custody), "
+          f"{len({s['msg'] for s in spans if s['msg']})} messages\n")
+    hop_summary(spans)
+
+    sums, errors = check_tiling(spans, args.tol_us)
+    print(f"\ncustody tiling: {len(sums)} messages checked, "
+          f"{len(errors)} violation(s)")
+    for line in errors:
+        print("  " + line, file=sys.stderr)
+
+    if args.rtt_us is not None:
+        # Messages alternate request/reply; one round trip is one
+        # consecutive pair (the bench back-dates each message's start to
+        # the previous custody end, so the pair sums to the full RTT).
+        ordered = [sums[m] for m in sorted(sums)]
+        rounds = [a + b for a, b in zip(ordered[::2], ordered[1::2])]
+        if not rounds:
+            print("no complete rounds to compare", file=sys.stderr)
+            return 1
+        mean = sum(rounds) / len(rounds)
+        delta = abs(mean - args.rtt_us)
+        ok = delta <= max(args.tol_us, args.rtt_us * 1e-3)
+        print(f"round-trip check: {len(rounds)} rounds, custody sums "
+              f"mean {mean:.2f} us vs reported {args.rtt_us:.2f} us "
+              f"({'ok' if ok else 'MISMATCH'})")
+        if not ok:
+            errors.append(f"custody mean {mean} != rtt {args.rtt_us}")
+
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
