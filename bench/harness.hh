@@ -23,6 +23,7 @@
 #include "eth/hub.hh"
 #include "eth/link.hh"
 #include "eth/switch.hh"
+#include "fault/attach.hh"
 #include "obs/export.hh"
 #include "unet/unet_atm.hh"
 #include "unet/unet_fe.hh"
@@ -164,6 +165,36 @@ class RawPair
             UNetAtm::connect(*atmA, *epA, portA, *atmB, *epB, portB,
                              *signalling, chanA, chanB);
         }
+    }
+
+    /**
+     * Arm @p plan on every custody boundary this rig has. Sites use
+     * the canonical names with ".a"/".b" suffixes for the per-node
+     * components (nic.fe.rx.a, atm.link.b.0, ...). The plan must be
+     * declared *after* the Simulation: armed injectors register
+     * metrics and must die first.
+     */
+    void
+    attachFaults(fault::Plan &plan)
+    {
+        if (hub)
+            fault::attach(plan, s, *hub);
+        if (sw)
+            fault::attach(plan, s, *sw);
+        if (nicA)
+            fault::attach(plan, s, *nicA, ".a");
+        if (nicB)
+            fault::attach(plan, s, *nicB, ".b");
+        if (atmSw)
+            fault::attach(plan, s, *atmSw);
+        if (linkA)
+            fault::attach(plan, s, *linkA, ".a");
+        if (linkB)
+            fault::attach(plan, s, *linkB, ".b");
+        if (pcaA)
+            fault::attach(plan, s, *pcaA, ".a");
+        if (pcaB)
+            fault::attach(plan, s, *pcaB, ".b");
     }
 
     UNet &unetOf(int side) { return side ? *unetB : *unetA; }

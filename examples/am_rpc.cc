@@ -14,6 +14,7 @@
 
 #include "am/active_messages.hh"
 #include "atm/switch.hh"
+#include "fault/fault.hh"
 #include "unet/unet_atm.hh"
 
 using namespace unet;
@@ -38,6 +39,14 @@ main()
     std::size_t port_c = sw.addPort(link_c);
     UNetAtm unet_s(server_host, nic_s);
     UNetAtm unet_c(client_host, nic_c);
+
+    // Make life hard: drop the very first cell the client puts on the
+    // wire. Its AAL5 frame never reassembles, so the first request is
+    // lost and the reliability layer must retransmit it.
+    fault::ModelSpec first_cell;
+    first_cell.dropUnits = {0};
+    fault::Injector wire_loss(s, "atm.link.client.0", first_cell, 7);
+    link_c.setFaultInjector(&wire_loss, 0);
 
     Endpoint *ep_s = nullptr;
     Endpoint *ep_c = nullptr;
@@ -93,19 +102,6 @@ main()
             payload[n + i] = 2.0f;
         }
 
-        // Make life hard: drop the first transmission of everything.
-        int drops = 0;
-        am_c->setLossInjector(
-            [&](ChannelId, std::uint8_t, bool retx) {
-                if (!retx && drops < 1) {
-                    ++drops;
-                    std::printf("[wire]   dropped the first request "
-                                "frame!\n");
-                    return true;
-                }
-                return false;
-            });
-
         std::printf("[client] calling dot(x[16], y[16]) at t=%.1f "
                     "us\n",
                     sim::toMicroseconds(s.now()));
@@ -115,6 +111,9 @@ main()
                        payload.size() * 4});
         am_c->pollUntil(proc, [&] { return done; },
                         sim::milliseconds(100));
+        std::printf("[wire]   cells dropped: %llu\n",
+                    static_cast<unsigned long long>(
+                        wire_loss.dropped()));
         std::printf("[client] retransmissions used: %llu\n",
                     static_cast<unsigned long long>(
                         am_c->retransmits()));

@@ -155,11 +155,6 @@ ActiveMessages::emit(sim::Process &proc, ChannelId chan, Type type,
         ch.unackedRx = 0;
     }
 
-    if (lossInjector && lossInjector(chan, seq, is_retransmit)) {
-        ++_sent;
-        return true; // "sent" into the void
-    }
-
     ++_sent;
     return unet.send(proc, ep, sd);
 }

@@ -170,12 +170,6 @@ class ActiveMessages
     Endpoint &endpoint() { return ep; }
     const AmSpec &spec() const { return _spec; }
 
-    /** Test hook: return true to drop an outbound message (simulated
-     *  wire loss). Arguments: channel, sequence number, is_retransmit. */
-    using LossInjector = std::function<bool(ChannelId, std::uint8_t,
-                                            bool)>;
-    void setLossInjector(LossInjector fn) { lossInjector = std::move(fn); }
-
     /** Dump per-channel protocol state to stderr (debugging aid). */
     void debugDump(const char *tag) const;
 
@@ -276,7 +270,6 @@ class ActiveMessages
     BulkSink bulkSink;
     std::map<ChannelId, ChannelState> channels;
     BufferPool txPool;
-    LossInjector lossInjector;
     Word nextBulkId = 1;
 
     /**

@@ -1,5 +1,6 @@
 #include "atm/link.hh"
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 #include "sim/pool.hh"
 
@@ -99,12 +100,46 @@ class AtmLink::Side : public CellTap
         sim::Tick end = start + l._spec.cellTime();
         l.busyUntil[index] = end;
 
+        if (fault::Injector *inj = l.injectors[index]) {
+            fault::Decision d = inj->decide(Cell::payloadBytes * 8);
+            if (d.faulty()) {
+                inj->stamp(cell.trace, d);
+                if (d.drop)
+                    return end; // occupied the fiber, never arrives
+                sim::Tick arrives = end + l._spec.propDelay + d.delay;
+                deliverFaulty(cell, arrives,
+                              d.corrupt ? &d.corruptBit : nullptr);
+                if (d.duplicate)
+                    deliverFaulty(cell, arrives, nullptr);
+                return end;
+            }
+        }
+
         InFlight &slot = inFlight.pushSlot();
         slot.cell = cell;
         slot.arrivesAt = end + l._spec.propDelay;
         if (!deliver.pending())
             deliver.scheduleAt(slot.arrivesAt);
         return end;
+    }
+
+    /** Carry one faulted cell to the peer (corrupt/dup/delay);
+     *  bypasses the in-flight ring, whose deadline monotonicity a
+     *  delayed cell would violate. Cell payload bits are real, so
+     *  corruption flips one — AAL5's CRC-32 must catch it. */
+    void
+    deliverFaulty(const Cell &cell, sim::Tick arrives_at,
+                  const std::uint32_t *corrupt_bit)
+    {
+        auto &l = link;
+        Cell copy = cell;
+        if (corrupt_bit)
+            fault::flipBit(copy.payload, *corrupt_bit);
+        l.sim.schedule(arrives_at, [this, copy] {
+            auto &lk = link;
+            ++lk._delivered;
+            lk.sinks[1 - index]->cellArrived(copy);
+        });
     }
 
     /** Deliver every cell whose boundary has been reached; re-arm. */

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "atm/cell.hh"
+#include "fault/fwd.hh"
 #include "obs/metrics.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -113,6 +114,20 @@ class AtmLink
 
     std::uint64_t cellsDelivered() const { return _delivered.value(); }
 
+    /**
+     * Fault plane: interpose @p inj on cells sent by attachment
+     * @p direction (0 = first attached; -1 = both). Null detaches;
+     * an absent injector costs one pointer test per cell.
+     */
+    void
+    setFaultInjector(fault::Injector *inj, int direction = -1)
+    {
+        if (direction < 0)
+            injectors[0] = injectors[1] = inj;
+        else
+            injectors[static_cast<std::size_t>(direction) % 2] = inj;
+    }
+
   private:
     class Side;
 
@@ -120,6 +135,7 @@ class AtmLink
     LinkSpec _spec;
     std::array<CellSink *, 2> sinks{};
     std::array<std::unique_ptr<Side>, 2> sides;
+    std::array<fault::Injector *, 2> injectors{};
     std::array<sim::Tick, 2> busyUntil{};
     int attached = 0;
     sim::Counter _delivered;

@@ -1,5 +1,6 @@
 #include "atm/switch.hh"
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace unet::atm {
@@ -75,6 +76,37 @@ Switch::removeRoute(std::size_t in_port, Vci in_vci)
 
 void
 Switch::cellIn(std::size_t in_port, const Cell &cell)
+{
+    if (faultInjector) {
+        fault::Decision d = faultInjector->decide(Cell::payloadBytes * 8);
+        if (d.faulty()) {
+            faultInjector->stamp(cell.trace, d);
+            if (d.drop)
+                return;
+            Cell copy = cell;
+            if (d.corrupt)
+                fault::flipBit(copy.payload, d.corruptBit);
+            int copies = d.duplicate ? 2 : 1;
+            if (d.delay != 0) {
+                // Re-enter routing later: cells behind overtake, and
+                // the pipeline's nondecreasing readyAt contract holds
+                // because the delayed routeIn runs at a later now.
+                for (int c = 0; c < copies; ++c)
+                    sim.scheduleIn(d.delay, [this, in_port, copy] {
+                        routeIn(in_port, copy);
+                    });
+                return;
+            }
+            for (int c = 0; c < copies; ++c)
+                routeIn(in_port, copy);
+            return;
+        }
+    }
+    routeIn(in_port, cell);
+}
+
+void
+Switch::routeIn(std::size_t in_port, const Cell &cell)
 {
     auto it = routes.find(routeKey(in_port, cell.vci));
     if (it == routes.end()) {

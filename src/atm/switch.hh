@@ -21,6 +21,7 @@
 
 #include "atm/cell.hh"
 #include "atm/link.hh"
+#include "fault/fwd.hh"
 #include "obs/metrics.hh"
 #include "sim/pool.hh"
 #include "sim/simulation.hh"
@@ -78,6 +79,9 @@ class Switch
     std::uint64_t cellsDropped() const { return _dropped.value(); }
     /** @} */
 
+    /** Fault plane: one decision per ingress cell. Null detaches. */
+    void setFaultInjector(fault::Injector *inj) { faultInjector = inj; }
+
   private:
     struct Port;
 
@@ -89,8 +93,12 @@ class Switch
         sim::Tick readyAt = 0;
     };
 
-    /** A cell arrived from the link on @p in_port. */
+    /** A cell arrived from the link on @p in_port (fault decision
+     *  point). */
     void cellIn(std::size_t in_port, const Cell &cell);
+
+    /** Route the cell into the forwarding pipeline. */
+    void routeIn(std::size_t in_port, const Cell &cell);
 
     /** Emit every pipelined cell whose forwarding delay has elapsed. */
     void forwardDue();
@@ -103,6 +111,8 @@ class Switch
      *  member event instead of a closure per cell. */
     sim::SlotRing<PendingForward> pipeline;
     sim::MemberEvent forwardEvent;
+
+    fault::Injector *faultInjector = nullptr;
 
     /** (port << 16 | vci) -> (out port, out vci). */
     std::map<std::uint32_t, std::pair<std::size_t, Vci>> routes;

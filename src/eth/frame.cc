@@ -37,6 +37,14 @@ Frame::serializeInto(std::vector<std::uint8_t> &out) const
     out.push_back(static_cast<std::uint8_t>(fcs >> 8));
     out.push_back(static_cast<std::uint8_t>(fcs >> 16));
     out.push_back(static_cast<std::uint8_t>(fcs >> 24));
+
+    if (faultCorruptBit != noCorruptBit) {
+        // Injected wire corruption: flip the marked bit after the FCS
+        // was computed, so validation downstream must fail.
+        std::size_t byte = (faultCorruptBit / 8) % out.size();
+        out[byte] ^=
+            static_cast<std::uint8_t>(1u << (faultCorruptBit % 8));
+    }
 }
 
 Frame
@@ -59,6 +67,7 @@ Frame::fromBytesInto(std::span<const std::uint8_t> raw, Frame &out)
     out.src = MacAddress(mac);
     out.etherType = static_cast<std::uint16_t>((raw[12] << 8) | raw[13]);
     out.payload.assign(raw.begin() + headerBytes, raw.end());
+    out.faultCorruptBit = noCorruptBit; // recycled slot: clear marker
 }
 
 std::optional<Frame>

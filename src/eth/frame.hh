@@ -44,6 +44,15 @@ struct Frame
      *  that cross a byte boundary re-attach it from their descriptor. */
     obs::TraceContext trace;
 
+    /** Wire-corruption marker (fault plane). The model carries frames
+     *  as structs, so a bit flipped "on the wire" must materialize when
+     *  the receiving NIC serializes the frame: serializeInto() flips
+     *  this bit (mod frame length) AFTER computing the FCS, so parse()
+     *  genuinely fails and the kernel drop path is load-bearing.
+     *  Metadata like `trace`: rides copies, never parsed back. */
+    static constexpr std::uint32_t noCorruptBit = 0xffffffffu;
+    std::uint32_t faultCorruptBit = noCorruptBit;
+
     /** Frame length as counted on the wire (header+padded payload+FCS). */
     std::size_t
     frameBytes() const

@@ -1,5 +1,6 @@
 #include "eth/hub.hh"
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace unet::eth {
@@ -138,14 +139,37 @@ Hub::finish(const std::shared_ptr<Attempt> &attempt)
     current = nullptr;
     busyUntil = sim.now() + spec.ifgTime();
 
+    // Fault plane: one decision covers the whole broadcast — on a
+    // shared medium every receiver sees the same damaged signal.
+    sim::Tick extraDelay = 0;
+    int copies = 1;
+    if (faultInjector) {
+        fault::Decision d =
+            faultInjector->decide(attempt->frame.frameBytes() * 8);
+        if (d.faulty()) {
+            faultInjector->stamp(attempt->frame.trace, d);
+            if (d.drop) {
+                if (attempt->onDone)
+                    attempt->onDone(true);
+                return;
+            }
+            if (d.corrupt)
+                attempt->frame.faultCorruptBit = d.corruptBit;
+            extraDelay = d.delay;
+            copies = d.duplicate ? 2 : 1;
+        }
+    }
+
     auto shared = std::make_shared<Frame>(std::move(attempt->frame));
-    for (std::size_t i = 0; i < stations.size(); ++i) {
-        if (static_cast<int>(i) == attempt->station)
-            continue;
-        ++_delivered;
-        Station *dst = stations[i];
-        sim.schedule(sim.now() + spec.propDelay,
-                     [dst, shared] { dst->frameArrived(*shared); });
+    for (int c = 0; c < copies; ++c) {
+        for (std::size_t i = 0; i < stations.size(); ++i) {
+            if (static_cast<int>(i) == attempt->station)
+                continue;
+            ++_delivered;
+            Station *dst = stations[i];
+            sim.schedule(sim.now() + spec.propDelay + extraDelay,
+                         [dst, shared] { dst->frameArrived(*shared); });
+        }
     }
     if (attempt->onDone)
         attempt->onDone(true);

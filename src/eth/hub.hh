@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "eth/network.hh"
+#include "fault/fwd.hh"
 #include "obs/metrics.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -81,10 +82,12 @@ class Hub : public Network
     /** @name Statistics (also in the registry under eth.hub.*). @{ */
     std::uint64_t framesDelivered() const { return _delivered.value(); }
     std::uint64_t collisions() const { return _collisions.value(); }
-    [[deprecated("read eth.hub.framesDropped from the metrics registry")]]
-    std::uint64_t drops() const { return _drops.value(); }
     std::uint64_t deferrals() const { return _deferrals.value(); }
     /** @} */
+
+    /** Fault plane: one decision per successfully transmitted frame
+     *  (the shared medium faults all receivers alike). Null detaches. */
+    void setFaultInjector(fault::Injector *inj) { faultInjector = inj; }
 
   private:
     struct Attempt;
@@ -112,6 +115,8 @@ class Hub : public Network
 
     /** The transmission currently on the wire, if any. */
     std::shared_ptr<Attempt> current;
+
+    fault::Injector *faultInjector = nullptr;
 
     sim::Counter _delivered;
     sim::Counter _collisions;

@@ -1,5 +1,6 @@
 #include "eth/link.hh"
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace unet::eth {
@@ -37,6 +38,27 @@ FullDuplexLink::Side::transmit(const Frame &frame, TxCallback on_done)
     sim::Tick end = start + ser;
     l.busyUntil[index] = end;
 
+    if (fault::Injector *inj = l.injectors[index]) {
+        fault::Decision d = inj->decide(frame.frameBytes() * 8);
+        if (d.faulty()) {
+            inj->stamp(frame.trace, d);
+            // The frame occupied the wire either way, and the sender's
+            // completion only means "left this station": report true.
+            if (on_done)
+                l.sim.schedule(end,
+                               [cb = std::move(on_done)] { cb(true); });
+            if (d.drop)
+                return;
+            sim::Tick arrives = end + l.propDelay + d.delay;
+            std::uint32_t bit =
+                d.corrupt ? d.corruptBit : Frame::noCorruptBit;
+            deliverFaulty(frame, arrives, bit);
+            if (d.duplicate)
+                deliverFaulty(frame, arrives, Frame::noCorruptBit);
+            return;
+        }
+    }
+
     // Copy-assign into a recycled slot: the payload vector keeps its
     // capacity across frames, so steady state allocates nothing.
     InFlight &slot = inFlight.pushSlot();
@@ -47,6 +69,24 @@ FullDuplexLink::Side::transmit(const Frame &frame, TxCallback on_done)
 
     if (on_done)
         l.sim.schedule(end, [cb = std::move(on_done)] { cb(true); });
+}
+
+void
+FullDuplexLink::Side::deliverFaulty(const Frame &frame,
+                                    sim::Tick arrives_at,
+                                    std::uint32_t corrupt_bit)
+{
+    // Faulted frames ride a heap closure: delay/duplication break the
+    // nondecreasing-deadline contract of the in-flight ring, and
+    // faults are rare enough that the allocation does not matter.
+    auto &l = link;
+    Frame copy = frame;
+    copy.faultCorruptBit = corrupt_bit;
+    l.sim.schedule(arrives_at, [this, copy = std::move(copy)] {
+        auto &lk = link;
+        ++lk._delivered;
+        lk.stations[1 - index]->frameArrived(copy);
+    });
 }
 
 void

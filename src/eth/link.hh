@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "eth/network.hh"
+#include "fault/fwd.hh"
 #include "sim/pool.hh"
 #include "sim/simulation.hh"
 #include "sim/stats.hh"
@@ -41,6 +42,20 @@ class FullDuplexLink : public Network
     /** Frames delivered end-to-end (both directions). */
     std::uint64_t framesDelivered() const { return _delivered.value(); }
 
+    /**
+     * Fault plane: interpose @p inj on frames transmitted by station
+     * @p direction (0 = first attached; -1 = both). Null detaches;
+     * an absent injector costs one pointer test per frame.
+     */
+    void
+    setFaultInjector(fault::Injector *inj, int direction = -1)
+    {
+        if (direction < 0)
+            injectors[0] = injectors[1] = inj;
+        else
+            injectors[static_cast<std::size_t>(direction) % 2] = inj;
+    }
+
   private:
     /**
      * One direction of the cable. In-flight frames live in a recycled
@@ -59,6 +74,12 @@ class FullDuplexLink : public Network
         void transmit(const Frame &frame, TxCallback on_done) override;
 
       private:
+        /** Carry one faulted frame to the peer (corrupt/dup/delay);
+         *  bypasses the in-flight ring, whose deadline monotonicity a
+         *  delayed frame would violate. */
+        void deliverFaulty(const Frame &frame, sim::Tick arrives_at,
+                           std::uint32_t corrupt_bit);
+
         struct InFlight
         {
             Frame frame;
@@ -80,6 +101,7 @@ class FullDuplexLink : public Network
     sim::Tick propDelay;
     std::array<Station *, 2> stations{};
     std::array<std::unique_ptr<Side>, 2> sides;
+    std::array<fault::Injector *, 2> injectors{};
     std::array<sim::Tick, 2> busyUntil{};
     int attached = 0;
     sim::Counter _delivered;

@@ -1,5 +1,6 @@
 #include "eth/switch.hh"
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace unet::eth {
@@ -205,6 +206,38 @@ Switch::lookupDue()
 
 void
 Switch::enqueue(std::size_t out_port, const Frame &frame)
+{
+    if (faultInjector) {
+        fault::Decision d = faultInjector->decide(frame.frameBytes() * 8);
+        if (d.faulty()) {
+            faultInjector->stamp(frame.trace, d);
+            if (d.drop)
+                return;
+            Frame copy = frame;
+            if (d.corrupt)
+                copy.faultCorruptBit = d.corruptBit;
+            int copies = d.duplicate ? 2 : 1;
+            if (d.delay != 0) {
+                // A held-back frame re-enters the egress queue later,
+                // letting frames behind it overtake: real reordering
+                // through the fabric.
+                for (int c = 0; c < copies; ++c)
+                    sim.scheduleIn(d.delay,
+                                   [this, out_port, copy] {
+                                       enqueueDirect(out_port, copy);
+                                   });
+                return;
+            }
+            for (int c = 0; c < copies; ++c)
+                enqueueDirect(out_port, copy);
+            return;
+        }
+    }
+    enqueueDirect(out_port, frame);
+}
+
+void
+Switch::enqueueDirect(std::size_t out_port, const Frame &frame)
 {
     auto &port = *ports[out_port];
     if (port.queue.size() >= _spec.queueFrames) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "eth/network.hh"
+#include "fault/fwd.hh"
 #include "obs/metrics.hh"
 #include "sim/pool.hh"
 #include "sim/simulation.hh"
@@ -88,11 +89,12 @@ class Switch : public Network
     /** @name Statistics (also in the registry under eth.switch.*). @{ */
     std::uint64_t framesForwarded() const { return _forwarded.value(); }
     std::uint64_t framesFlooded() const { return _flooded.value(); }
-    [[deprecated(
-        "read eth.switch.framesDropped from the metrics registry")]]
-    std::uint64_t framesDropped() const { return _dropped.value(); }
     std::size_t learnedAddresses() const { return macTable.size(); }
     /** @} */
+
+    /** Fault plane: one decision per egress-queued frame (flooded
+     *  frames are decided per output port). Null detaches. */
+    void setFaultInjector(fault::Injector *inj) { faultInjector = inj; }
 
   private:
     struct Port;
@@ -101,8 +103,12 @@ class Switch : public Network
     /** A complete frame arrived at the switch on @p in_port. */
     void frameIn(std::size_t in_port, const Frame &frame);
 
-    /** Queue @p frame for transmission out of @p out_port. */
+    /** Queue @p frame for transmission out of @p out_port (fault
+     *  decision point). */
     void enqueue(std::size_t out_port, const Frame &frame);
+
+    /** The queueing itself, past the fault plane. */
+    void enqueueDirect(std::size_t out_port, const Frame &frame);
 
     /** A frame plus the time it finished arriving (cut-through is only
      *  legal while the tail is still "fresh"). */
@@ -141,6 +147,8 @@ class Switch : public Network
      *  walked by one member event instead of a closure per frame. */
     sim::SlotRing<PendingLookup> lookups;
     sim::MemberEvent lookupEvent;
+
+    fault::Injector *faultInjector = nullptr;
 
     sim::Counter _forwarded;
     sim::Counter _flooded;

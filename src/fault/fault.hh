@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Deterministic fault-injection plane.
+ *
+ * The paper's Active Messages layer exists because real 100BaseTX and
+ * TAXI links drop, corrupt, and reorder traffic; this plane lets tests
+ * and benches break the simulated network on purpose, reproducibly.
+ *
+ * An Injector sits at one custody boundary (an Ethernet link direction,
+ * a hub or switch egress, an ATM fiber direction, a NIC receive-DMA
+ * stage) and decides the fate of each unit (frame or cell) crossing it:
+ * pass, drop, corrupt one bit, duplicate, or delay (bounded reordering
+ * / latency jitter). A Plan maps site names to fault models and owns
+ * the armed injectors; it can be built in code or parsed from a
+ * `key=value` scenario string shared by tests and bench `--fault=`
+ * flags (grammar in DESIGN.md §12).
+ *
+ * Determinism: every injector draws from its own sim::Random, seeded
+ * from the plan seed and the site name — never from the simulation's
+ * RNG — so arming a plan perturbs nothing but the faults themselves,
+ * injectors are independent of attach order, and identical seed + plan
+ * yields bit-identical runs. A site with no injector pays one null
+ * pointer check (same discipline as enableTrace()).
+ *
+ * Every injected fault increments fault.<site>.* counters in the obs
+ * registry and (when tracing) stamps a Fault span on the victim's
+ * timeline, so Perfetto shows exactly which message died where.
+ */
+
+#ifndef UNET_FAULT_FAULT_HH
+#define UNET_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace_ctx.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace unet::fault {
+
+/** Composable per-site fault model. Defaults are all inert. */
+struct ModelSpec
+{
+    /** Bernoulli loss probability per unit. */
+    double drop = 0.0;
+
+    /** @name Gilbert-Elliott burst loss (enabled by gilbert). @{ */
+    bool gilbert = false;
+    double goodToBad = 0.0; ///< P(good -> bad) per unit
+    double badToGood = 0.0; ///< P(bad -> good) per unit
+    double badLoss = 1.0;   ///< loss probability in the bad state
+    double goodLoss = 0.0;  ///< loss probability in the good state
+    /** @} */
+
+    /** Single-bit corruption probability per unit. The flipped bit is
+     *  uniform over the unit's wire bytes; the Ethernet FCS / AAL5 CRC
+     *  paths must catch it. */
+    double corrupt = 0.0;
+
+    /** Duplication probability per unit (a second copy arrives). */
+    double duplicate = 0.0;
+
+    /** Probability a unit is held back by reorderDelay, letting
+     *  later units overtake it. */
+    double reorder = 0.0;
+    sim::Tick reorderDelay = sim::microseconds(100);
+
+    /** Uniform extra latency in [0, jitterMax] added per unit (may
+     *  reorder when it exceeds the inter-unit gap). */
+    sim::Tick jitterMax = 0;
+
+    /** Deterministic drops: every Nth unit (0 = off; counts 1-based,
+     *  so dropEvery=5 drops units 4, 9, 14, ... of the 0-based
+     *  sequence), and an explicit list of 0-based unit indices.
+     *  Consumes no randomness — for surgical tests. */
+    std::uint64_t dropEvery = 0;
+    std::vector<std::uint64_t> dropUnits;
+
+    /** True when every knob is at its no-fault default. */
+    bool inert() const;
+};
+
+/** What happens to one unit crossing a site. */
+struct Decision
+{
+    bool drop = false;
+    bool corrupt = false;
+    std::uint32_t corruptBit = 0; ///< bit index into the wire bytes
+    bool duplicate = false;
+    sim::Tick delay = 0; ///< extra latency (reorder hold-back + jitter)
+
+    bool
+    faulty() const
+    {
+        return drop || corrupt || duplicate || delay != 0;
+    }
+};
+
+/**
+ * The per-site fault engine. Components hold a raw pointer (null =
+ * no faults); the owning Plan controls lifetime — keep the Plan alive
+ * for as long as the simulation runs and destroy it before the
+ * Simulation (its counters live in the sim's registry).
+ */
+class Injector
+{
+  public:
+    /**
+     * @param sim  Simulation whose registry/trace/clock we use.
+     * @param site Dotted site name (e.g. "eth.link.0"); also the
+     *             metric prefix: fault.<site>.*.
+     * @param spec Fault model for this site.
+     * @param seed Plan seed; mixed with the site name so injectors are
+     *             independent of arming order.
+     */
+    Injector(sim::Simulation &sim, std::string site, ModelSpec spec,
+             std::uint64_t seed);
+
+    /** Decide the fate of the next unit of @p unit_bits wire bits. */
+    Decision decide(std::size_t unit_bits);
+
+    /** Record the fault on the victim's trace timeline (no-op for
+     *  untraced messages or when tracing is off). */
+    void stamp(const obs::TraceContext &ctx, const Decision &d);
+
+    const std::string &site() const { return _site; }
+    const ModelSpec &model() const { return _spec; }
+
+    /** @name Statistics (also under fault.<site>.* in the registry). @{ */
+    std::uint64_t units() const { return _units.value(); }
+    std::uint64_t dropped() const { return _dropped.value(); }
+    std::uint64_t corrupted() const { return _corrupted.value(); }
+    std::uint64_t duplicated() const { return _duplicated.value(); }
+    std::uint64_t delayed() const { return _delayed.value(); }
+    /** @} */
+
+  private:
+    sim::Simulation &_sim;
+    std::string _site;
+    ModelSpec _spec;
+    sim::Random _rng;
+    bool _geBad = false;        ///< Gilbert-Elliott channel state
+    std::uint64_t _unitIndex = 0;
+    std::size_t _dropUnitsNext = 0; ///< cursor into sorted dropUnits
+
+    sim::Counter _units;
+    sim::Counter _dropped;
+    sim::Counter _corrupted;
+    sim::Counter _duplicated;
+    sim::Counter _delayed;
+
+    /** Declared after the counters it registers. */
+    obs::MetricGroup _metrics;
+};
+
+/**
+ * A named set of fault models plus the injectors armed from it.
+ *
+ * Build in code:
+ *
+ *     fault::Plan plan;
+ *     plan.setSeed(7);
+ *     plan.model("eth.link.0").drop = 0.05;
+ *     link.setFaultInjector(plan.arm(sim, "eth.link.0"), 0);
+ *
+ * or parse a scenario string (see DESIGN.md §12 for the grammar):
+ *
+ *     auto plan = fault::Plan::parse("seed=7 eth.link.*.drop=0.05");
+ *
+ * arm() returns nullptr when no pattern matches the site or the
+ * matched model is inert, so an empty plan arms nothing and the run
+ * is bit-identical to one without the plane.
+ */
+class Plan
+{
+  public:
+    Plan() = default;
+
+    /** Parse a scenario string; UNET_FATAL on malformed input. */
+    static Plan parse(std::string_view scenario);
+
+    void setSeed(std::uint64_t s) { _seed = s; }
+    std::uint64_t seed() const { return _seed; }
+
+    /** Model for @p site_pattern (created inert if absent). Patterns
+     *  are exact site names or prefixes ending in '*'. */
+    ModelSpec &model(const std::string &site_pattern);
+
+    /** True when no pattern carries a non-inert model. */
+    bool empty() const;
+
+    /**
+     * Build the injector for @p site from the best-matching pattern
+     * (longest wins; exact beats wildcard). @return nullptr when
+     * nothing matches or the model is inert — the site then stays on
+     * its zero-cost path.
+     */
+    Injector *arm(sim::Simulation &sim, std::string_view site);
+
+    /** Injectors armed so far (for reporting). */
+    const std::vector<std::unique_ptr<Injector>> &
+    armed() const
+    {
+        return _injectors;
+    }
+
+  private:
+    std::uint64_t _seed = 1;
+    std::vector<std::pair<std::string, ModelSpec>> _models;
+    std::vector<std::unique_ptr<Injector>> _injectors;
+};
+
+/** Flip bit @p bit (mod size) of @p bytes in place. */
+void flipBit(std::span<std::uint8_t> bytes, std::uint32_t bit);
+
+} // namespace unet::fault
+
+#endif // UNET_FAULT_FAULT_HH

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Forward declarations for the fault-injection plane, so component
+ * headers (eth/atm/nic) can hold an Injector pointer without pulling
+ * in the full fault header.
+ */
+
+#ifndef UNET_FAULT_FWD_HH
+#define UNET_FAULT_FWD_HH
+
+namespace unet::fault {
+
+class Injector;
+class Plan;
+struct ModelSpec;
+struct Decision;
+
+} // namespace unet::fault
+
+#endif // UNET_FAULT_FWD_HH

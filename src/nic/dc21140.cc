@@ -1,5 +1,6 @@
 #include "nic/dc21140.hh"
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace unet::nic {
@@ -115,6 +116,21 @@ Dc21140::frameArrived(const eth::Frame &frame)
     if (frame.dst != _address && !frame.dst.isBroadcast())
         return;
 
+    // Fault plane: a lost DMA completion looks like a missed frame;
+    // corruption damages the bytes after they cross the bus.
+    std::uint32_t faultBit = eth::Frame::noCorruptBit;
+    if (rxFaultInjector) {
+        fault::Decision d =
+            rxFaultInjector->decide(frame.frameBytes() * 8);
+        if (d.faulty()) {
+            rxFaultInjector->stamp(frame.trace, d);
+            if (d.drop)
+                return;
+            if (d.corrupt)
+                faultBit = d.corruptBit;
+        }
+    }
+
     RxDescriptor &desc = rxRing[_rxHead];
     if (!desc.own) {
         // No buffer posted: the frame is missed.
@@ -139,6 +155,8 @@ Dc21140::frameArrived(const eth::Frame &frame)
     _rxHead = (_rxHead + 1) % rxRing.size();
     PendingRx &slot = rxPending.pushSlot();
     frame.serializeInto(slot.bytes);
+    if (faultBit != eth::Frame::noCorruptBit)
+        fault::flipBit(slot.bytes, faultBit);
     slot.desc = &desc;
     slot.trace = frame.trace; // recycled slot: always (re)assign
     host.simulation().scheduleIn(_spec.rxResidualDma, [this] {

@@ -26,6 +26,7 @@
 
 #include "eth/frame.hh"
 #include "eth/network.hh"
+#include "fault/fwd.hh"
 #include "host/host.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_ctx.hh"
@@ -165,6 +166,13 @@ class Dc21140 : public eth::Station
     /** eth::Station: a frame arrived from the medium. */
     void frameArrived(const eth::Frame &frame) override;
 
+    /** Fault plane: interpose on receive DMA completions. Honours
+     *  drop (the completion vanishes) and corrupt (the DMA'd bytes are
+     *  damaged — the kernel's FCS check catches it); duplication and
+     *  delay are ignored here to preserve the RX pipeline's FIFO
+     *  pairing. Null detaches. */
+    void setRxFaultInjector(fault::Injector *inj) { rxFaultInjector = inj; }
+
   private:
     /** Fetch and process the next TX descriptor, or idle. */
     void txFetchNext();
@@ -173,6 +181,7 @@ class Dc21140 : public eth::Station
     Dc21140Spec _spec;
     eth::MacAddress _address;
     eth::Tap *tap;
+    fault::Injector *rxFaultInjector = nullptr;
     std::unique_ptr<host::InterruptLine> irq;
 
     std::vector<TxDescriptor> txRing;

@@ -1,5 +1,6 @@
 #include "nic/pca200.hh"
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace unet::nic {
@@ -179,12 +180,32 @@ void
 Pca200::cellArrived(const atm::Cell &cell)
 {
     ++_cellsRecv;
+
+    // Fault plane: host-side/adapter faults. Drop loses the cell
+    // before FIFO admission; corruption flips a payload bit that the
+    // AAL5 CRC check catches at reassembly.
+    std::uint32_t faultBit = 0;
+    bool corrupt = false;
+    if (rxFaultInjector) {
+        fault::Decision d =
+            rxFaultInjector->decide(atm::Cell::payloadBytes * 8);
+        if (d.faulty()) {
+            rxFaultInjector->stamp(cell.trace, d);
+            if (d.drop)
+                return;
+            corrupt = d.corrupt;
+            faultBit = d.corruptBit;
+        }
+    }
+
     if (rxFifo.size() >= _spec.rxFifoCells) {
         ++_fifoOverflow;
         return;
     }
     atm::Cell &slot = rxFifo.pushSlot();
     slot = cell;
+    if (corrupt)
+        fault::flipBit(slot.payload, faultBit);
 #if UNET_TRACE
     // Wire custody ends when the final cell lands in the input FIFO.
     if (slot.endOfPdu)

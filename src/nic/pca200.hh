@@ -27,6 +27,7 @@
 
 #include "atm/aal5.hh"
 #include "atm/link.hh"
+#include "fault/fwd.hh"
 #include "host/host.hh"
 #include "nic/i960.hh"
 #include "obs/metrics.hh"
@@ -126,6 +127,12 @@ class Pca200 : public atm::CellSink
     /** atm::CellSink: a cell arrived from the fiber. */
     void cellArrived(const atm::Cell &cell) override;
 
+    /** Fault plane: interpose on cells entering the adapter's input
+     *  FIFO. Honours drop and corrupt (a flipped payload bit trips the
+     *  AAL5 CRC at reassembly); duplication and delay are ignored here
+     *  to preserve FIFO service order. Null detaches. */
+    void setRxFaultInjector(fault::Injector *inj) { rxFaultInjector = inj; }
+
   private:
     struct EpState
     {
@@ -177,6 +184,7 @@ class Pca200 : public atm::CellSink
     Pca200Spec _spec;
     I960 coproc;
     atm::CellTap *tap;
+    fault::Injector *rxFaultInjector = nullptr;
 
     std::map<Endpoint *, EpState> endpoints;
     std::map<atm::Vci, VcState> vcs;

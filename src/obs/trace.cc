@@ -26,6 +26,8 @@ spanKindName(SpanKind k)
         return "AmHandler";
       case SpanKind::Step:
         return "Step";
+      case SpanKind::Fault:
+        return "Fault";
       case SpanKind::Count:
         break;
     }

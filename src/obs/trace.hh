@@ -44,6 +44,7 @@ enum class SpanKind : std::uint8_t {
     RxQueue,   ///< sitting in the endpoint recv queue until consumed
     AmHandler, ///< detail: active-message handler dispatch
     Step,      ///< detail: one modeled cost step (Figure 3/4 rows)
+    Fault,     ///< detail: an injected fault hit this message
     Count
 };
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "am/active_messages.hh"
+#include "fault/fault.hh"
 #include "tests/unet/fixtures.hh"
 
 using namespace unet;
@@ -187,10 +188,13 @@ TEST(ActiveMessages, RetransmissionRecoversLoss)
 {
     AmPair p;
     int received = 0;
-    // Drop the first transmission of sequence 2 (third message).
-    p.amA->setLossInjector([](ChannelId, std::uint8_t seq, bool retx) {
-        return seq == 2 && !retx;
-    });
+    // Drop the first transmission of sequence 2 on the wire: A sends
+    // only data frames (no ACKs flow A->B in this one-way pattern), so
+    // the third frame off A's NIC is seq 2's first transmission.
+    fault::ModelSpec loss;
+    loss.dropUnits = {2};
+    fault::Injector inj(p.s, "eth.link.0", loss, 1);
+    p.link.setFaultInjector(&inj, 0);
 
     p.bodyB = [&](sim::Process &proc) {
         p.amB->setHandler(1, [&](sim::Process &, Token, const Args &,
@@ -217,11 +221,12 @@ TEST(ActiveMessages, RetransmissionRecoversLoss)
 TEST(ActiveMessages, LossyChannelStressStaysReliable)
 {
     AmPair p;
-    // Drop ~20% of first transmissions, deterministically.
-    int counter = 0;
-    p.amA->setLossInjector([&](ChannelId, std::uint8_t, bool retx) {
-        return !retx && (++counter % 5 == 0);
-    });
+    // Drop ~20% of A's frames at the wire (seeded, so deterministic) —
+    // retransmissions are fair game too.
+    fault::ModelSpec loss;
+    loss.drop = 0.2;
+    fault::Injector inj(p.s, "eth.link.0", loss, 42);
+    p.link.setFaultInjector(&inj, 0);
 
     const int total = 100;
     int received = 0;
@@ -252,10 +257,11 @@ TEST(ActiveMessages, LossyChannelStressStaysReliable)
 TEST(ActiveMessages, ChannelDiesAfterMaxRetries)
 {
     AmPair p;
-    // Drop everything on the channel, including retransmits.
-    p.amA->setLossInjector([](ChannelId, std::uint8_t, bool) {
-        return true;
-    });
+    // Sever A's wire direction entirely, retransmits included.
+    fault::ModelSpec loss;
+    loss.drop = 1.0;
+    fault::Injector inj(p.s, "eth.link.0", loss, 1);
+    p.link.setFaultInjector(&inj, 0);
 
     p.bodyA = [&](sim::Process &proc) {
         EXPECT_TRUE(p.amA->request(proc, p.chanA, 1, {}));

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "am/active_messages.hh"
+#include "fault/fault.hh"
 #include "tests/unet/fixtures.hh"
 
 using namespace unet;
@@ -30,6 +31,14 @@ runLossSweep(double loss_rate, int total, std::uint64_t seed)
     eth::FullDuplexLink link(s);
     FeNode a(s, link, 0), b(s, link, 1);
 
+    // Wire-level loss on A's transmit direction (the fault plane
+    // replaces the old AM-layer injector: frames vanish after
+    // occupying the wire, retransmissions included).
+    fault::ModelSpec loss;
+    loss.drop = loss_rate;
+    fault::Injector inj(s, "eth.link.0", loss, seed * 7 + 1);
+    link.setFaultInjector(&inj, 0);
+
     Endpoint *epA = nullptr, *epB = nullptr;
     ChannelId chanA = invalidChannel, chanB = invalidChannel;
     std::unique_ptr<ActiveMessages> amA, amB;
@@ -54,10 +63,6 @@ runLossSweep(double loss_rate, int total, std::uint64_t seed)
         amB->pollUntil(proc, [] { return false; }, 3_ms);
     });
     sim::Process procA(s, "A", [&](sim::Process &proc) {
-        sim::Random loss_rng(seed * 7 + 1);
-        amA->setLossInjector([&](ChannelId, std::uint8_t, bool) {
-            return loss_rng.uniform01() < loss_rate;
-        });
         for (int i = 0; i < total; ++i) {
             std::size_t size = (i * 37) % 900;
             auto payload = pattern(size,
@@ -131,6 +136,14 @@ TEST_P(AmBidirLossSweep, BidirectionalLossExactlyOnce)
     eth::FullDuplexLink link(s);
     FeNode a(s, link, 0), b(s, link, 1);
 
+    // 15% wire loss in each direction, independently seeded.
+    fault::ModelSpec loss;
+    loss.drop = 0.15;
+    fault::Injector injA(s, "eth.link.0", loss, seed * 3 + 1);
+    fault::Injector injB(s, "eth.link.1", loss, seed * 5 + 2);
+    link.setFaultInjector(&injA, 0);
+    link.setFaultInjector(&injB, 1);
+
     Endpoint *epA = nullptr, *epB = nullptr;
     ChannelId chanA = invalidChannel, chanB = invalidChannel;
     std::unique_ptr<ActiveMessages> amA, amB;
@@ -143,14 +156,8 @@ TEST_P(AmBidirLossSweep, BidirectionalLossExactlyOnce)
 
     auto body = [&](std::unique_ptr<ActiveMessages> &mine,
                     ChannelId &chan, int &got,
-                    std::uint64_t &sum, int &next, bool &order,
-                    std::uint64_t loss_seed) {
-        return [&, loss_seed](sim::Process &proc) {
-            auto rng = std::make_shared<sim::Random>(loss_seed);
-            mine->setLossInjector(
-                [rng](ChannelId, std::uint8_t, bool) {
-                    return rng->uniform01() < 0.15;
-                });
+                    std::uint64_t &sum, int &next, bool &order) {
+        return [&](sim::Process &proc) {
             mine->setHandler(
                 1, [&](sim::Process &, Token, const Args &args,
                        std::span<const std::uint8_t>) {
@@ -174,11 +181,9 @@ TEST_P(AmBidirLossSweep, BidirectionalLossExactlyOnce)
     };
 
     sim::Process procA(s, "A",
-                       body(amA, chanA, gotA, sumA, nextA, orderA,
-                            seed * 3 + 1));
+                       body(amA, chanA, gotA, sumA, nextA, orderA));
     sim::Process procB(s, "B",
-                       body(amB, chanB, gotB, sumB, nextB, orderB,
-                            seed * 5 + 2));
+                       body(amB, chanB, gotB, sumB, nextB, orderB));
 
     epA = &a.unet.createEndpoint(&procA, {});
     epB = &b.unet.createEndpoint(&procB, {});
@@ -216,6 +221,12 @@ TEST(AmProperty, TxPoolFullyRecoveredAfterLossyTraffic)
     eth::FullDuplexLink link(s);
     FeNode a(s, link, 0), b(s, link, 1);
 
+    // 20% wire loss on A's transmissions.
+    fault::ModelSpec loss;
+    loss.drop = 0.2;
+    fault::Injector inj(s, "eth.link.0", loss, 5);
+    link.setFaultInjector(&inj, 0);
+
     Endpoint *epA = nullptr, *epB = nullptr;
     ChannelId chanA = invalidChannel, chanB = invalidChannel;
     std::unique_ptr<ActiveMessages> amA, amB;
@@ -232,10 +243,6 @@ TEST(AmProperty, TxPoolFullyRecoveredAfterLossyTraffic)
         amB->pollUntil(proc, [] { return false; }, 5_ms);
     });
     sim::Process procA(s, "A", [&](sim::Process &proc) {
-        sim::Random rng(5);
-        amA->setLossInjector([&rng](ChannelId, std::uint8_t, bool) {
-            return rng.uniform01() < 0.2;
-        });
         initial_free = amA->txChunksFree();
         auto payload = pattern(800); // forces chunk (non-inline) sends
         for (int i = 0; i < total; ++i)
@@ -342,6 +349,12 @@ TEST(AmProperty, BulkStoreSurvivesLoss)
     eth::FullDuplexLink link(s);
     FeNode a(s, link, 0), b(s, link, 1);
 
+    // 10% wire loss under the bulk transfer.
+    fault::ModelSpec loss;
+    loss.drop = 0.1;
+    fault::Injector inj(s, "eth.link.0", loss, 99);
+    link.setFaultInjector(&inj, 0);
+
     Endpoint *epA = nullptr, *epB = nullptr;
     ChannelId chanA = invalidChannel, chanB = invalidChannel;
     std::unique_ptr<ActiveMessages> amA, amB;
@@ -361,10 +374,6 @@ TEST(AmProperty, BulkStoreSurvivesLoss)
         amB->pollUntil(proc, [] { return false; }, 3_ms);
     });
     sim::Process procA(s, "A", [&](sim::Process &proc) {
-        sim::Random loss_rng(99);
-        amA->setLossInjector([&](ChannelId, std::uint8_t, bool) {
-            return loss_rng.uniform01() < 0.1;
-        });
         auto data = pattern(30000, 3);
         ASSERT_TRUE(amA->store(proc, chanA, 1000, data, 2));
         EXPECT_TRUE(amA->drain(proc, 5_s));

@@ -26,12 +26,22 @@ namespace {
  * A fig5-style seeded ping/echo run of @p rounds round trips,
  * returning the tick of every reply arrival at the ping side — an
  * event trace of the full stack (NIC service loops, DMA, links).
+ *
+ * When @p fault_scenario is non-null, the parsed fault::Plan is armed
+ * on every rig component (an empty scenario exercises the plane's
+ * zero-cost idle path).
  */
 std::vector<sim::Tick>
-replyArrivalTrace(Fabric fabric, std::size_t size, int rounds = 4)
+replyArrivalTrace(Fabric fabric, std::size_t size, int rounds = 4,
+                  const char *fault_scenario = nullptr)
 {
     sim::Simulation s;
     RawPair rig(s, fabric);
+    fault::Plan plan; // after the sim: armed metrics must die first
+    if (fault_scenario) {
+        plan = fault::Plan::parse(fault_scenario);
+        rig.attachFaults(plan);
+    }
     std::vector<sim::Tick> trace;
 
     sim::Process echo(s, "echo", [&](sim::Process &self) {
@@ -106,5 +116,24 @@ TEST(GoldenTrace, MatchesPrePoolingImplementation)
     EXPECT_EQ(replyArrivalTrace(Fabric::AtmOc3, 40),
               (T{101792244, 184584488, 267376732, 350168976}));
     EXPECT_EQ(replyArrivalTrace(Fabric::AtmOc3, 1024),
+              (T{239346790, 460193580, 681040370, 901887160}));
+}
+
+TEST(GoldenTrace, EmptyFaultPlanIsInvisible)
+{
+    // Attaching a fault plan with no active models must leave every
+    // site on its null-injector path: the golden ticks cannot move.
+    // An armed-but-harmless plan (a model that never fires) may draw
+    // from its own RNG but still must not perturb the simulation.
+    using T = std::vector<sim::Tick>;
+    EXPECT_EQ(replyArrivalTrace(Fabric::FeBay, 40, 4, ""),
+              (T{60670132, 115140264, 169610396, 224080528}));
+    EXPECT_EQ(replyArrivalTrace(Fabric::AtmOc3, 40, 4, ""),
+              (T{101792244, 184584488, 267376732, 350168976}));
+    EXPECT_EQ(replyArrivalTrace(Fabric::FeBay, 1024, 4,
+                                "eth.switch.drop=0.0"),
+              (T{265658052, 525266104, 784874156, 1044482208}));
+    EXPECT_EQ(replyArrivalTrace(Fabric::AtmOc3, 1024, 4,
+                                "atm.*.drop_every=1000000"),
               (T{239346790, 460193580, 681040370, 901887160}));
 }
