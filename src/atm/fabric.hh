@@ -82,6 +82,8 @@ class Fabric
     sim::Simulation &sim;
     std::vector<std::unique_ptr<Switch>> switches;
     std::vector<Trunk> trunks;
+    // nondet-ok(ptr-key-order): per-switch VCI counter, looked up by
+    // identity and never iterated.
     std::map<const void *, Vci> nextVci;
     std::map<std::size_t, Vci> nextHostVci;
 };

@@ -1,0 +1,93 @@
+#include "check/access.hh"
+
+#if defined(UNET_CHECK) && UNET_CHECK
+
+#include "sim/logging.hh"
+#include "sim/process.hh"
+
+namespace unet::check {
+
+namespace {
+
+/** The current execution context: the running process, or nullptr for
+ *  the main/event context. */
+const sim::Process *
+context()
+{
+    return sim::Process::current();
+}
+
+const std::string &
+contextName()
+{
+    static const std::string main_ctx = "<main/event context>";
+    const sim::Process *p = context();
+    return p ? p->name() : main_ctx;
+}
+
+} // namespace
+
+void
+ContextGuard::mutate(const char *op) const
+{
+    const sim::Process *p = context();
+    if (p == nullptr)
+        return; // agents/harnesses in the main context hold custody
+    if (_owner == nullptr || p == _owner)
+        return;
+    panicForeign(op);
+}
+
+void
+ContextGuard::panicForeign(const char *op) const
+{
+    UNET_PANIC("cross-fiber access: ", op, " on ", what,
+               " owned by process '",
+               _owner ? _owner->name() : "<none>",
+               "' from foreign fiber '", contextName(), "'");
+}
+
+void
+ContextGuard::panicInterleaved(const char *op) const
+{
+    UNET_PANIC("interleaved access to ", what, ": ", op, " from '",
+               contextName(), "' while '",
+               holderOp ? holderOp : "<op>",
+               "' is still in progress from another context — a "
+               "mutation sequence yielded mid-update");
+}
+
+ContextGuard::Scope::Scope(ContextGuard &guard, const char *op)
+    : guard(guard)
+{
+    guard.mutate(op);
+    const void *ctx = context();
+    if (guard.depth > 0 && guard.holder != ctx)
+        guard.panicInterleaved(op);
+    guard.holder = ctx;
+    guard.holderOp = op;
+    ++guard.depth;
+}
+
+ContextGuard::Scope::~Scope()
+{
+    if (--guard.depth == 0) {
+        guard.holder = nullptr;
+        guard.holderOp = nullptr;
+    }
+}
+
+void
+assertCaller(const sim::Process &claimed, const char *op)
+{
+    const sim::Process *p = sim::Process::current();
+    if (p == nullptr || p == &claimed)
+        return;
+    UNET_PANIC("caller impersonation: ", op, " claims process '",
+               claimed.name(), "' but runs on fiber of '", p->name(),
+               "'");
+}
+
+} // namespace unet::check
+
+#endif // UNET_CHECK

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/access.hh"
 #include "eth/frame.hh"
 #include "eth/network.hh"
 #include "fault/fwd.hh"
@@ -149,6 +150,18 @@ class Dc21140 : public eth::Station
     /** @} */
 
     /**
+     * Custody guard for the driver-side TX fill window (no-op unless
+     * UNET_CHECK). Descriptor *processing* is arbitrated by the own
+     * bits, but the fill of one descriptor — claim the tail slot,
+     * write its fields, publish with own=true, bump the tail — must be
+     * a single non-interleaved sequence: "a single operating system
+     * agent will multiplex access to the hardware". The driver opens a
+     * Scope around each fill; a fill that yields mid-window while
+     * another context fills is flagged.
+     */
+    check::ContextGuard &txFillGuard() { return _txFillGuard; }
+
+    /**
      * CSR1 transmit poll demand: kick the TX engine. The driver charges
      * its own PIO cost; this starts the device-side state machine.
      */
@@ -186,6 +199,7 @@ class Dc21140 : public eth::Station
 
     std::vector<TxDescriptor> txRing;
     std::vector<RxDescriptor> rxRing;
+    check::ContextGuard _txFillGuard{"dc21140 tx descriptor ring"};
     std::size_t txHead = 0;  ///< next descriptor the NIC processes
     std::size_t _txTail = 0; ///< next descriptor the driver fills
     std::size_t _rxHead = 0; ///< next descriptor the NIC fills

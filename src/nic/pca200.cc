@@ -1,5 +1,6 @@
 #include "nic/pca200.hh"
 
+#include "check/access.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
 
@@ -80,6 +81,11 @@ Pca200::scheduleTxService(EpState &state)
 void
 Pca200::serviceTx(EpState &state)
 {
+    // Firmware-side custody of the send ring: runs in the i960 event
+    // context (always legal), but the scope catches a user fiber that
+    // yielded mid-push while we pop.
+    check::ContextGuard::Scope scope(state.ep->sendGuard(),
+                                     "firmware tx poll");
     auto desc = state.ep->sendQueue().pop();
     if (!desc) {
         state.txScheduled = false;
@@ -302,8 +308,12 @@ Pca200::handleCell(const atm::Cell &cell)
         for (const auto &b : vc.buffers)
             capacity += b.length;
         if (vc.filled + atm::Cell::payloadBytes > capacity) {
-            auto buf = vc.buffers.size() < maxFragments
-                ? vc.ep->freeQueue().pop() : std::nullopt;
+            std::optional<BufferRef> buf;
+            if (vc.buffers.size() < maxFragments) {
+                check::ContextGuard::Scope scope(
+                    vc.ep->freeGuard(), "firmware rx buffer claim");
+                buf = vc.ep->freeQueue().pop();
+            }
             if (!buf) {
                 ++_noBuffer;
                 vc.poisoned = true;
@@ -348,6 +358,8 @@ Pca200::handleCell(const atm::Cell &cell)
 void
 Pca200::recycleRxBuffer(Endpoint *ep, BufferRef buf)
 {
+    check::ContextGuard::Scope scope(ep->freeGuard(),
+                                     "firmware rx buffer recycle");
     if (ep->freeQueue().push(buf))
         ep->ownership().unclaimRecv(buf);
     else

@@ -186,6 +186,8 @@ class Pca200 : public atm::CellSink
     atm::CellTap *tap;
     fault::Injector *rxFaultInjector = nullptr;
 
+    // nondet-ok(ptr-key-order): looked up by identity on doorbell and
+    // attach, never iterated (ROADMAP: key by endpoint id instead).
     std::map<Endpoint *, EpState> endpoints;
     std::map<atm::Vci, VcState> vcs;
 

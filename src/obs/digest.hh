@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Run digests for determinism auditing.
+ *
+ * A digest is a 64-bit FNV-1a hash folded over everything a run is
+ * supposed to reproduce bit-for-bit: event ticks, metric values, trace
+ * spans. The determinism suites run the same workload under several
+ * UNET_PERTURB salts (see sim/perturb.hh) and assert the digests are
+ * identical — any hidden dependence on same-tick scheduling order or
+ * host addresses shows up as a digest mismatch, with the offending
+ * metric findable by diffing the two dumps.
+ *
+ * Doubles are mixed by bit pattern, not formatting, so the digest is
+ * exact (and distinguishes -0.0 from 0.0 — if a metric's sign flips
+ * between salts, that is a real divergence).
+ */
+
+#ifndef UNET_OBS_DIGEST_HH
+#define UNET_OBS_DIGEST_HH
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hh"
+
+namespace unet::obs {
+
+/** Incremental 64-bit FNV-1a over heterogeneous values. */
+class Digest
+{
+  public:
+    Digest &
+    mix(std::string_view s)
+    {
+        for (unsigned char c : s)
+            step(c);
+        step(0xff); // length delimiter: mix("ab","c") != mix("a","bc")
+        return *this;
+    }
+
+    Digest &
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            step(static_cast<unsigned char>(v >> (8 * i)));
+        return *this;
+    }
+
+    Digest &mix(std::int64_t v)
+    {
+        return mix(static_cast<std::uint64_t>(v));
+    }
+
+    Digest &
+    mix(double v)
+    {
+        return mix(std::bit_cast<std::uint64_t>(v));
+    }
+
+    /** Fold every element of a range (of mixable values). */
+    template <typename Range>
+    Digest &
+    mixRange(const Range &range)
+    {
+        for (const auto &v : range)
+            mix(v);
+        return *this;
+    }
+
+    std::uint64_t value() const { return h; }
+
+  private:
+    void
+    step(unsigned char byte)
+    {
+        h ^= byte;
+        h *= 0x100000001b3ULL;
+    }
+
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+};
+
+/**
+ * Digest of a full metrics registry: every (path, value) pair of
+ * dump(), in its sorted order. Two runs with equal digests agree on
+ * every counter, gauge, and histogram stat.
+ */
+inline std::uint64_t
+digestOf(const Registry &registry)
+{
+    Digest d;
+    for (const auto &[path, value] : registry.dump())
+        d.mix(path).mix(value);
+    return d.value();
+}
+
+} // namespace unet::obs
+
+#endif // UNET_OBS_DIGEST_HH

@@ -1,6 +1,7 @@
 #include "sim/event.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "sim/logging.hh"
 
@@ -34,15 +35,38 @@ EventQueue::panicPastEvent(Tick when) const
 }
 
 void
+EventQueue::setPerturbSalt(std::uint64_t salt)
+{
+    if (_livePending != 0 || _firedCount != 0 || !heap.empty())
+        UNET_PANIC("setPerturbSalt on a non-idle queue: heaped entries "
+                   "carry keys computed under the old salt");
+    _perturbSalt = salt;
+}
+
+void
 EventQueue::growPool()
 {
-    // Grow the slab by one chunk and thread it onto the free list.
+    // Grow the slab by one chunk and thread it onto the free list. In
+    // perturbation mode the threading order is a salted permutation:
+    // record slot numbers (and so record addresses) then differ
+    // between salts, which trips anything keying behaviour off them.
     auto base = static_cast<std::uint32_t>(poolCapacity());
     chunks.push_back(std::make_unique<Record[]>(chunkRecords));
+    std::array<std::uint32_t, chunkRecords> order;
+    for (std::size_t i = 0; i < chunkRecords; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    if (_perturbSalt != 0) {
+        for (std::size_t i = chunkRecords - 1; i > 0; --i) {
+            std::size_t j = static_cast<std::size_t>(
+                perturb::mix(_perturbSalt, (base + i) * 2654435761u) %
+                (i + 1));
+            std::swap(order[i], order[j]);
+        }
+    }
     for (std::size_t i = chunkRecords; i-- > 0;) {
-        Record &rec = chunks.back()[i];
+        Record &rec = chunks.back()[order[i]];
         rec.nextFree = freeHead;
-        freeHead = base + static_cast<std::uint32_t>(i);
+        freeHead = base + order[i];
     }
 }
 

@@ -7,6 +7,11 @@
  * runs deterministic. Scheduled events can be cancelled through the
  * EventHandle returned at scheduling time.
  *
+ * Under the UNET_PERTURB run mode (sim/perturb.hh) the same-tick order
+ * of events not annotated Order::dependent is deterministically
+ * permuted per salt — the determinism auditor's race detector. Models
+ * must produce identical simulated results under every salt.
+ *
  * The queue is allocation-free in steady state: event records live in a
  * slab of fixed-size slots threaded on a free list, and callables whose
  * captures fit the small-buffer area (EventQueue::sboBytes) are stored
@@ -31,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/perturb.hh"
 #include "sim/time.hh"
 
 namespace unet::sim {
@@ -101,11 +107,15 @@ class EventQueue
      * @param action Callback invoked when the event fires. Captures up
      *               to sboBytes are stored inline in a pooled record;
      *               larger ones cost one heap allocation.
+     * @param order  Order::permutable (default) lets perturbation mode
+     *               reorder this event within its tick; annotate
+     *               Order::dependent only for documented intra-tick
+     *               ordering contracts (see sim/perturb.hh).
      * @return a handle that can cancel the event.
      */
     template <typename F>
     EventHandle
-    schedule(Tick when, F &&action)
+    schedule(Tick when, F &&action, Order order = Order::permutable)
     {
         using Fn = std::decay_t<F>;
         if constexpr (requires { static_cast<bool>(action); }) {
@@ -134,7 +144,15 @@ class EventQueue
             rec.drop = &dropHeap<Fn>;
             ++_heapCallableAllocs;
         }
-        pushHeap(HeapEntry{when, rec.seq, slot});
+        // The same-tick tie-break key. Unperturbed (or order-dependent)
+        // events keep their sequence number: exact FIFO. Under a salt,
+        // permutable events get a scrambled key, which permutes each
+        // tick's firing order deterministically per salt.
+        std::uint64_t key =
+            (order == Order::dependent || _perturbSalt == 0)
+                ? rec.seq
+                : perturb::mix(_perturbSalt, rec.seq);
+        pushHeap(HeapEntry{when, key, rec.seq, slot});
         ++_livePending;
         return EventHandle(this, slot, rec.seq);
     }
@@ -142,9 +160,9 @@ class EventQueue
     /** Schedule @p action to fire @p delay ticks from now. */
     template <typename F>
     EventHandle
-    scheduleIn(Tick delay, F &&action)
+    scheduleIn(Tick delay, F &&action, Order order = Order::permutable)
     {
-        return schedule(_now + delay, std::forward<F>(action));
+        return schedule(_now + delay, std::forward<F>(action), order);
     }
 
     /**
@@ -194,6 +212,21 @@ class EventQueue
     /** True if no uncancelled event is pending. */
     bool empty() const { return _livePending == 0; }
 
+    /** @name Schedule perturbation (determinism auditing). @{ */
+
+    /** The active perturbation salt (0 = FIFO, no perturbation). */
+    std::uint64_t perturbSalt() const { return _perturbSalt; }
+
+    /**
+     * Override the salt latched from perturb::salt() at construction.
+     * Only legal while the queue is completely idle (nothing pending,
+     * nothing fired): already-heaped entries carry keys computed under
+     * the old salt.
+     */
+    void setPerturbSalt(std::uint64_t salt);
+
+    /** @} */
+
     /** @name Pool introspection (perf tests and benchmarks). @{ */
 
     /** Record slots ever allocated (slab capacity, in records). */
@@ -231,6 +264,7 @@ class EventQueue
     struct HeapEntry
     {
         Tick when;
+        std::uint64_t key; ///< same-tick tie-break (== seq unperturbed)
         std::uint64_t seq;
         std::uint32_t slot;
     };
@@ -275,12 +309,19 @@ class EventQueue
         return chunks[slot / chunkRecords][slot % chunkRecords];
     }
 
-    /** Min-heap order on (when, seq): strict FIFO within a tick. */
+    /**
+     * Min-heap order on (when, key, seq). Unperturbed, key == seq:
+     * strict FIFO within a tick. Perturbed, permutable events carry a
+     * salted key; seq breaks the (vanishingly rare) key collisions so
+     * the schedule stays a total, reproducible order.
+     */
     static bool
     laterThan(const HeapEntry &a, const HeapEntry &b)
     {
         if (a.when != b.when)
             return a.when > b.when;
+        if (a.key != b.key)
+            return a.key > b.key;
         return a.seq > b.seq;
     }
 
@@ -388,6 +429,7 @@ class EventQueue
     std::vector<HeapEntry> heap;
 
     Tick _now = 0;
+    std::uint64_t _perturbSalt = perturb::salt();
     std::uint64_t nextSeq = 0;
     std::uint64_t _firedCount = 0;
     std::size_t _livePending = 0;
@@ -422,9 +464,11 @@ EventHandle::cancel()
 class MemberEvent
 {
   public:
+    /** @param order applied to every arming (see sim/perturb.hh). */
     template <typename F>
-    MemberEvent(EventQueue &queue, F fn)
-        : queue(queue), fn(std::move(fn))
+    MemberEvent(EventQueue &queue, F fn,
+                Order order = Order::permutable)
+        : queue(queue), fn(std::move(fn)), order(order)
     {}
 
     ~MemberEvent() { cancel(); }
@@ -437,7 +481,7 @@ class MemberEvent
     scheduleAt(Tick when)
     {
         handle.cancel();
-        handle = queue.schedule(when, Trampoline{this});
+        handle = queue.schedule(when, Trampoline{this}, order);
     }
 
     /** Arm (or move) the event to fire @p delay ticks from now. */
@@ -458,6 +502,7 @@ class MemberEvent
 
     EventQueue &queue;
     std::function<void()> fn;
+    Order order;
     EventHandle handle;
 };
 

@@ -1,0 +1,48 @@
+#include "sim/perturb.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace unet::sim::perturb {
+
+namespace {
+
+std::uint64_t
+envSalt()
+{
+    // Read once per process; the simulator itself must never consult
+    // the environment after startup.
+    // nondet-ok(env-read): getenv is a fixed process input, not a
+    // source of nondeterminism across runs with the same environment.
+    const char *env = std::getenv("UNET_PERTURB"); // NOLINT(concurrency-mt-unsafe)
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(env, &end, 0);
+    if (end == env || (end && *end != '\0'))
+        return 0;
+    return static_cast<std::uint64_t>(value);
+}
+
+std::atomic<std::uint64_t> &
+slot()
+{
+    static std::atomic<std::uint64_t> s{envSalt()};
+    return s;
+}
+
+} // namespace
+
+std::uint64_t
+salt()
+{
+    return slot().load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+setSalt(std::uint64_t salt)
+{
+    return slot().exchange(salt, std::memory_order_relaxed);
+}
+
+} // namespace unet::sim::perturb

@@ -2,15 +2,18 @@
 
 #include <memory>
 
+#include "sim/perturb.hh"
+
 namespace unet::sim {
 
 namespace {
 
-/** Retired buffers awaiting reuse, matched by exact size. */
+/** Retired buffers awaiting reuse, matched by exact (usable) size. */
 struct PooledBlock
 {
-    std::unique_ptr<unsigned char[]> mem;
+    std::unique_ptr<unsigned char[]> base;
     std::size_t size;
+    std::size_t pad;
 };
 
 thread_local std::vector<PooledBlock> blockPool;
@@ -19,28 +22,63 @@ thread_local std::vector<PooledBlock> blockPool;
  *  arenas without holding the whole high-water mark forever. */
 constexpr std::size_t blockPoolMax = 32;
 
+/** Monotonic draw counter for the salted acquisition decisions. */
+thread_local std::uint64_t acquireCount = 0;
+
+/** Salted pad for a fresh allocation: 0..31 cache lines. Keeps the
+ *  usable area max_align-compatible (64 is a multiple of 16). */
+std::size_t
+saltedPad(std::uint64_t salt)
+{
+    if (salt == 0)
+        return 0;
+    return 64 * (perturb::mix(salt, ++acquireCount) % 32);
+}
+
 } // namespace
 
 RecycledBuffer::RecycledBuffer(std::size_t size) : bytes(size)
 {
-    for (std::size_t i = blockPool.size(); i-- > 0;) {
-        if (blockPool[i].size == size) {
-            mem = blockPool[i].mem.release();
-            blockPool.erase(blockPool.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-            return;
+    const std::uint64_t salt = perturb::salt();
+
+    // Collect the reusable candidates (exact size match).
+    std::size_t matches = 0;
+    for (const PooledBlock &block : blockPool)
+        matches += block.size == size;
+
+    if (matches > 0) {
+        // Unperturbed: newest match (LIFO keeps pages warm). Salted: a
+        // deterministic pseudo-random pick, so block/address pairing
+        // differs between salts.
+        std::size_t wanted = salt == 0
+            ? 0
+            : perturb::mix(salt, ++acquireCount) % matches;
+        for (std::size_t i = blockPool.size(); i-- > 0;) {
+            if (blockPool[i].size != size)
+                continue;
+            if (wanted-- == 0) {
+                base = blockPool[i].base.release();
+                mem = base + blockPool[i].pad;
+                blockPool.erase(blockPool.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+                return;
+            }
         }
     }
-    mem = new unsigned char[size];
+
+    std::size_t pad = saltedPad(salt);
+    base = new unsigned char[size + pad];
+    mem = base + pad;
 }
 
 RecycledBuffer::~RecycledBuffer()
 {
     if (blockPool.size() < blockPoolMax)
-        blockPool.push_back(
-            {std::unique_ptr<unsigned char[]>(mem), bytes});
+        blockPool.push_back({std::unique_ptr<unsigned char[]>(base),
+                             bytes,
+                             static_cast<std::size_t>(mem - base)});
     else
-        delete[] mem;
+        delete[] base;
 }
 
 } // namespace unet::sim

@@ -86,6 +86,14 @@ class SlotRing
  *
  * The storage is NOT zeroed on acquisition — callers that need zeroed
  * contents (e.g. host::Memory) must clear it themselves.
+ *
+ * Under the UNET_PERTURB run mode (sim/perturb.hh) acquisition is
+ * address-salted: reuse picks pseudo-randomly among the pooled blocks
+ * and fresh allocations carry a salted leading pad, so fiber stacks
+ * and arenas land at different addresses under different salts. Code
+ * whose simulated behaviour leaks host addresses (pointer-keyed
+ * iteration, hashing a pointer into a decision) then diverges between
+ * salts and is caught by the determinism suites.
  */
 class RecycledBuffer
 {
@@ -101,8 +109,9 @@ class RecycledBuffer
     std::size_t size() const { return bytes; }
 
   private:
-    unsigned char *mem;
-    std::size_t bytes;
+    unsigned char *mem;  ///< usable storage (= base + salted pad)
+    unsigned char *base; ///< allocation origin, owned
+    std::size_t bytes;   ///< usable size (excludes the pad)
 };
 
 } // namespace unet::sim

@@ -22,7 +22,11 @@ WaitChannel::notifyAll()
     for (Process *p : woken) {
         p->wokenByNotify = true;
         p->timeoutEvent.cancel();
-        p->simulation().scheduleIn(0, [p] { p->resume(); });
+        // Order::dependent: "each resumes ... in the order it blocked"
+        // is this class's documented fairness contract, so the wakeup
+        // events are exempt from schedule perturbation.
+        p->simulation().scheduleIn(0, [p] { p->resume(); },
+                                   Order::dependent);
     }
 }
 

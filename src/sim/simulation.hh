@@ -64,17 +64,17 @@ class Simulation
     /** Schedule @p action at absolute time @p when. */
     template <typename F>
     EventHandle
-    schedule(Tick when, F &&action)
+    schedule(Tick when, F &&action, Order order = Order::permutable)
     {
-        return queue.schedule(when, std::forward<F>(action));
+        return queue.schedule(when, std::forward<F>(action), order);
     }
 
     /** Schedule @p action @p delay ticks from now. */
     template <typename F>
     EventHandle
-    scheduleIn(Tick delay, F &&action)
+    scheduleIn(Tick delay, F &&action, Order order = Order::permutable)
     {
-        return queue.scheduleIn(delay, std::forward<F>(action));
+        return queue.scheduleIn(delay, std::forward<F>(action), order);
     }
 
     /** Run to completion. @return final time. */

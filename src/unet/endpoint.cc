@@ -15,6 +15,12 @@ Endpoint::Endpoint(sim::Simulation &sim, host::Memory &memory,
                                   "unet.ep" + std::to_string(id)))
 {
     _metrics.counter("rxQueueDrops", _rxQueueDrops);
+    // Custody: only the owning process's fiber (or the main/event
+    // context — kernel agents, NIC firmware, harnesses) may touch the
+    // shared rings.
+    _sendGuard.bindOwner(owner);
+    _recvGuard.bindOwner(owner);
+    _freeGuard.bindOwner(owner);
 }
 
 void
@@ -66,6 +72,7 @@ Endpoint::channelValid(ChannelId id) const
 bool
 Endpoint::poll(RecvDescriptor &out)
 {
+    check::ContextGuard::Scope scope(_recvGuard, "poll");
     auto desc = _recvQueue.pop();
     if (!desc)
         return false;
@@ -86,6 +93,8 @@ Endpoint::poll(RecvDescriptor &out)
 bool
 Endpoint::wait(sim::Process &proc, RecvDescriptor &out, sim::Tick timeout)
 {
+    check::assertCaller(proc, "Endpoint::wait");
+    _recvGuard.mutate("wait");
     while (true) {
         if (poll(out))
             return true;
@@ -115,6 +124,7 @@ Endpoint::setUpcall(std::function<void(const RecvDescriptor &)> handler,
 bool
 Endpoint::deliver(const RecvDescriptor &desc)
 {
+    check::ContextGuard::Scope scope(_recvGuard, "deliver");
     if (!_recvQueue.push(desc)) {
         ++_rxQueueDrops;
         return false;

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "check/access.hh"
 #include "check/ownership.hh"
 #include "obs/metrics.hh"
 #include "sim/process.hh"
@@ -67,6 +68,19 @@ class Endpoint
     /** Buffer-ownership state machine guarding the buffer area (a
      *  no-op object unless built with UNET_CHECK). */
     check::OwnershipTracker &ownership() { return _ownership; }
+
+    /** @name Cross-fiber custody guards (no-ops unless UNET_CHECK).
+     *
+     * One guard per shared ring. Checked call sites (U-Net
+     * implementations, NIC firmware models) open a
+     * ContextGuard::Scope around their ring mutations; the guard
+     * panics on access from a non-owning process fiber and on
+     * mutation sequences interleaved across a yield.
+     * @{ */
+    check::ContextGuard &sendGuard() { return _sendGuard; }
+    check::ContextGuard &recvGuard() { return _recvGuard; }
+    check::ContextGuard &freeGuard() { return _freeGuard; }
+    /** @} */
 
     /** Audit send/recv/free ring consistency now; panics on violation. */
     void auditRings() const;
@@ -130,6 +144,9 @@ class Endpoint
     Ring<RecvDescriptor> _recvQueue;
     Ring<BufferRef> _freeQueue;
     check::OwnershipTracker _ownership;
+    check::ContextGuard _sendGuard{"endpoint send queue"};
+    check::ContextGuard _recvGuard{"endpoint recv queue"};
+    check::ContextGuard _freeGuard{"endpoint free queue"};
     std::size_t opsSinceAudit = 0;
 
     std::vector<ChannelInfo> channels;

@@ -98,6 +98,8 @@ class OsService
     UNet &impl;
     OsLimits limits;
     sim::Tick syscallCost;
+    // nondet-ok(ptr-key-order): per-process quota, looked up by
+    // identity and never iterated.
     std::map<const sim::Process *, std::size_t> endpointCount;
     std::function<bool(const sim::Process &, const Endpoint &)> authorizer;
 };

@@ -1,5 +1,6 @@
 #include "unet/unet_atm.hh"
 
+#include "check/access.hh"
 #include "sim/logging.hh"
 
 namespace unet {
@@ -47,6 +48,7 @@ bool
 UNetAtm::sendImpl(sim::Process &proc, Endpoint &ep,
                   const SendDescriptor &desc)
 {
+    check::assertCaller(proc, "UNetAtm::send");
     if (!checkOwner(proc, ep))
         return false;
     if (desc.totalLength() > maxMessage)
@@ -60,6 +62,7 @@ UNetAtm::sendImpl(sim::Process &proc, Endpoint &ep,
     // "the host stores the U-Net send descriptor into the i960-resident
     // transmit queue using a double-word store"
     _host.cpu().busy(proc, _spec.sendPost);
+    ep.sendGuard().mutate("send");
     if (!ep.sendQueue().push(desc))
         return false;
     if (!desc.isInline)
@@ -73,11 +76,13 @@ UNetAtm::sendImpl(sim::Process &proc, Endpoint &ep,
 bool
 UNetAtm::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
 {
+    check::assertCaller(proc, "UNetAtm::postFree");
     if (!checkOwner(proc, ep))
         return false;
     if (!ep.buffers().contains(buf))
         UNET_PANIC("free buffer outside the endpoint buffer area");
     _host.cpu().busy(proc, _spec.freePost);
+    ep.freeGuard().mutate("postFree");
     if (!ep.freeQueue().push(buf))
         return false;
     ep.ownership().postFree(buf);

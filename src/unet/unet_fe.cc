@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "check/access.hh"
 #include "sim/logging.hh"
 
 namespace unet {
@@ -126,8 +127,10 @@ bool
 UNetFe::sendImpl(sim::Process &proc, Endpoint &ep,
                  const SendDescriptor &desc)
 {
+    check::assertCaller(proc, "UNetFe::send");
     if (!checkOwner(proc, ep))
         return false;
+    ep.sendGuard().mutate("send");
     if (desc.totalLength() > maxMessage - _spec.extraHeaderBytes())
         UNET_PANIC("U-Net/FE message of ", desc.totalLength(),
                    " bytes exceeds the ",
@@ -166,6 +169,11 @@ UNetFe::sendImpl(sim::Process &proc, Endpoint &ep,
 void
 UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
 {
+    // The kernel drains the send queue in the caller's context; the
+    // scope spans the drain (including its cpu.busy yields), so any
+    // other context mutating the send queue mid-drain is flagged.
+    check::ContextGuard::Scope scope(ep.sendGuard(),
+                                     "kernel tx service");
     auto &cpu = _host.cpu();
     auto &mem = _host.memory();
     EpState &state = epState.at(&ep);
@@ -232,28 +240,40 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
 
         step(desc.trace, base, "device send ring descriptor set-up",
              _spec.txRingDescSetup, cost);
-        // cpu.busy() above may have advanced simulated time, so the
-        // slot could have completed a previous frame since the reap at
-        // trap entry; release its fragment before reusing the slot.
-        reapTxSlot(slot);
-        ring_desc.buf1Offset =
-            static_cast<std::uint32_t>(headerBufOffset[slot]);
-        ring_desc.buf1Length = static_cast<std::uint32_t>(header.size());
-        if (!desc.isInline && desc.fragmentCount == 1) {
-            BufferRef frag = desc.fragments[0];
-            ring_desc.buf2Offset = static_cast<std::uint32_t>(
-                ep.buffers().baseOffset() + frag.offset);
-            ring_desc.buf2Length = frag.length;
-            txSlotFrag[slot] = {&ep, frag};
-        } else {
-            ring_desc.buf2Length = 0;
-            txSlotFrag[slot].reset();
+        {
+            // One descriptor fill is a single custody window: no yield
+            // may occur between claiming the tail slot and publishing
+            // it with own=true, or another trapping process could
+            // interleave into the same slot. The scope closes before
+            // the cpu.busy() below — once the tail is bumped, a second
+            // process filling the next slot is legal.
+            check::ContextGuard::Scope fill(_nic.txFillGuard(),
+                                            "tx descriptor fill");
+            // cpu.busy() above may have advanced simulated time, so
+            // the slot could have completed a previous frame since the
+            // reap at trap entry; release its fragment before reusing
+            // the slot.
+            reapTxSlot(slot);
+            ring_desc.buf1Offset =
+                static_cast<std::uint32_t>(headerBufOffset[slot]);
+            ring_desc.buf1Length =
+                static_cast<std::uint32_t>(header.size());
+            if (!desc.isInline && desc.fragmentCount == 1) {
+                BufferRef frag = desc.fragments[0];
+                ring_desc.buf2Offset = static_cast<std::uint32_t>(
+                    ep.buffers().baseOffset() + frag.offset);
+                ring_desc.buf2Length = frag.length;
+                txSlotFrag[slot] = {&ep, frag};
+            } else {
+                ring_desc.buf2Length = 0;
+                txSlotFrag[slot].reset();
+            }
+            ring_desc.transmitted = false;
+            ring_desc.aborted = false;
+            ring_desc.trace = desc.trace;
+            ring_desc.own = true;
+            _nic.bumpTxTail();
         }
-        ring_desc.transmitted = false;
-        ring_desc.aborted = false;
-        ring_desc.trace = desc.trace;
-        ring_desc.own = true;
-        _nic.bumpTxTail();
 
         step(desc.trace, base, "issue poll demand", _spec.txPollDemand,
              cost);
@@ -304,6 +324,7 @@ UNetFe::txBacklog(const Endpoint &ep) const
 void
 UNetFe::flush(sim::Process &proc, Endpoint &ep)
 {
+    check::assertCaller(proc, "UNetFe::flush");
     if (!checkOwner(proc, ep))
         return;
     reapTx();
@@ -317,11 +338,13 @@ UNetFe::flush(sim::Process &proc, Endpoint &ep)
 bool
 UNetFe::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
 {
+    check::assertCaller(proc, "UNetFe::postFree");
     if (!checkOwner(proc, ep))
         return false;
     if (!ep.buffers().contains(buf))
         UNET_PANIC("free buffer outside the endpoint buffer area");
     _host.cpu().busy(proc, _spec.userFreePost);
+    ep.freeGuard().mutate("postFree");
     if (!ep.freeQueue().push(buf))
         return false;
     ep.ownership().postFree(buf);
@@ -431,6 +454,8 @@ UNetFe::rxInterrupt()
             // size; a buffer lost to a momentarily full queue leaves
             // the protection domain for good.
             auto recycle = [ep](BufferRef buf) {
+                check::ContextGuard::Scope scope(
+                    ep->freeGuard(), "kernel rx buffer recycle");
                 if (ep->freeQueue().push(buf))
                     ep->ownership().unclaimRecv(buf);
                 else
@@ -452,7 +477,12 @@ UNetFe::rxInterrupt()
                     ok = false;
                     break;
                 }
-                auto buf = ep->freeQueue().pop();
+                std::optional<BufferRef> buf;
+                {
+                    check::ContextGuard::Scope scope(
+                        ep->freeGuard(), "kernel rx buffer claim");
+                    buf = ep->freeQueue().pop();
+                }
                 if (!buf) {
                     ok = false;
                     break;

@@ -221,6 +221,8 @@ class UNetFe : public UNet
         std::map<std::uint64_t, ChannelId> demux;
     };
 
+    // nondet-ok(ptr-key-order): looked up by identity on the send and
+    // port-attach paths, never iterated (ROADMAP: key by endpoint id).
     std::map<const Endpoint *, EpState> epState;
     std::map<PortId, EpState *> portMap;
     PortId nextPort = 0;

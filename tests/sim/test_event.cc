@@ -23,6 +23,9 @@ TEST(EventQueue, FiresInTimeOrder)
 TEST(EventQueue, SameTickIsFifo)
 {
     EventQueue q;
+    // This test pins the *unperturbed* FIFO contract; force salt 0 so
+    // it also holds when the suite runs under UNET_PERTURB.
+    q.setPerturbSalt(0);
     std::vector<int> order;
     for (int i = 0; i < 8; ++i)
         q.schedule(100, [&order, i] { order.push_back(i); });

@@ -119,6 +119,9 @@ TEST(EventPool, SameTickFifoSurvivesChurnAndCancels)
     std::mt19937 rng(12345);
     for (int round = 0; round < 20; ++round) {
         EventQueue q;
+        // Pins the unperturbed FIFO contract: hold salt 0 even when
+        // the suite itself runs under UNET_PERTURB.
+        q.setPerturbSalt(0);
         std::vector<int> fired;
         std::vector<EventHandle> handles;
         std::vector<int> expect;

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Static-analysis driver: clang-tidy over the library sources and a
-# clang-format style check. Each stage is skipped (with a notice, not
-# a failure) when its tool is not installed, so the script works both
-# in CI images with LLVM and in minimal local containers.
+# Static-analysis driver: the nondeterminism lint, clang-tidy over all
+# C++ sources (libraries, tests, benches, examples), and a
+# clang-format style check. The clang stages are skipped (with a
+# notice, not a failure) when their tool is not installed, so the
+# script works both in CI images with LLVM and in minimal local
+# containers; the nondeterminism lint needs only python3 and always
+# runs.
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir must contain compile_commands.json for the tidy stage
@@ -15,8 +18,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 FAILED=0
 
-SOURCES=$(find src bench examples -name '*.cc' | sort)
-HEADERS=$(find src bench examples -name '*.hh' | sort)
+SOURCES=$(find src tests bench examples -name '*.cc' | sort)
+HEADERS=$(find src tests bench examples -name '*.hh' | sort)
+
+# --- nondeterminism lint ---------------------------------------------
+echo "== nondeterminism lint =="
+if ! python3 tools/nondet_lint.py --build-dir "$BUILD_DIR"; then
+    FAILED=1
+fi
 
 # --- clang-format ----------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
@@ -38,10 +47,17 @@ if command -v clang-tidy >/dev/null 2>&1; then
         exit 1
     fi
     echo "== clang-tidy =="
+    # clang-tidy exits zero on plain warnings, so scan the output:
+    # any diagnostic fails the stage, exactly like a nonzero exit.
+    TIDY_LOG=$(mktemp)
     # shellcheck disable=SC2086
-    if ! clang-tidy -p "$BUILD_DIR" --quiet $SOURCES; then
+    clang-tidy -p "$BUILD_DIR" --quiet $SOURCES 2>&1 | tee "$TIDY_LOG"
+    TIDY_STATUS=${PIPESTATUS[0]}
+    if [ "$TIDY_STATUS" -ne 0 ] ||
+       grep -qE '(warning|error):' "$TIDY_LOG"; then
         FAILED=1
     fi
+    rm -f "$TIDY_LOG"
 else
     echo "clang-tidy not installed; skipping tidy check"
 fi

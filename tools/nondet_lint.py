@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Nondeterminism lint for the simulator sources.
+
+The simulator promises bit-identical runs for identical inputs (see
+DESIGN.md "Determinism model"), and the schedule-perturbation harness
+(UNET_PERTURB) only proves robustness against *scheduling* choices.
+This pass closes the other door: constructs whose behaviour depends on
+process state the simulation does not control — wall clocks, the
+process environment, unseeded RNGs, and container orderings derived
+from heap addresses.
+
+Two stages:
+
+ 1. A regex stage (always runs, stdlib only) over src/ — plus bench/
+    and examples/ for the clock and RNG rules, which are wrong
+    anywhere results are reported.
+ 2. A clang-query stage (runs when `clang-query` and a compilation
+    database are available) that matches range-for loops whose range
+    is an unordered container — the precise form of the regex
+    approximation in rule `unordered-container`.
+
+A finding is suppressed by an annotation on the same line or within
+the two preceding lines:
+
+    // nondet-ok(<rule>): <why this use is deterministic>
+
+The reason is mandatory; an annotation without one is itself an error.
+
+Exit status: 0 when clean, 1 when any unsuppressed finding remains,
+2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# Rule name -> (compiled pattern, message). Patterns are matched per
+# line after comment stripping (so commented-out code cannot trip the
+# lint, and annotations cannot match themselves).
+RULES = {
+    "wall-clock": (
+        re.compile(
+            r"std::chrono::(system|steady|high_resolution)_clock"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+            r"|\bstd::time\s*\("
+            r"|[^:\w]time\s*\(\s*(NULL|nullptr|0)\s*\)"
+        ),
+        "wall-clock read: simulated time must come from sim::Simulation",
+    ),
+    "env-read": (
+        re.compile(r"\b(std::)?(secure_)?getenv\s*\("),
+        "environment read: process state the simulation does not control",
+    ),
+    "raw-rand": (
+        # The lookbehinds keep the sanctioned seeded PRNG from
+        # matching: calls like sim.random() and the accessor
+        # declaration `Random &random()`.
+        re.compile(
+            r"(?<![\w.:>&])(std::)?srand\s*\("
+            r"|(?<![\w.:>&])(std::)?rand\s*\(\s*\)"
+            r"|\bdrand48\s*\(|\blrand48\s*\("
+            r"|(?<![\w.:>&])random\s*\(\s*\)"
+        ),
+        "C PRNG: draw from a seeded sim::Random instead",
+    ),
+    "unseeded-engine": (
+        re.compile(
+            r"std::random_device"
+            r"|std::(mt19937(_64)?|default_random_engine|minstd_rand0?)\b"
+        ),
+        "raw <random> engine: all draws must go through sim::Random "
+        "so seeds are controlled in one place",
+    ),
+    "unordered-container": (
+        re.compile(r"std::unordered_(map|set|multimap|multiset)\b"),
+        "unordered container: iteration order is hash/address-"
+        "dependent; use std::map/std::set or annotate why it is "
+        "never iterated",
+    ),
+    "ptr-key-order": (
+        re.compile(r"std::(map|set)\s*<[^<>,]*\*"),
+        "pointer-keyed ordered container: iteration order follows "
+        "heap addresses; key by a stable id or annotate why it is "
+        "never iterated",
+    ),
+}
+
+# Rules that also apply outside src/ (nondeterministic clocks and raw
+# C PRNGs corrupt benchmark reports just as much as simulation
+# results). Seeded <random> engines are fine in tests, so
+# unseeded-engine stays src-only.
+EVERYWHERE_RULES = {"wall-clock", "raw-rand"}
+
+# Structural exemptions: (rule, path-prefix) pairs where the construct
+# is the implementation of the sanctioned facility itself.
+EXEMPT = {
+    ("unseeded-engine", "src/sim/random.hh"),  # the seeded wrapper
+    # The wall-clock harness exists to measure real elapsed time; its
+    # output is a host-speed report, not a simulation result.
+    ("wall-clock", "bench/macro_wallclock.cc"),
+}
+
+ANNOTATION = re.compile(r"nondet-ok\(([a-z-]+)\)(:\s*\S.*)?")
+
+LINE_COMMENT = re.compile(r"//.*$")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+
+
+def source_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".cc", ".hh", ".h")):
+                    yield os.path.join(dirpath, name)
+
+
+def annotations_near(lines, idx):
+    """Annotation rule names covering line idx (same line or the two
+    lines above), plus any malformed annotations found there."""
+    rules, malformed = set(), []
+    for j in range(max(0, idx - 2), idx + 1):
+        for m in ANNOTATION.finditer(lines[j]):
+            if m.group(2) is None:
+                malformed.append(j + 1)
+            else:
+                rules.add(m.group(1))
+    return rules, malformed
+
+
+def strip_comments(text):
+    """Blank out comments, preserving line structure."""
+    def blank(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = BLOCK_COMMENT.sub(blank, text)
+    return [LINE_COMMENT.sub("", line) for line in text.split("\n")]
+
+
+def lint_file(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.split("\n")
+    code_lines = strip_comments(text)
+    in_src = rel.startswith("src/")
+
+    for idx, code in enumerate(code_lines):
+        for rule, (pattern, message) in RULES.items():
+            if not in_src and rule not in EVERYWHERE_RULES:
+                continue
+            if any(rel.startswith(p) for r, p in EXEMPT if r == rule):
+                continue
+            if not pattern.search(code):
+                continue
+            allowed, malformed = annotations_near(raw_lines, idx)
+            for line_no in malformed:
+                findings.append(
+                    (rel, line_no, "annotation",
+                     "nondet-ok annotation without a reason")
+                )
+            if rule in allowed:
+                continue
+            findings.append((rel, idx + 1, rule, message))
+
+
+def clang_query_stage(root, build_dir, findings):
+    """Precise unordered-iteration check; a no-op without the tool."""
+    tool = shutil.which("clang-query")
+    ccdb = os.path.join(build_dir, "compile_commands.json")
+    if not tool:
+        print("nondet-lint: clang-query not installed; "
+              "skipping AST stage")
+        return
+    if not os.path.isfile(ccdb):
+        print(f"nondet-lint: no {ccdb}; skipping AST stage")
+        return
+
+    matcher = (
+        "set bind-root true\n"
+        "match cxxForRangeStmt(hasRangeInit(expr(hasType(hasCanonical"
+        "Type(hasDeclaration(namedDecl(matchesName("
+        '"unordered_(map|set|multimap|multiset)"))))))))\n'
+    )
+    files = [
+        f for f in source_files(root, ["src"]) if f.endswith(".cc")
+    ]
+    proc = subprocess.run(
+        [tool, "-p", build_dir, "-c", matcher, *files],
+        capture_output=True, text=True, check=False,
+    )
+    # Matches print as "<path>:<line>:<col>: note: "root" binds here".
+    loc = re.compile(r"^(\S+?):(\d+):\d+: note:")
+    for line in proc.stdout.splitlines():
+        m = loc.match(line)
+        if not m:
+            continue
+        path, line_no = m.group(1), int(m.group(2))
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path, encoding="utf-8",
+                      errors="replace") as f:
+                raw_lines = f.read().split("\n")
+            allowed, _ = annotations_near(raw_lines, line_no - 1)
+        except OSError:
+            allowed = set()
+        if "unordered-container" not in allowed:
+            findings.append(
+                (rel, line_no, "unordered-container",
+                 "range-for over an unordered container "
+                 "(clang-query)")
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="nondeterminism lint (see module docstring)"
+    )
+    parser.add_argument(
+        "--build-dir", default="build",
+        help="directory holding compile_commands.json for the "
+             "clang-query stage",
+    )
+    parser.add_argument(
+        "--no-ast", action="store_true",
+        help="skip the clang-query stage even if available",
+    )
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+    for path in source_files(root, ["src", "bench", "examples",
+                                    "tests"]):
+        lint_file(path, os.path.relpath(path, root), findings)
+    if not args.no_ast:
+        clang_query_stage(root, args.build_dir, findings)
+
+    for rel, line_no, rule, message in sorted(findings):
+        print(f"{rel}:{line_no}: [{rule}] {message}")
+    if findings:
+        print(f"nondet-lint: {len(findings)} finding(s)")
+        return 1
+    print("nondet-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
