@@ -38,9 +38,9 @@ Fabric::attachHost(std::size_t sw, AtmLink &host_link)
 }
 
 Vci
-Fabric::allocateVci(const void *link_key)
+Fabric::allocateVci(std::size_t trunk_index)
 {
-    auto [it, inserted] = nextVci.emplace(link_key, 32);
+    auto [it, inserted] = nextVci.emplace(trunk_index, 32);
     (void)inserted;
     return it->second++;
 }
@@ -116,7 +116,7 @@ Fabric::connect(HostAttachment a, HostAttachment b)
         std::size_t next_sw = forward ? trunk.swB : trunk.swA;
         std::size_t next_in = forward ? trunk.portAtB : trunk.portAtA;
 
-        Vci vci_out = allocateVci(trunk.link.get());
+        Vci vci_out = allocateVci(t);
         switches[sw]->addRoute(port_in, vci_in, port_out, vci_out);
         switches[sw]->addRoute(port_out, vci_out, port_in, vci_in);
 

@@ -68,9 +68,9 @@ class Fabric
         std::unique_ptr<AtmLink> link;
     };
 
-    /** Allocate the next VCI on a link (VCIs are per-link, shared by
-     *  both directions of a VC, 0-31 reserved). */
-    Vci allocateVci(const void *link_key);
+    /** Allocate the next VCI on a trunk link (VCIs are per-link, shared
+     *  by both directions of a VC, 0-31 reserved). */
+    Vci allocateVci(std::size_t trunk_index);
 
     /** Allocate the next VCI on a host attachment's link. */
     Vci allocateHostVci(const HostAttachment &at);
@@ -82,9 +82,9 @@ class Fabric
     sim::Simulation &sim;
     std::vector<std::unique_ptr<Switch>> switches;
     std::vector<Trunk> trunks;
-    // nondet-ok(ptr-key-order): per-switch VCI counter, looked up by
-    // identity and never iterated.
-    std::map<const void *, Vci> nextVci;
+    /** Per-trunk VCI counters, keyed by trunk index (stable integral
+     *  key — link addresses vary across perturbation salts). */
+    std::map<std::size_t, Vci> nextVci;
     std::map<std::size_t, Vci> nextHostVci;
 };
 

@@ -17,14 +17,23 @@
 
 #include <cstddef>
 
+#include "check/enroll.hh"
 #include "sim/logging.hh"
+#include "sim/perturb.hh"
 
 namespace unet::check {
 
 #if defined(UNET_CHECK) && UNET_CHECK
 
-/** Audits one channel's in-flight message credits. */
-class CreditWindow
+/**
+ * Audits one channel's in-flight message credits.
+ *
+ * Enrolled in the global registry (check/enroll.hh) so the explorer's
+ * invariant oracle can assert conservation across every window in the
+ * simulation after each step; enrollment makes instances non-copyable,
+ * which is fine — they live inside node-stable channel state.
+ */
+class CreditWindow : public Enrolled<CreditWindow>
 {
   public:
     /** Set the window limit (once, before the first acquire). */
@@ -62,6 +71,17 @@ class CreditWindow
 
     std::size_t held() const { return inFlight; }
 
+    /** The window size, or 0 while unsized. */
+    std::size_t windowLimit() const { return limit; }
+
+    /** Digest of (limit, held) for explorer state hashing; instances
+     *  are combined commutatively, so per-instance hashes suffice. */
+    std::uint64_t
+    stateHash() const
+    {
+        return sim::perturb::mix(limit + 1, inFlight);
+    }
+
   private:
     std::size_t limit = 0;
     std::size_t inFlight = 0;
@@ -70,13 +90,15 @@ class CreditWindow
 #else // !UNET_CHECK
 
 /** No-op stand-in. */
-class CreditWindow
+class CreditWindow : public Enrolled<CreditWindow>
 {
   public:
     void setLimit(std::size_t) {}
     void acquire() {}
     void release() {}
     std::size_t held() const { return 0; }
+    std::size_t windowLimit() const { return 0; }
+    std::uint64_t stateHash() const { return 0; }
 };
 
 #endif // UNET_CHECK

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Global checker enrollment.
+ *
+ * The per-object checkers (check::CreditWindow, check::OwnershipTracker)
+ * are endpoint- or channel-scoped: each instance audits its own little
+ * state machine and knows nothing about the others. The schedule-space
+ * explorer (src/check/explore/) needs the *global* view — "every credit
+ * window in the simulation is within bounds", "no buffer region
+ * anywhere is in an illegal state" — evaluated after every exploration
+ * step, without the configs having to hand-register each checker they
+ * transitively construct.
+ *
+ * Enrolled<T> is that lift: a CRTP base that threads every live T onto
+ * a thread-local intrusive list. T::forEachEnrolled() then visits all
+ * live instances. Thread-local (not process-global) because parallel
+ * test shards each run their own simulations; everything in a
+ * simulation lives on one thread by construction.
+ *
+ * Enrollment makes the derived class non-movable and non-copyable —
+ * acceptable for the checkers, which live inside node-stable containers
+ * (std::map values, members of heap-allocated state blocks). When
+ * UNET_CHECK is 0 the base is empty and imposes nothing.
+ */
+
+#ifndef UNET_CHECK_ENROLL_HH
+#define UNET_CHECK_ENROLL_HH
+
+#include <cstddef>
+
+namespace unet::check {
+
+#if defined(UNET_CHECK) && UNET_CHECK
+
+/** Intrusive thread-local registry of all live instances of T. */
+template <typename T>
+class Enrolled
+{
+  public:
+    /** Visit every live T on this thread, in unspecified order. The
+     *  callback must not construct or destroy instances of T. */
+    template <typename F>
+    static void
+    forEachEnrolled(F &&fn)
+    {
+        for (Enrolled *e = head(); e; e = e->next)
+            fn(static_cast<const T &>(*e));
+    }
+
+    /** Number of live instances on this thread. */
+    static std::size_t
+    enrolledCount()
+    {
+        std::size_t n = 0;
+        for (Enrolled *e = head(); e; e = e->next)
+            ++n;
+        return n;
+    }
+
+  protected:
+    Enrolled()
+    {
+        next = head();
+        if (next)
+            next->prev = this;
+        head() = this;
+    }
+
+    ~Enrolled()
+    {
+        if (prev)
+            prev->next = next;
+        else
+            head() = next;
+        if (next)
+            next->prev = prev;
+    }
+
+    Enrolled(const Enrolled &) = delete;
+    Enrolled &operator=(const Enrolled &) = delete;
+
+  private:
+    static Enrolled *&
+    head()
+    {
+        thread_local Enrolled *h = nullptr;
+        return h;
+    }
+
+    Enrolled *next = nullptr;
+    Enrolled *prev = nullptr;
+};
+
+#else // !UNET_CHECK
+
+/** Empty stand-in: no list, no size cost beyond the empty base. */
+template <typename T>
+class Enrolled
+{
+  public:
+    template <typename F>
+    static void forEachEnrolled(F &&)
+    {}
+
+    static std::size_t enrolledCount() { return 0; }
+};
+
+#endif // UNET_CHECK
+
+} // namespace unet::check
+
+#endif // UNET_CHECK_ENROLL_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Replayable counterexamples.
+ *
+ * A violating schedule serializes to a small text file: the config
+ * name, the construction salt, the violation message, and one line
+ * per choice-point decision. Loading the file and passing its
+ * schedule to runSchedule() re-executes the exact interleaving — the
+ * forced arbiter verifies (when, width, seq) at every choice point,
+ * so a stale file against changed code reports divergence instead of
+ * silently exploring something else.
+ */
+
+#ifndef UNET_CHECK_EXPLORE_REPLAY_HH
+#define UNET_CHECK_EXPLORE_REPLAY_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "check/explore/explore.hh"
+
+namespace unet::check::explore {
+
+/** A deserialized counterexample. */
+struct Replay
+{
+    std::string config;
+    std::uint64_t configSalt = 0;
+    std::string violation; ///< may be empty (manually built files)
+    Schedule schedule;
+};
+
+/** Serialize to a stream. */
+void writeReplay(std::ostream &os, const std::string &config_name,
+                 std::uint64_t config_salt,
+                 const std::string &violation,
+                 const Schedule &schedule);
+
+/** Parse from a stream; nullopt on malformed input. */
+std::optional<Replay> readReplay(std::istream &is);
+
+/** File convenience wrappers. @return false / nullopt on I/O error. */
+bool saveReplay(const std::string &path,
+                const std::string &config_name,
+                std::uint64_t config_salt, const std::string &violation,
+                const Schedule &schedule);
+std::optional<Replay> loadReplay(const std::string &path);
+
+} // namespace unet::check::explore
+
+#endif // UNET_CHECK_EXPLORE_REPLAY_HH

@@ -1,6 +1,7 @@
 #include "check/ownership.hh"
 
 #include "sim/logging.hh"
+#include "sim/perturb.hh"
 
 namespace unet::check {
 
@@ -196,6 +197,36 @@ OwnershipTracker::bytesIn(BufState state) const
         if (region.state == state)
             total += region.length;
     return total;
+}
+
+void
+OwnershipTracker::audit() const
+{
+    std::uint64_t prev_end = 0;
+    for (const auto &[offset, region] : regions) {
+        if (offset < prev_end)
+            UNET_PANIC("ownership audit: region [", offset, "+",
+                       region.length, "] overlaps the previous region "
+                       "ending at ", prev_end);
+        if (offset + region.length > areaBytes)
+            UNET_PANIC("ownership audit: region [", offset, "+",
+                       region.length, "] exceeds the ", areaBytes,
+                       "-byte buffer area");
+        prev_end = offset + region.length;
+    }
+}
+
+std::uint64_t
+OwnershipTracker::stateHash() const
+{
+    // regions is ordered by offset, so this is schedule-independent.
+    std::uint64_t h = sim::perturb::mix(0x6f776e, areaBytes);
+    for (const auto &[offset, region] : regions)
+        h = sim::perturb::mix(
+            h, (static_cast<std::uint64_t>(offset) << 32) ^
+                   (static_cast<std::uint64_t>(region.length) << 8) ^
+                   static_cast<std::uint64_t>(region.state));
+    return h;
 }
 
 #endif // UNET_CHECK

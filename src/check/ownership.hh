@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <map>
 
+#include "check/enroll.hh"
 #include "unet/types.hh"
 
 namespace unet::check {
@@ -57,8 +58,15 @@ const char *name(BufState state);
 
 #if defined(UNET_CHECK) && UNET_CHECK
 
-/** Per-buffer-area ownership state machine. */
-class OwnershipTracker
+/**
+ * Per-buffer-area ownership state machine.
+ *
+ * Enrolled in the global registry (check/enroll.hh): the explorer's
+ * oracle sweeps every live tracker for global buffer-ownership
+ * legality after each step. Enrollment makes trackers non-copyable;
+ * they live inside Endpoint, which is already pinned.
+ */
+class OwnershipTracker : public Enrolled<OwnershipTracker>
 {
   public:
     /** @param area_bytes Size of the buffer area being guarded. */
@@ -111,6 +119,14 @@ class OwnershipTracker
     /** Bytes in a given state across all tracked regions. */
     std::size_t bytesIn(BufState state) const;
 
+    /** Global legality sweep: every tracked region in bounds and the
+     *  regions mutually disjoint. Panics on violation (the explorer's
+     *  oracle calls this on every enrolled tracker after each step). */
+    void audit() const;
+
+    /** Digest of the full region table for explorer state hashing. */
+    std::uint64_t stateHash() const;
+
   private:
     struct Region
     {
@@ -144,7 +160,7 @@ class OwnershipTracker
 #else // !UNET_CHECK
 
 /** No-op stand-in so call sites need no #ifdefs. */
-class OwnershipTracker
+class OwnershipTracker : public Enrolled<OwnershipTracker>
 {
   public:
     explicit OwnershipTracker(std::size_t) {}
@@ -161,6 +177,8 @@ class OwnershipTracker
     void consume(BufferRef) {}
     std::size_t tracked() const { return 0; }
     std::size_t bytesIn(BufState) const { return 0; }
+    void audit() const {}
+    std::uint64_t stateHash() const { return 0; }
 };
 
 #endif // UNET_CHECK

@@ -130,6 +130,7 @@ Cluster::Cluster(sim::Simulation &sim, Config cfg)
         node.runtime = std::make_unique<splitc::Runtime>(
             *node.unet, *node.endpoint, i, config.nodes,
             config.heapBytes, config.am);
+        node.runtime->bindOwner(node.proc.get());
     }
 
     // Full mesh of channels.

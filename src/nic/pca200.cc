@@ -30,7 +30,7 @@ Pca200::Pca200(host::Host &host, atm::AtmLink &link, Pca200Spec spec)
 void
 Pca200::attachEndpoint(Endpoint *ep)
 {
-    EpState &state = endpoints[ep];
+    EpState &state = endpoints[ep->id()];
     state.ep = ep;
     state.txService.emplace(host.simulation().events(),
                             [this, &state] { serviceTx(state); });
@@ -55,7 +55,7 @@ Pca200::removeVci(atm::Vci vci)
 void
 Pca200::doorbell(Endpoint *ep)
 {
-    auto it = endpoints.find(ep);
+    auto it = endpoints.find(ep->id());
     if (it == endpoints.end())
         UNET_PANIC("doorbell for unattached endpoint");
     scheduleTxService(it->second);

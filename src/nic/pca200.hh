@@ -186,9 +186,10 @@ class Pca200 : public atm::CellSink
     atm::CellTap *tap;
     fault::Injector *rxFaultInjector = nullptr;
 
-    // nondet-ok(ptr-key-order): looked up by identity on doorbell and
-    // attach, never iterated (ROADMAP: key by endpoint id instead).
-    std::map<Endpoint *, EpState> endpoints;
+    /** Keyed by Endpoint::id() — a stable integral key, so iteration
+     *  order is schedule- and address-independent. std::map for node
+     *  stability: the txService closures capture EpState addresses. */
+    std::map<std::size_t, EpState> endpoints;
     std::map<atm::Vci, VcState> vcs;
 
     sim::SlotRing<atm::Cell> rxFifo;

@@ -87,6 +87,128 @@ EventQueue::compactIfWorthwhile()
     ++_compactions;
 }
 
+bool
+EventQueue::stepChoice()
+{
+    // Purge stale entries so the true minimum tick is on top.
+    while (!heap.empty()) {
+        const HeapEntry &top = heap.front();
+        const Record &rec = recordAt(top.slot);
+        if (rec.seq != top.seq || rec.state != Record::State::pending) {
+            popHeap();
+            --_deadInHeap;
+            continue;
+        }
+        break;
+    }
+    if (heap.empty())
+        return false;
+
+    const Tick when = heap.front().when;
+
+    // Gather the eligible set: every live permutable entry at the
+    // minimum tick, plus the earliest-scheduled dependent entry there
+    // (later dependents must wait behind it — the FIFO contract). The
+    // heap array is scanned linearly; explored configs are small.
+    struct Eligible
+    {
+        ScheduleArbiter::Candidate candidate;
+        std::size_t heapIndex;
+    };
+    std::vector<Eligible> eligible;
+    std::size_t depIndex = heap.size();
+    std::uint64_t depSeq = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+        const HeapEntry &entry = heap[i];
+        if (entry.when != when)
+            continue;
+        const Record &rec = recordAt(entry.slot);
+        if (rec.seq != entry.seq || rec.state != Record::State::pending)
+            continue;
+        if (rec.order == Order::dependent) {
+            if (entry.seq < depSeq) {
+                depSeq = entry.seq;
+                depIndex = i;
+            }
+        } else {
+            eligible.push_back(
+                {{when, entry.seq, Order::permutable}, i});
+        }
+    }
+    if (depIndex != heap.size())
+        eligible.push_back({{when, depSeq, Order::dependent}, depIndex});
+
+    // Canonical presentation: seq ascending, so candidate 0 is the
+    // choice the unperturbed FIFO schedule would make.
+    std::sort(eligible.begin(), eligible.end(),
+              [](const Eligible &a, const Eligible &b) {
+                  return a.candidate.seq < b.candidate.seq;
+              });
+
+    std::size_t chosen = 0;
+    if (eligible.size() > 1) {
+        std::vector<ScheduleArbiter::Candidate> candidates;
+        candidates.reserve(eligible.size());
+        for (const Eligible &e : eligible)
+            candidates.push_back(e.candidate);
+        chosen = _arbiter->pick(when, candidates);
+        if (chosen >= eligible.size())
+            UNET_PANIC("arbiter picked candidate ", chosen, " of ",
+                       eligible.size());
+    }
+
+    HeapEntry entry = heap[eligible[chosen].heapIndex];
+    eraseHeapAt(eligible[chosen].heapIndex);
+    fireEntry(entry);
+    return true;
+}
+
+void
+EventQueue::eraseHeapAt(std::size_t i)
+{
+    HeapEntry tail = heap.back();
+    heap.pop_back();
+    if (i == heap.size())
+        return;
+    // Sift the relocated tail entry toward the root, then toward the
+    // leaves; at most one direction actually moves it.
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!laterThan(heap[parent], tail))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    std::size_t n = heap.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && laterThan(heap[child], heap[child + 1]))
+            ++child;
+        if (!laterThan(tail, heap[child]))
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    heap[i] = tail;
+}
+
+std::vector<std::pair<Tick, Order>>
+EventQueue::pendingProfile() const
+{
+    std::vector<std::pair<Tick, Order>> profile;
+    profile.reserve(_livePending);
+    for (const HeapEntry &entry : heap) {
+        const Record &rec = recordAt(entry.slot);
+        if (rec.seq != entry.seq || rec.state != Record::State::pending)
+            continue;
+        profile.emplace_back(entry.when - _now, rec.order);
+    }
+    std::sort(profile.begin(), profile.end());
+    return profile;
+}
+
 Tick
 EventQueue::run()
 {

@@ -74,6 +74,43 @@ class EventHandle
 };
 
 /**
+ * Same-tick scheduling controller: the model checker's choice point.
+ *
+ * When installed on an EventQueue, every step() where more than one
+ * event is eligible to fire first becomes an explicit decision: the
+ * queue collects the eligible set — each pending Order::permutable
+ * event at the minimum tick, plus the earliest-scheduled
+ * Order::dependent event at that tick (firing a later dependent event
+ * first would break the documented FIFO contract among dependents) —
+ * sorts it by scheduling sequence number (so index 0 reproduces the
+ * unperturbed FIFO schedule), and asks the arbiter which fires. The
+ * schedule-space explorer in src/check/explore/ implements this
+ * interface to enumerate interleavings; the salted tie-break keys are
+ * bypassed entirely while an arbiter is installed.
+ */
+class ScheduleArbiter
+{
+  public:
+    /** One eligible event at a choice point. */
+    struct Candidate
+    {
+        Tick when;         ///< the minimum pending tick
+        std::uint64_t seq; ///< schedule-time sequence number
+        Order order;
+    };
+
+    virtual ~ScheduleArbiter() = default;
+
+    /**
+     * Choose which candidate fires next. Called only when at least two
+     * events are eligible; @p candidates is sorted by seq ascending.
+     * @return an index into @p candidates.
+     */
+    virtual std::size_t
+    pick(Tick now, const std::vector<Candidate> &candidates) = 0;
+};
+
+/**
  * Priority queue of timed events plus the simulated clock.
  *
  * The clock only advances when events fire; scheduling in the past is a
@@ -129,6 +166,7 @@ class EventQueue
         Record &rec = recordAt(slot);
         rec.when = when;
         rec.seq = nextSeq++;
+        rec.order = order;
         rec.state = Record::State::pending;
         if constexpr (sizeof(Fn) <= sboBytes &&
                       alignof(Fn) <= alignof(std::max_align_t)) {
@@ -172,6 +210,8 @@ class EventQueue
     bool
     step()
     {
+        if (_arbiter) [[unlikely]]
+            return stepChoice();
         while (!heap.empty()) {
             HeapEntry entry = heap.front();
             popHeap();
@@ -181,19 +221,7 @@ class EventQueue
                 --_deadInHeap;
                 continue;
             }
-
-            _now = entry.when;
-            rec.state = Record::State::firing;
-            --_livePending;
-            ++_firedCount;
-
-            // The slot stays off the free list while firing, so a
-            // callback that schedules new events can never clobber the
-            // storage it is executing from; its captures are destroyed
-            // after it returns.
-            rec.call(rec);
-            destroyAction(rec);
-            releaseSlot(entry.slot);
+            fireEntry(entry);
             return true;
         }
         return false;
@@ -227,6 +255,30 @@ class EventQueue
 
     /** @} */
 
+    /** @name Model checking (src/check/explore/). @{ */
+
+    /** The installed same-tick arbiter, or nullptr. */
+    ScheduleArbiter *arbiter() const { return _arbiter; }
+
+    /**
+     * Install (or clear, with nullptr) the same-tick choice-point
+     * arbiter. Takes effect on the next step(); while installed, the
+     * salted tie-break keys are ignored and the arbiter alone decides
+     * same-tick order.
+     */
+    void setArbiter(ScheduleArbiter *arbiter) { _arbiter = arbiter; }
+
+    /**
+     * The multiset of live pending events as (when - now, order)
+     * pairs, sorted. Feeds the explorer's state digests: sequence
+     * numbers are deliberately excluded because they encode schedule
+     * history, and two states reached by different interleavings must
+     * digest equal when their futures are indistinguishable.
+     */
+    std::vector<std::pair<Tick, Order>> pendingProfile() const;
+
+    /** @} */
+
     /** @name Pool introspection (perf tests and benchmarks). @{ */
 
     /** Record slots ever allocated (slab capacity, in records). */
@@ -256,6 +308,7 @@ class EventQueue
         std::uint64_t seq = 0;       ///< doubles as the generation tag
         std::uint32_t nextFree = noSlot;
         State state = State::free;
+        Order order = Order::permutable; ///< read at choice points
         void (*call)(Record &) = nullptr;
         void (*drop)(Record &) = nullptr;
         alignas(std::max_align_t) std::byte store[sboBytes];
@@ -347,6 +400,41 @@ class EventQueue
         freeHead = slot;
     }
 
+    /**
+     * Releases a firing record on both exits: the callback's captures
+     * are destroyed and the slot returns to the free list even when
+     * the callback throws (panic-capture mode, sim/logging.hh).
+     */
+    struct FiringGuard
+    {
+        EventQueue &q;
+        std::uint32_t slot;
+
+        ~FiringGuard()
+        {
+            Record &rec = q.recordAt(slot);
+            q.destroyAction(rec);
+            q.releaseSlot(slot);
+        }
+    };
+
+    /** Advance the clock to @p entry and fire its record. */
+    void
+    fireEntry(const HeapEntry &entry)
+    {
+        Record &rec = recordAt(entry.slot);
+        _now = entry.when;
+        rec.state = Record::State::firing;
+        --_livePending;
+        ++_firedCount;
+        // The slot stays off the free list while firing, so a callback
+        // that schedules new events can never clobber the storage it is
+        // executing from; its captures are destroyed after it returns
+        // (or after an exception escapes it).
+        FiringGuard guard{*this, entry.slot};
+        rec.call(rec);
+    }
+
     void
     destroyAction(Record &rec)
     {
@@ -424,11 +512,20 @@ class EventQueue
     void growPool();
     void compactIfWorthwhile();
 
+    /** The arbitrated slow path of step(): collect the eligible set at
+     *  the minimum tick and fire the arbiter's choice. */
+    bool stepChoice();
+
+    /** Remove the entry at heap index @p i, restoring the heap
+     *  property (replace with the tail, sift either direction). */
+    void eraseHeapAt(std::size_t i);
+
     std::vector<std::unique_ptr<Record[]>> chunks;
     std::uint32_t freeHead = noSlot;
     std::vector<HeapEntry> heap;
 
     Tick _now = 0;
+    ScheduleArbiter *_arbiter = nullptr;
     std::uint64_t _perturbSalt = perturb::salt();
     std::uint64_t nextSeq = 0;
     std::uint64_t _firedCount = 0;

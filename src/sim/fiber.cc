@@ -1,6 +1,7 @@
 #include "sim/fiber.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -102,7 +103,14 @@ Fiber::trampoline()
     // stack so yield()/death can annotate the switch back.
     asanFinishSwitch(nullptr, &self->asanCallerStack,
                      &self->asanCallerSize);
-    self->body();
+    // An exception must not unwind across swapcontext: capture it here
+    // on the fiber stack and let run() rethrow it in the caller's
+    // context.
+    try {
+        self->body();
+    } catch (...) {
+        self->pendingException = std::current_exception();
+    }
     self->done = true;
     // Return to whoever ran us; swapcontext back out of the fiber.
     // A null fake-stack pointer tells ASan this fiber is dying so its
@@ -138,6 +146,8 @@ Fiber::run()
     asanFinishSwitch(main_fake, nullptr, nullptr);
     currentFiber = nullptr;
     checkCanary();
+    if (pendingException)
+        std::rethrow_exception(std::exchange(pendingException, nullptr));
 }
 
 void

@@ -15,6 +15,7 @@
 #include <ucontext.h>
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 
 #include "sim/pool.hh"
@@ -50,6 +51,10 @@ class Fiber
      * Switch into the fiber until it yields or finishes.
      * Must not be called from inside any fiber (no nesting) and must not
      * be called on a finished fiber.
+     *
+     * An exception escaping the body cannot unwind across the context
+     * switch; it is captured on the fiber stack and rethrown here, in
+     * the caller's context, after the fiber is marked finished.
      */
     void run();
 
@@ -81,6 +86,8 @@ class Fiber
     ucontext_t returnContext;
     bool started = false;
     bool done = false;
+    /** Exception that escaped the body, rethrown by run(). */
+    std::exception_ptr pendingException;
 
     /** @name ASan fiber-switch bookkeeping (unused without ASan).
      *

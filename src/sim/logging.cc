@@ -10,7 +10,28 @@ namespace {
 
 LogLevel globalLevel = LogLevel::Warnings;
 
+thread_local bool panicThrowsEnabled = false;
+
 } // namespace
+
+PanicException::PanicException(const char *file, int line,
+                               const std::string &msg)
+    : std::runtime_error(detail::format("panic: ", msg, "\n  at ", file,
+                                        ":", line)),
+      _file(file), _line(line), _message(msg)
+{}
+
+void
+setPanicThrows(bool enabled)
+{
+    panicThrowsEnabled = enabled;
+}
+
+bool
+panicThrows()
+{
+    return panicThrowsEnabled;
+}
 
 void
 setLogLevel(LogLevel level)
@@ -29,6 +50,8 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
+    if (panicThrowsEnabled)
+        throw PanicException(file, line, msg);
     std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
               << std::endl;
     std::abort();

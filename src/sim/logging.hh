@@ -15,9 +15,65 @@
 #define UNET_SIM_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace unet::sim {
+
+/**
+ * Thrown by UNET_PANIC instead of aborting while panic capture is
+ * enabled (setPanicThrows). The schedule-space explorer uses this to
+ * turn an invariant violation inside one explored interleaving into a
+ * reportable counterexample rather than tearing the process down.
+ */
+class PanicException : public std::runtime_error
+{
+  public:
+    PanicException(const char *file, int line, const std::string &msg);
+
+    /** Source location of the violated invariant. */
+    const char *file() const { return _file; }
+    int line() const { return _line; }
+
+    /** The panic message without the location suffix. */
+    const std::string &message() const { return _message; }
+
+  private:
+    const char *_file;
+    int _line;
+    std::string _message;
+};
+
+/**
+ * Enable or disable panic capture on this thread. While enabled,
+ * UNET_PANIC throws PanicException instead of printing and aborting.
+ * Default off: a panic in normal runs must still dump core at the
+ * point of the bug. UNET_FATAL is unaffected (user errors are not
+ * explorable schedules).
+ */
+void setPanicThrows(bool enabled);
+
+/** True while panic capture is enabled on this thread. */
+bool panicThrows();
+
+/** RAII panic-capture scope (restores the previous setting). */
+class ScopedPanicThrows
+{
+  public:
+    explicit ScopedPanicThrows(bool enabled = true)
+        : previous(panicThrows())
+    {
+        setPanicThrows(enabled);
+    }
+
+    ~ScopedPanicThrows() { setPanicThrows(previous); }
+
+    ScopedPanicThrows(const ScopedPanicThrows &) = delete;
+    ScopedPanicThrows &operator=(const ScopedPanicThrows &) = delete;
+
+  private:
+    bool previous;
+};
 
 /** Verbosity levels for the message sink. */
 enum class LogLevel { Silent, Warnings, Info, Debug };

@@ -45,4 +45,13 @@ setSalt(std::uint64_t salt)
     return slot().exchange(salt, std::memory_order_relaxed);
 }
 
+std::uint64_t
+nextRingSequence()
+{
+    // Thread-local so parallel test shards stay independent; the
+    // counter only differentiates rings within one simulation anyway.
+    thread_local std::uint64_t counter = 0;
+    return counter++;
+}
+
 } // namespace unet::sim::perturb

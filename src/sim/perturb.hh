@@ -90,6 +90,17 @@ mix(std::uint64_t salt, std::uint64_t n)
     return z ^ (z >> 31);
 }
 
+/**
+ * Per-process counter distinguishing successive ring constructions
+ * (the third perturbation axis: ring slot-reuse offsets). Each
+ * unet::Ring built under a nonzero salt starts its head/tail cursor at
+ * mix(salt, nextRingSequence()) % capacity instead of slot 0, so the
+ * physical slot that serves a given logical push differs between salts.
+ * Anything keying behaviour off a ring slot index (rather than ring
+ * contents) then diverges across salts and trips the digest check.
+ */
+std::uint64_t nextRingSequence();
+
 /** RAII salt override for tests: restores the previous salt. */
 class ScopedSalt
 {

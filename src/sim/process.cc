@@ -33,8 +33,8 @@ WaitChannel::notifyAll()
 Process::Process(Simulation &sim, std::string name,
                  std::function<void(Process &)> body,
                  std::size_t stack_size)
-    : sim(sim), _name(std::move(name)), body(std::move(body)),
-      stackSize(stack_size)
+    : sim(sim), _name(std::move(name)), _id(sim.nextProcessId()),
+      body(std::move(body)), stackSize(stack_size)
 {
     if (!this->body)
         UNET_PANIC("process '", _name, "' constructed with empty body");
@@ -65,7 +65,15 @@ Process::resume()
         UNET_PANIC("resuming finished process '", _name, "'");
     Process *prev = currentProcess;
     currentProcess = this;
-    fiber->run();
+    try {
+        fiber->run();
+    } catch (...) {
+        // A captured panic from the fiber body (see Fiber::run) keeps
+        // propagating toward the explorer's run loop; restore the
+        // current-process slot on the way through.
+        currentProcess = prev;
+        throw;
+    }
     currentProcess = prev;
 }
 

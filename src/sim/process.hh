@@ -81,6 +81,13 @@ class Process
 
     const std::string &name() const { return _name; }
 
+    /**
+     * Stable id, allocated from the owning simulation in construction
+     * order. Use this — never the Process address — as a map key:
+     * addresses vary across perturbation salts, ids do not.
+     */
+    std::uint64_t id() const { return _id; }
+
     Simulation &simulation() { return sim; }
 
     /** The process currently executing, or nullptr. */
@@ -119,6 +126,7 @@ class Process
 
     Simulation &sim;
     std::string _name;
+    std::uint64_t _id;
     std::function<void(Process &)> body;
     std::size_t stackSize;
     std::unique_ptr<Fiber> fiber;

@@ -83,8 +83,16 @@ class Simulation
     /** Run until @p limit. @return final time. */
     Tick runUntil(Tick limit) { return queue.runUntil(limit); }
 
+    /**
+     * Allocate the next stable process id (Process::id()). Ids follow
+     * construction order, which is part of the deterministic program —
+     * unlike Process addresses, which vary with pool perturbation.
+     */
+    std::uint64_t nextProcessId() { return _nextProcessId++; }
+
   private:
     EventQueue queue;
+    std::uint64_t _nextProcessId = 0;
     Random rng;
     // registry before tracer: the session deregisters its trace.*
     // metrics in its destructor, so it must die first.

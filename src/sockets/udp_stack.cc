@@ -28,6 +28,7 @@ Socket::sendTo(sim::Process &proc, eth::MacAddress dst_mac,
 std::optional<Socket::Datagram>
 Socket::recvFrom(sim::Process &proc, sim::Tick timeout)
 {
+    check::assertCaller(proc, "udp recvfrom");
     auto &cpu = stack._host.cpu();
     cpu.busy(proc, stack._spec.syscallCost);
 
@@ -44,6 +45,7 @@ Socket::recvFrom(sim::Process &proc, sim::Tick timeout)
         }
     }
 
+    check::ContextGuard::Scope scope(bufGuard, "udp recvfrom pop");
     Datagram dg = std::move(queue.front());
     queue.pop_front();
     queuedBytes -= dg.data.size();
@@ -91,6 +93,7 @@ UdpStack::createSocket(const sim::Process *owner, std::uint16_t port)
         port, std::unique_ptr<Socket>(new Socket(*this, owner, port)));
     if (!inserted)
         UNET_FATAL("UDP port ", port, " already bound");
+    it->second->bufGuard.bindOwner(owner);
     _metrics.counter("socket." + std::to_string(port) + ".drops",
                      it->second->_drops);
     return *it->second;
@@ -106,6 +109,7 @@ UdpStack::transmit(sim::Process &proc, Socket &socket,
                   "frame; this model does not fragment");
         return false;
     }
+    check::assertCaller(proc, "udp sendto");
     auto &cpu = _host.cpu();
 
     // sendto(2): syscall, copy to a kernel buffer, checksum, protocol
@@ -115,6 +119,9 @@ UdpStack::transmit(sim::Process &proc, Socket &socket,
     cpu.busy(proc, checksumTime(_spec, data.size()));
     cpu.busy(proc, _spec.txProtocol + _spec.driverTx);
 
+    // Descriptor claim through hand-off must not interleave with
+    // another sender: no yields are permitted inside this scope.
+    check::ContextGuard::Scope scope(txGuard, "udp tx descriptor");
     std::size_t slot = _nic.txTail();
     auto &ring_desc = _nic.txDesc(slot);
     if (ring_desc.own) {
@@ -216,6 +223,8 @@ UdpStack::rxInterrupt()
                 static_cast<std::ptrdiff_t>(data_len));
 
         effects.push_back([this, socket, dg = std::move(dg)]() mutable {
+            check::ContextGuard::Scope scope(socket->bufGuard,
+                                             "udp rx deliver");
             if (socket->queuedBytes + dg.data.size() >
                 _spec.socketBufferBytes) {
                 ++socket->_drops;

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/access.hh"
 #include "nic/dc21140.hh"
 #include "obs/metrics.hh"
 #include "sim/process.hh"
@@ -116,6 +117,11 @@ class Socket
     std::size_t queuedBytes = 0;
     sim::WaitChannel readable;
     sim::Counter _drops;
+
+    /** Custody over the socket receive buffer (queue + queuedBytes):
+     *  filled by the kernel rx path (event context), drained by the
+     *  owning process in recvFrom. */
+    check::ContextGuard bufGuard{"udp socket rx buffer"};
 };
 
 /** The per-host in-kernel UDP/IP stack driving a DC21140. */
@@ -159,6 +165,11 @@ class UdpStack
 
     /** Kernel packet buffers, one per TX ring slot. */
     std::vector<std::size_t> mbufOffset;
+
+    /** Custody over the TX descriptor claim/fill/hand-off sequence —
+     *  shared by every socket on this stack, so it stays unbound; the
+     *  Scope in transmit() catches any yield introduced mid-sequence. */
+    check::ContextGuard txGuard{"udp kernel tx ring"};
 
     std::size_t kernelRxHead = 0;
 

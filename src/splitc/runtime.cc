@@ -35,11 +35,13 @@ Runtime::Runtime(UNet &unet, Endpoint &ep, int self, int nprocs,
     hGetDone = registerHandler([this](sim::Process &, Token,
                                       const Args &,
                                       std::span<const std::uint8_t>) {
+        stateGuard.mutate("get-done handler");
         ++getsDone;
     });
     hBarrier = registerHandler([this](sim::Process &, Token,
                                       const Args &args,
                                       std::span<const std::uint8_t>) {
+        stateGuard.mutate("barrier handler");
         ++barrierSeen[{args[0], args[1]}];
     });
 }
@@ -63,6 +65,7 @@ Runtime::channelTo(int peer) const
 HeapAddr
 Runtime::allocBytes(std::size_t bytes, std::size_t align)
 {
+    stateGuard.mutate("heap alloc");
     std::size_t off = (heapBrk + align - 1) & ~(align - 1);
     if (off + bytes > heap.size())
         UNET_FATAL("Split-C heap exhausted on node ", _self, ": need ",
@@ -74,6 +77,7 @@ Runtime::allocBytes(std::size_t bytes, std::size_t align)
 std::uint8_t *
 Runtime::heapAt(HeapAddr addr, std::size_t len)
 {
+    stateGuard.mutate("heap access");
     if (addr + len > heap.size())
         UNET_PANIC("heap access [", addr, "+", len, ") beyond ",
                    heap.size(), " on node ", _self);
@@ -83,6 +87,7 @@ Runtime::heapAt(HeapAddr addr, std::size_t len)
 HeapAddr
 Runtime::scratchFor(const std::string &key, std::size_t bytes)
 {
+    stateGuard.mutate("scratch lookup");
     auto it = scratch.find(key);
     if (it != scratch.end())
         return it->second;
@@ -95,6 +100,7 @@ void
 Runtime::readBytes(sim::Process &proc, int node, HeapAddr addr,
                    std::span<std::uint8_t> out)
 {
+    check::assertCaller(proc, "splitc read");
     if (node == _self) {
         std::memcpy(out.data(), heapAt(addr, out.size()), out.size());
         chargeTime(proc, unet.host().cpu().spec().memcpyTime(out.size()));
@@ -120,6 +126,7 @@ void
 Runtime::writeBytes(sim::Process &proc, int node, HeapAddr addr,
                     std::span<const std::uint8_t> data)
 {
+    check::assertCaller(proc, "splitc write");
     if (node == _self) {
         std::memcpy(heapAt(addr, data.size()), data.data(), data.size());
         chargeTime(proc,
@@ -146,6 +153,7 @@ Runtime::get(sim::Process &proc, int node, HeapAddr remote_addr,
         return;
     }
     CommTimer t(*this);
+    stateGuard.mutate("get issue");
     ++getsIssued;
     if (!_am.request(proc, channelTo(node), hGetReq,
                      {remote_addr, len, local_addr,
@@ -201,7 +209,9 @@ Runtime::barrier(sim::Process &proc)
 {
     if (_procs == 1)
         return;
+    check::assertCaller(proc, "splitc barrier");
     CommTimer t(*this);
+    stateGuard.mutate("barrier epoch");
     std::uint64_t epoch = ++barrierEpoch;
 
     // Dissemination barrier: log2(n) rounds.

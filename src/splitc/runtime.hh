@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "am/active_messages.hh"
+#include "check/access.hh"
 #include "splitc/global_ptr.hh"
 #include "splitc/profile.hh"
 
@@ -58,6 +59,17 @@ class Runtime
 
     /** Wire the AM channel to @p peer (cluster construction). */
     void setChannel(int peer, ChannelId chan);
+
+    /**
+     * Bind custody of the runtime's shared state (heap, split-phase
+     * counters, barrier ledger, scratch table) to the node's SPMD
+     * process. Mutations from any other fiber then panic — they would
+     * be another node reaching into this node's memory.
+     */
+    void bindOwner(const sim::Process *proc)
+    {
+        stateGuard.bindOwner(proc);
+    }
 
     ChannelId channelTo(int peer) const;
 
@@ -256,6 +268,10 @@ class Runtime
 
     std::map<std::string, HeapAddr> scratch;
     int commDepth = 0;
+
+    /** Custody over heap/getsDone/barrierSeen/scratch: mutated by the
+     *  node's own fiber directly and via AM handlers it polls. */
+    check::ContextGuard stateGuard{"splitc runtime state"};
 };
 
 } // namespace unet::splitc

@@ -53,7 +53,7 @@ class OsService
     createEndpoint(sim::Process &proc, const EndpointConfig &cfg = {})
     {
         chargeSyscall(proc);
-        auto &count = endpointCount[&proc];
+        auto &count = endpointCount[proc.id()];
         if (count >= limits.maxEndpointsPerProcess)
             return nullptr;
         ++count;
@@ -98,9 +98,9 @@ class OsService
     UNet &impl;
     OsLimits limits;
     sim::Tick syscallCost;
-    // nondet-ok(ptr-key-order): per-process quota, looked up by
-    // identity and never iterated.
-    std::map<const sim::Process *, std::size_t> endpointCount;
+    /** Per-process quota, keyed by stable process id (not address:
+     *  Process addresses vary across perturbation salts). */
+    std::map<std::uint64_t, std::size_t> endpointCount;
     std::function<bool(const sim::Process &, const Endpoint &)> authorizer;
 };
 

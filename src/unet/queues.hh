@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/perturb.hh"
 #include "sim/stats.hh"
 
 namespace unet {
@@ -30,6 +31,15 @@ class Ring
     {
         if (capacity == 0)
             UNET_PANIC("ring with zero capacity");
+        // Third perturbation axis (ring slot-reuse offsets): under a
+        // nonzero salt, start the cursors at a salted slot so each
+        // logical push lands in a different physical slot per salt.
+        // FIFO semantics and the check() invariants are unaffected —
+        // only code wrongly keying behaviour off slot indices diverges.
+        if (std::uint64_t s = sim::perturb::salt())
+            head = tail = static_cast<std::size_t>(
+                sim::perturb::mix(s, sim::perturb::nextRingSequence()) %
+                _capacity);
     }
 
     std::size_t capacity() const { return _capacity; }

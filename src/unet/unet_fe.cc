@@ -68,7 +68,7 @@ UNetFe::createEndpoint(const sim::Process *owner,
         _endpoints.size()));
     Endpoint *ep = _endpoints.back().get();
 
-    EpState &state = epState[ep];
+    EpState &state = epState[ep->id()];
     state.ep = ep;
     state.port = nextPort++;
     portMap[state.port] = &state;
@@ -78,7 +78,7 @@ UNetFe::createEndpoint(const sim::Process *owner,
 PortId
 UNetFe::portOf(const Endpoint &ep) const
 {
-    auto it = epState.find(&ep);
+    auto it = epState.find(ep.id());
     if (it == epState.end())
         UNET_PANIC("endpoint not created by this U-Net/FE instance");
     return it->second.port;
@@ -88,7 +88,7 @@ ChannelId
 UNetFe::addChannelTo(Endpoint &ep, eth::MacAddress remote_mac,
                      PortId remote_port)
 {
-    auto it = epState.find(&ep);
+    auto it = epState.find(ep.id());
     if (it == epState.end())
         UNET_PANIC("endpoint not created by this U-Net/FE instance");
 
@@ -176,7 +176,7 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
                                      "kernel tx service");
     auto &cpu = _host.cpu();
     auto &mem = _host.memory();
-    EpState &state = epState.at(&ep);
+    EpState &state = epState.at(ep.id());
 
     while (!ep.sendQueue().empty()) {
         // Stop (leaving descriptors queued) when the device ring is

@@ -221,9 +221,10 @@ class UNetFe : public UNet
         std::map<std::uint64_t, ChannelId> demux;
     };
 
-    // nondet-ok(ptr-key-order): looked up by identity on the send and
-    // port-attach paths, never iterated (ROADMAP: key by endpoint id).
-    std::map<const Endpoint *, EpState> epState;
+    /** Keyed by Endpoint::id() — a stable integral key, so iteration
+     *  order is schedule- and address-independent. std::map for node
+     *  stability: portMap holds pointers into the values. */
+    std::map<std::size_t, EpState> epState;
     std::map<PortId, EpState *> portMap;
     PortId nextPort = 0;
 

@@ -11,19 +11,40 @@
 #   build-dir must contain compile_commands.json for the tidy stage
 #   (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON); defaults to
 #   ./build.
+#
+# By default a missing clang tool FAILS the run: CI images promise the
+# tools, and a silent skip reads as "lint passed" while entire stages
+# never ran. For minimal local containers without LLVM, set
+# UNET_LINT_ALLOW_MISSING=1 to downgrade missing tools to a notice.
 
 set -u
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+ALLOW_MISSING="${UNET_LINT_ALLOW_MISSING:-0}"
 FAILED=0
+
+missing_tool() {
+    if [ "$ALLOW_MISSING" = "1" ]; then
+        echo "$1 not installed; skipping (UNET_LINT_ALLOW_MISSING=1)"
+    else
+        echo "$1 not installed: stage SKIPPED — failing." \
+             "Set UNET_LINT_ALLOW_MISSING=1 to permit."
+        FAILED=1
+    fi
+}
 
 SOURCES=$(find src tests bench examples -name '*.cc' | sort)
 HEADERS=$(find src tests bench examples -name '*.hh' | sort)
 
 # --- nondeterminism lint ---------------------------------------------
 echo "== nondeterminism lint =="
-if ! python3 tools/nondet_lint.py --build-dir "$BUILD_DIR"; then
+NONDET_ARGS=(--build-dir "$BUILD_DIR")
+if [ "$ALLOW_MISSING" != "1" ]; then
+    # The clang-query AST stage must actually run, not silently skip.
+    NONDET_ARGS+=(--require-ast)
+fi
+if ! python3 tools/nondet_lint.py "${NONDET_ARGS[@]}"; then
     FAILED=1
 fi
 
@@ -36,7 +57,7 @@ if command -v clang-format >/dev/null 2>&1; then
         FAILED=1
     fi
 else
-    echo "clang-format not installed; skipping format check"
+    missing_tool clang-format
 fi
 
 # --- clang-tidy ------------------------------------------------------
@@ -47,6 +68,21 @@ if command -v clang-tidy >/dev/null 2>&1; then
         exit 1
     fi
     echo "== clang-tidy =="
+    # Validate the .clang-tidy profile first: a typo in a check glob
+    # (e.g. the concurrency-* group) silently matches nothing, so an
+    # invalid config must be an error, not an empty run.
+    if clang-tidy --help 2>/dev/null | grep -q verify-config; then
+        if ! clang-tidy --verify-config; then
+            echo "clang-tidy: .clang-tidy failed verification"
+            FAILED=1
+        fi
+    fi
+    if ! clang-tidy --list-checks 2>/dev/null |
+         grep -q 'concurrency-mt-unsafe'; then
+        echo "clang-tidy: concurrency-* checks unavailable in this" \
+             "clang-tidy; the determinism profile cannot run"
+        FAILED=1
+    fi
     # clang-tidy exits zero on plain warnings, so scan the output:
     # any diagnostic fails the stage, exactly like a nonzero exit.
     TIDY_LOG=$(mktemp)
@@ -59,7 +95,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
     fi
     rm -f "$TIDY_LOG"
 else
-    echo "clang-tidy not installed; skipping tidy check"
+    missing_tool clang-tidy
 fi
 
 exit $FAILED

@@ -167,31 +167,53 @@ def lint_file(path, rel, findings):
             findings.append((rel, idx + 1, rule, message))
 
 
-def clang_query_stage(root, build_dir, findings):
-    """Precise unordered-iteration check; a no-op without the tool."""
+def clang_query_stage(root, build_dir, findings, require):
+    """Precise unordered-iteration check.
+
+    Returns True when the stage ran (or was legitimately skipped),
+    False when @p require is set and the stage could not run — a
+    missing tool must fail the build it was promised in, not silently
+    drop coverage.
+    """
     tool = shutil.which("clang-query")
     ccdb = os.path.join(build_dir, "compile_commands.json")
     if not tool:
         print("nondet-lint: clang-query not installed; "
-              "skipping AST stage")
-        return
+              + ("AST stage REQUIRED but unavailable" if require
+                 else "skipping AST stage (use --require-ast to make "
+                      "this an error)"))
+        return not require
     if not os.path.isfile(ccdb):
-        print(f"nondet-lint: no {ccdb}; skipping AST stage")
-        return
+        print(f"nondet-lint: no {ccdb}; "
+              + ("AST stage REQUIRED but unavailable" if require
+                 else "skipping AST stage (use --require-ast to make "
+                      "this an error)"))
+        return not require
 
-    matcher = (
-        "set bind-root true\n"
+    # One clang-query command per -c flag: a single -c value holds
+    # exactly one command, so "set ...\nmatch ..." in one flag is an
+    # unknown-command error, not two commands.
+    commands = [
+        "set bind-root true",
         "match cxxForRangeStmt(hasRangeInit(expr(hasType(hasCanonical"
         "Type(hasDeclaration(namedDecl(matchesName("
-        '"unordered_(map|set|multimap|multiset)"))))))))\n'
-    )
+        '"unordered_(map|set|multimap|multiset)"))))))))',
+    ]
     files = [
         f for f in source_files(root, ["src"]) if f.endswith(".cc")
     ]
+    cmd = [tool, "-p", build_dir]
+    for command in commands:
+        cmd += ["-c", command]
     proc = subprocess.run(
-        [tool, "-p", build_dir, "-c", matcher, *files],
-        capture_output=True, text=True, check=False,
+        cmd + files, capture_output=True, text=True, check=False,
     )
+    if proc.returncode != 0:
+        # Tool failure is not "zero findings" — surface it.
+        sys.stderr.write(proc.stderr)
+        print(f"nondet-lint: clang-query failed "
+              f"(exit {proc.returncode}); AST stage did not run")
+        return False
     # Matches print as "<path>:<line>:<col>: note: "root" binds here".
     loc = re.compile(r"^(\S+?):(\d+):\d+: note:")
     for line in proc.stdout.splitlines():
@@ -228,21 +250,33 @@ def main():
         "--no-ast", action="store_true",
         help="skip the clang-query stage even if available",
     )
+    parser.add_argument(
+        "--require-ast", action="store_true",
+        help="fail (exit 2) when the clang-query stage cannot run, "
+             "instead of skipping it; use in CI where the tool is "
+             "expected to be installed",
+    )
     args = parser.parse_args()
+    if args.no_ast and args.require_ast:
+        parser.error("--no-ast and --require-ast are contradictory")
 
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     findings = []
+    ast_ok = True
     for path in source_files(root, ["src", "bench", "examples",
                                     "tests"]):
         lint_file(path, os.path.relpath(path, root), findings)
     if not args.no_ast:
-        clang_query_stage(root, args.build_dir, findings)
+        ast_ok = clang_query_stage(root, args.build_dir, findings,
+                                   args.require_ast)
 
     for rel, line_no, rule, message in sorted(findings):
         print(f"{rel}:{line_no}: [{rule}] {message}")
     if findings:
         print(f"nondet-lint: {len(findings)} finding(s)")
         return 1
+    if not ast_ok:
+        return 2
     print("nondet-lint: clean")
     return 0
 
