@@ -51,6 +51,25 @@ BM_Crc32Reference(benchmark::State &state)
 BENCHMARK(BM_Crc32Reference)->Arg(64)->Arg(1500);
 
 void
+BM_Crc32Pclmul(benchmark::State &state)
+{
+    if (net::crc32Backend() != net::Crc32Backend::pclmul) {
+        state.SkipWithError("no pclmul on this host/build");
+        return;
+    }
+    auto data = buffer(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::uint32_t st = net::crc32UpdateWith(
+            net::Crc32Backend::pclmul, 0xFFFFFFFFu, data);
+        benchmark::DoNotOptimize(net::crc32Finish(st));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_Crc32Pclmul)->Arg(64)->Arg(1500)->Arg(65536);
+
+void
 BM_Crc32Incremental(benchmark::State &state)
 {
     auto data = buffer(1500);

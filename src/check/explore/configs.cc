@@ -18,6 +18,10 @@
  *               six permutable same-tick events with a planted credit
  *               double-return on exactly one of the 720 orderings —
  *               the regression that salts miss and exploration finds
+ *   sendv-race  three fibers on one ATM host post overlapping sendv
+ *               descriptor trains while the i960 firmware's tx polls
+ *               race the doorbells; exactly-once, in-order,
+ *               credit-conservation oracles
  */
 
 #include <memory>
@@ -25,6 +29,7 @@
 #include <vector>
 
 #include "am/active_messages.hh"
+#include "atm/link.hh"
 #include "check/credits.hh"
 #include "check/explore/explore.hh"
 #include "eth/hub.hh"
@@ -33,6 +38,7 @@
 #include "fault/attach.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
+#include "unet/unet_atm.hh"
 #include "unet/unet_fe.hh"
 
 namespace unet::check::explore {
@@ -536,6 +542,173 @@ class SeededBugInstance : public ConfigInstance
     std::vector<int> order;
 };
 
+// ---------------------------------------------------------- sendv-race
+
+/**
+ * Batched-submission race on one ATM adapter. Three fibers on host A,
+ * each owning its own endpoint on the SAME PCA-200, post overlapping
+ * sendv descriptor trains from one wakeup tick; the i960's weighted tx
+ * polls (one poll event per endpoint, racing each other and the
+ * doorbells) drain all trains onto one shared fiber toward host B.
+ * Oracles: per-lane exactly-once, in-order delivery; ring audits each
+ * step; a per-lane CreditWindow that must drain to zero (checked
+ * globally by the explorer's invariant sweep at every choice point).
+ */
+class SendvRaceInstance : public ConfigInstance
+{
+  public:
+    static constexpr int lanes = 3;
+    static constexpr std::uint32_t batch = 2;
+
+    static std::uint32_t
+    length(int lane, std::uint32_t k)
+    {
+        // Single-cell (<= 40 bytes) so receives land descriptor-inline
+        // and the rig needs no free-queue traffic; distinct per-lane,
+        // per-position lengths make misrouting and reordering visible.
+        return 16 + 8 * static_cast<std::uint32_t>(lane) + k;
+    }
+
+    SendvRaceInstance()
+        : link(s, atm::LinkSpec::oc3()),
+          hostA(s, "a", host::CpuSpec::pentium120(),
+                host::BusSpec::pci()),
+          hostB(s, "b", host::CpuSpec::pentium120(),
+                host::BusSpec::pci()),
+          nicA(hostA, link), nicB(hostB, link), ua(hostA, nicA),
+          ub(hostB, nicB)
+    {
+        EndpointConfig cfg;
+        cfg.sendQueueDepth = 8;
+        cfg.recvQueueDepth = 8;
+        cfg.freeQueueDepth = 8;
+        cfg.bufferAreaBytes = 16 * 1024;
+        for (int i = 0; i < lanes; ++i) {
+            senders.push_back(std::make_unique<sim::Process>(
+                s, "send" + std::to_string(i),
+                [this, i](sim::Process &p) { senderBody(p, i); }));
+            epA.push_back(
+                &ua.createEndpoint(senders.back().get(), cfg));
+            // Receiver endpoints have no process: messages are small,
+            // land descriptor-inline, and are polled at the end.
+            epB.push_back(&ub.createEndpoint(nullptr, cfg));
+            ChannelId ca = invalidChannel, cb = invalidChannel;
+            UNetAtm::connectDirect(
+                ua, *epA.back(), ub, *epB.back(),
+                static_cast<atm::Vci>(10 + i), ca, cb);
+            chans.push_back(ca);
+            credits[i].setLimit(cfg.sendQueueDepth);
+        }
+        // Both fibers wake at the same tick — that resume order is the
+        // first choice point. Inside the body, lane i then delays
+        // i*4 us (just over one sendv's PIO burst) so the single-CPU
+        // host never sees two concurrent busy() computations; the i960
+        // still needs ~20 us per train, so the second doorbellTrain
+        // always lands mid-drain of the first and the firmware polls
+        // race both trains' cells.
+        for (auto &proc : senders)
+            proc->start(sim::microseconds(10)); // same tick: the race
+    }
+
+    sim::Simulation &simulation() override { return s; }
+
+    void
+    checkStep() override
+    {
+        for (int i = 0; i < lanes; ++i) {
+            epA[static_cast<std::size_t>(i)]->auditRings();
+            epB[static_cast<std::size_t>(i)]->auditRings();
+            if (epB[static_cast<std::size_t>(i)]->rxQueueDrops())
+                UNET_PANIC("sendv-race: receive-queue drop in a "
+                           "lossless rig");
+        }
+    }
+
+    void
+    checkEnd() override
+    {
+        for (auto &proc : senders)
+            if (!proc->finished())
+                UNET_PANIC("sendv-race: sender ", proc->name(),
+                           " did not finish");
+        for (int i = 0; i < lanes; ++i) {
+            Endpoint &ep = *epB[static_cast<std::size_t>(i)];
+            RecvDescriptor out[batch + 1];
+            std::size_t got = ub.pollv(ep, out, batch + 1);
+            if (got != batch)
+                UNET_PANIC("sendv-race: lane ", i, " delivered ", got,
+                           " of ", batch, " messages");
+            for (std::uint32_t k = 0; k < batch; ++k) {
+                if (!out[k].isSmall || out[k].length != length(i, k))
+                    UNET_PANIC("sendv-race: lane ", i, " message ", k,
+                               " has length ", out[k].length,
+                               ", expected ", length(i, k),
+                               " (misrouted or reordered)");
+                if (out[k].inlineData[0] != k)
+                    UNET_PANIC("sendv-race: lane ", i, " position ", k,
+                               " carries sequence ",
+                               unsigned(out[k].inlineData[0]));
+                credits[i].release();
+            }
+            if (credits[i].held() != 0)
+                UNET_PANIC("sendv-race: lane ", i, " ends with ",
+                           credits[i].held(), " credits in flight");
+        }
+    }
+
+    void
+    mixState(obs::Digest &d) const override
+    {
+        for (int i = 0; i < lanes; ++i) {
+            d.mix(static_cast<std::uint64_t>(
+                senders[static_cast<std::size_t>(i)]->finished()));
+            d.mix(credits[i].stateHash());
+            mixEndpoint(d, *epA[static_cast<std::size_t>(i)]);
+            mixEndpoint(d, *epB[static_cast<std::size_t>(i)]);
+        }
+        d.mix(nicA.messagesSent());
+        d.mix(nicB.messagesDelivered());
+    }
+
+  private:
+    void
+    senderBody(sim::Process &self, int i)
+    {
+        if (i)
+            self.delay(sim::microseconds(4) *
+                       static_cast<sim::Tick>(i));
+        SendDescriptor descs[batch];
+        for (std::uint32_t k = 0; k < batch; ++k) {
+            descs[k].channel = chans[static_cast<std::size_t>(i)];
+            descs[k].isInline = true;
+            descs[k].inlineLength =
+                static_cast<std::uint8_t>(length(i, k));
+            descs[k].inlineData[0] = static_cast<std::uint8_t>(k);
+        }
+        // Credits cover the posted window; the checkEnd poll returns
+        // them, so a lost or duplicated message leaves a nonzero
+        // balance.
+        for (std::uint32_t k = 0; k < batch; ++k)
+            credits[i].acquire();
+        std::size_t accepted =
+            ua.sendv(self, *epA[static_cast<std::size_t>(i)], descs,
+                     batch);
+        if (accepted != batch)
+            UNET_PANIC("sendv-race: lane ", i, " sendv accepted ",
+                       accepted, " of ", batch);
+    }
+
+    sim::Simulation s;
+    atm::AtmLink link;
+    host::Host hostA, hostB;
+    nic::Pca200 nicA, nicB;
+    UNetAtm ua, ub;
+    std::vector<std::unique_ptr<sim::Process>> senders;
+    std::vector<Endpoint *> epA, epB;
+    std::vector<ChannelId> chans;
+    CreditWindow credits[lanes];
+};
+
 // ------------------------------------------------------------ registry
 
 template <typename Instance>
@@ -580,13 +753,19 @@ const SimpleConfig<SeededBugInstance> seededConfig{
     "planted credit double-return on one of 720 same-tick orderings; "
     "the regression salts miss"};
 
+const SimpleConfig<SendvRaceInstance> sendvRaceConfig{
+    "sendv-race",
+    "three overlapping sendv descriptor trains on one ATM adapter "
+    "racing the firmware tx polls; exactly-once + credit oracles"};
+
 } // namespace
 
 const std::vector<const Config *> &
 configs()
 {
     static const std::vector<const Config *> all = {
-        &fig5Config, &retransmitConfig, &demuxConfig, &seededConfig};
+        &fig5Config, &retransmitConfig, &demuxConfig, &seededConfig,
+        &sendvRaceConfig};
     return all;
 }
 

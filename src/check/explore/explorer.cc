@@ -59,6 +59,11 @@ stateDigest(ConfigInstance &inst)
     sim::EventQueue &q = sim.events();
     d.mix(static_cast<std::uint64_t>(q.now()));
     d.mix(q.firedCount());
+    // Fiber progress: distinguishes states whose queues and metrics
+    // agree but whose process bodies sit at different resume points
+    // (pure history in the digest sense — adding it only weakens
+    // pruning, which is always sound).
+    d.mix(sim.fiberProgress());
     for (const auto &[dt, order] : q.pendingProfile()) {
         d.mix(static_cast<std::uint64_t>(dt));
         d.mix(static_cast<std::uint64_t>(order));

@@ -2,7 +2,11 @@
 
 #include <array>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
+
+#include "net/crc32_pclmul.hh"
 
 namespace unet::net {
 
@@ -37,13 +41,10 @@ makeTables()
 const std::array<std::array<std::uint32_t, 256>, 8> tables =
     makeTables();
 
-} // namespace
-
 std::uint32_t
-crc32Update(std::uint32_t state, std::span<const std::uint8_t> data)
+crc32UpdateSoft(std::uint32_t state, const std::uint8_t *p,
+                std::size_t n)
 {
-    const std::uint8_t *p = data.data();
-    std::size_t n = data.size();
     if constexpr (std::endian::native == std::endian::little) {
         const auto &t = tables;
         while (n >= 8) {
@@ -63,6 +64,70 @@ crc32Update(std::uint32_t state, std::span<const std::uint8_t> data)
     for (; n > 0; ++p, --n)
         state = tables[0][(state ^ *p) & 0xFF] ^ (state >> 8);
     return state;
+}
+
+/**
+ * The folding kernel needs >= 64 bytes to fill its four lanes; below
+ * that the dispatch branch costs more than folding saves, so short
+ * inputs (every ATM cell, most headers) stay on the tables
+ * unconditionally.
+ */
+constexpr std::size_t hwMinBytes = 64;
+
+Crc32Backend
+resolveBackend()
+{
+#if UNET_HWCRC
+    // Reproducibility kill-switch, read once per process like
+    // UNET_PERTURB: forcing the software path lets a CI leg prove the
+    // hardware path changes no observable result.
+    // nondet-ok(env-read): one-shot backend pick; backends are
+    // bit-identical, so the choice affects speed only.
+    const char *env = std::getenv("UNET_CRC32"); // NOLINT(concurrency-mt-unsafe)
+    if (env && std::string_view(env) == "soft")
+        return Crc32Backend::software;
+    if (detail::crc32PclmulAvailable())
+        return Crc32Backend::pclmul;
+#endif
+    return Crc32Backend::software;
+}
+
+} // namespace
+
+Crc32Backend
+crc32Backend()
+{
+    static const Crc32Backend backend = resolveBackend();
+    return backend;
+}
+
+const char *
+crc32BackendName()
+{
+    return crc32Backend() == Crc32Backend::pclmul ? "pclmul"
+                                                  : "software";
+}
+
+std::uint32_t
+crc32UpdateWith(Crc32Backend backend, std::uint32_t state,
+                std::span<const std::uint8_t> data)
+{
+    const std::uint8_t *p = data.data();
+    std::size_t n = data.size();
+    if (backend == Crc32Backend::pclmul && n >= hwMinBytes &&
+        detail::crc32PclmulAvailable()) {
+        std::size_t folded = n & ~std::size_t{63};
+        state = detail::crc32FoldPclmul(state, p, folded);
+        p += folded;
+        n -= folded;
+    }
+    return crc32UpdateSoft(state, p, n);
+}
+
+std::uint32_t
+crc32Update(std::uint32_t state, std::span<const std::uint8_t> data)
+{
+    return crc32UpdateWith(crc32Backend(), state, data);
 }
 
 std::uint32_t

@@ -6,6 +6,14 @@
  * initial value 0xFFFFFFFF, final complement), so one implementation
  * serves the Ethernet FCS and the AAL5 trailer CRC. A table-driven fast
  * path is validated against a bitwise reference in the tests.
+ *
+ * On x86-64 hosts with carry-less multiply, long inputs take a PCLMUL
+ * folding path (the SSE4.2 crc32 instruction computes CRC-32C, the
+ * wrong polynomial, so folding is the only hardware option for this
+ * CRC). Both backends are bit-identical by construction — the backend
+ * choice can change speed, never results — and the pick is made once
+ * per process: compile-time via the UNET_HWCRC CMake option,
+ * run-time via UNET_CRC32=soft.
  */
 
 #ifndef UNET_NET_CRC32_HH
@@ -16,6 +24,18 @@
 
 namespace unet::net {
 
+/** Which implementation serves long crc32Update inputs. */
+enum class Crc32Backend : std::uint8_t {
+    software, ///< slicing-by-8 tables (always available)
+    pclmul,   ///< x86 carry-less-multiply folding
+};
+
+/** The backend the process resolved on first use (see file header). */
+Crc32Backend crc32Backend();
+
+/** Human-readable backend name ("software" / "pclmul"). */
+const char *crc32BackendName();
+
 /** Table-driven CRC-32 over @p data. */
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
@@ -25,6 +45,14 @@ std::uint32_t crc32(std::span<const std::uint8_t> data);
  */
 std::uint32_t crc32Update(std::uint32_t state,
                           std::span<const std::uint8_t> data);
+
+/**
+ * Incremental update through a specific backend (tests and benchmarks
+ * compare the two directly). Falls back to software when the requested
+ * backend is unavailable on this host or compiled out.
+ */
+std::uint32_t crc32UpdateWith(Crc32Backend backend, std::uint32_t state,
+                              std::span<const std::uint8_t> data);
 
 /** Finalize an incremental CRC state. */
 constexpr std::uint32_t

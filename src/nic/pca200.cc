@@ -34,6 +34,9 @@ Pca200::attachEndpoint(Endpoint *ep)
     state.ep = ep;
     state.txService.emplace(host.simulation().events(),
                             [this, &state] { serviceTx(state); });
+    if (epIndex.size() <= ep->id())
+        epIndex.resize(ep->id() + 1, nullptr);
+    epIndex[ep->id()] = &state;
 }
 
 void
@@ -44,21 +47,39 @@ Pca200::installVci(atm::Vci vci, Endpoint *ep, ChannelId chan)
         UNET_FATAL("VCI ", vci, " already installed on this PCA-200");
     it->second.ep = ep;
     it->second.channel = chan;
+    if (vciIndex.size() <= vci)
+        vciIndex.resize(static_cast<std::size_t>(vci) + 1, nullptr);
+    vciIndex[vci] = &it->second;
 }
 
 void
 Pca200::removeVci(atm::Vci vci)
 {
+    if (vci < vciIndex.size())
+        vciIndex[vci] = nullptr;
     vcs.erase(vci);
 }
 
 void
 Pca200::doorbell(Endpoint *ep)
 {
-    auto it = endpoints.find(ep->id());
-    if (it == endpoints.end())
+    if (ep->id() >= epIndex.size() || !epIndex[ep->id()])
         UNET_PANIC("doorbell for unattached endpoint");
-    scheduleTxService(it->second);
+    scheduleTxService(*epIndex[ep->id()]);
+}
+
+void
+Pca200::doorbellTrain(Endpoint *ep, std::size_t n)
+{
+    if (ep->id() >= epIndex.size() || !epIndex[ep->id()])
+        UNET_PANIC("doorbell for unattached endpoint");
+    if (n == 0)
+        return;
+    EpState &state = *epIndex[ep->id()];
+    // Followers accumulate: a second burst arriving mid-drain extends
+    // the contiguous run the firmware can read without re-polling.
+    state.trainRemaining += n - 1;
+    scheduleTxService(state);
 }
 
 void
@@ -79,7 +100,7 @@ Pca200::scheduleTxService(EpState &state)
 }
 
 void
-Pca200::serviceTx(EpState &state)
+Pca200::serviceTx(EpState &state, bool chained)
 {
     // Firmware-side custody of the send ring: runs in the i960 event
     // context (always legal), but the scope catches a user fiber that
@@ -89,7 +110,16 @@ Pca200::serviceTx(EpState &state)
     auto desc = state.ep->sendQueue().pop();
     if (!desc) {
         state.txScheduled = false;
+        state.trainRemaining = 0; // any unread train followers are gone
         return;
+    }
+    // A self-chained pop inside a descriptor train skips the
+    // per-descriptor queue read: the whole train came over in the
+    // head's burst.
+    sim::Tick per_msg = _spec.txPerMessage;
+    if (chained && state.trainRemaining > 0) {
+        per_msg = _spec.txPerMessageTrain;
+        --state.trainRemaining;
     }
 #if UNET_TRACE
     // The firmware takes custody of the message at the pop.
@@ -100,11 +130,12 @@ Pca200::serviceTx(EpState &state)
     if (!desc->isInline)
         for (std::uint8_t i = 0; i < desc->fragmentCount; ++i)
             state.ep->ownership().claimSend(desc->fragments[i]);
-    transmitMessage(state, *desc);
+    transmitMessage(state, *desc, per_msg);
 }
 
 void
-Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
+Pca200::transmitMessage(EpState &state, const SendDescriptor &desc,
+                        sim::Tick per_msg)
 {
     Endpoint &ep = *state.ep;
     if (!ep.channelValid(desc.channel)) {
@@ -113,7 +144,7 @@ Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
         if (!desc.isInline)
             for (std::uint8_t i = 0; i < desc.fragmentCount; ++i)
                 ep.ownership().releaseSend(desc.fragments[i]);
-        serviceTx(state);
+        serviceTx(state, /*chained=*/true);
         return;
     }
     atm::Vci vci = ep.channel(desc.channel).vci;
@@ -143,7 +174,7 @@ Pca200::transmitMessage(EpState &state, const SendDescriptor &desc)
     // Per-message firmware work, then (for buffer-area sends) the DMA
     // from host memory, then per-cell emission.
     std::size_t dma_bytes = desc.isInline ? 0 : state.txPayload.size();
-    coproc.run(_spec.txPerMessage, [this, &state, dma_bytes] {
+    coproc.run(per_msg, [this, &state, dma_bytes] {
         if (dma_bytes)
             host.bus().dma(dma_bytes,
                            [this, &state] { emitNextCell(state); });
@@ -177,7 +208,7 @@ Pca200::emitNextCell(EpState &state)
         } else {
             ++_msgsSent;
             state.lastActive = host.simulation().now();
-            serviceTx(state); // next queued message, if any
+            serviceTx(state, /*chained=*/true); // next queued message
         }
     });
 }
@@ -242,13 +273,14 @@ Pca200::handleCell(const atm::Cell &cell)
 {
     auto next = [this] { serviceRxFifo(); };
 
-    auto it = vcs.find(cell.vci);
-    if (it == vcs.end()) {
+    VcState *vcp =
+        cell.vci < vciIndex.size() ? vciIndex[cell.vci] : nullptr;
+    if (!vcp) {
         ++_badVci;
         coproc.run(0.5_us, next);
         return;
     }
-    VcState &vc = it->second;
+    VcState &vc = *vcp;
 
     // Single-cell fast path: "Receiving single-cell messages is
     // special-cased ... directly transferred into the next empty

@@ -54,6 +54,13 @@ struct Pca200Spec
      *  DMA setup). Single-cell send totals ~10 us with one cell. */
     sim::Tick txPerMessage = sim::microseconds(8);
 
+    /** i960 per-message transmit work for the followers of a
+     *  descriptor train (doorbellTrain): the firmware reads the whole
+     *  contiguous train in one burst when it services the head, so
+     *  followers skip the per-descriptor queue read and most of the
+     *  DMA setup. */
+    sim::Tick txPerMessageTrain = sim::microseconds(2);
+
     /** i960 per-cell transmit work (segmentation, FIFO push). */
     sim::Tick txPerCell = sim::microseconds(2);
 
@@ -111,6 +118,15 @@ class Pca200 : public atm::CellSink
      *  queue. The i960 will poll it per the weighted schedule. */
     void doorbell(Endpoint *ep);
 
+    /**
+     * Doorbell for a contiguous train of @p n descriptors pushed in
+     * one burst (sendv). One firmware poll services the head at full
+     * per-message cost; the n-1 followers are read out of the same
+     * burst and cost Pca200Spec::txPerMessageTrain each. A train of
+     * one is exactly doorbell().
+     */
+    void doorbellTrain(Endpoint *ep, std::size_t n);
+
     /** @} */
 
     /** @name Statistics. @{ */
@@ -139,6 +155,12 @@ class Pca200 : public atm::CellSink
         Endpoint *ep = nullptr;
         sim::Tick lastActive = -1;
         bool txScheduled = false;
+
+        /** Descriptor-train followers still eligible for the cheap
+         *  txPerMessageTrain read (set by doorbellTrain, consumed by
+         *  self-chained serviceTx pops, cleared when the queue runs
+         *  dry). */
+        std::size_t trainRemaining = 0;
 
         /** Reusable poll event (the endpoints map gives EpState a
          *  stable address, so the closure can capture it). */
@@ -170,8 +192,14 @@ class Pca200 : public atm::CellSink
     };
 
     void scheduleTxService(EpState &state);
-    void serviceTx(EpState &state);
-    void transmitMessage(EpState &state, const SendDescriptor &desc);
+
+    /** Pop and transmit the next queued message. @p chained marks a
+     *  pop the firmware performs while already at the queue (message
+     *  self-chaining); only chained pops may take the descriptor-train
+     *  discount. */
+    void serviceTx(EpState &state, bool chained = false);
+    void transmitMessage(EpState &state, const SendDescriptor &desc,
+                         sim::Tick per_msg);
     void emitNextCell(EpState &state);
     void serviceRxFifo();
     void handleCell(const atm::Cell &cell);
@@ -188,9 +216,16 @@ class Pca200 : public atm::CellSink
 
     /** Keyed by Endpoint::id() — a stable integral key, so iteration
      *  order is schedule- and address-independent. std::map for node
-     *  stability: the txService closures capture EpState addresses. */
+     *  stability: the txService closures, epIndex, and vciIndex all
+     *  hold addresses of the values. */
     std::map<std::size_t, EpState> endpoints;
     std::map<atm::Vci, VcState> vcs;
+
+    /** Flat handles onto the map nodes for the hot paths: the
+     *  doorbell indexes by Endpoint::id(), the per-cell receive demux
+     *  indexes by VCI (16-bit, so the table stays small even full). */
+    std::vector<EpState *> epIndex;
+    std::vector<VcState *> vciIndex;
 
     sim::SlotRing<atm::Cell> rxFifo;
     sim::MemberEvent rxService; ///< reusable rx-poll event

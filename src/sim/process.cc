@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/perturb.hh"
 
 namespace unet::sim {
 
@@ -63,6 +64,9 @@ Process::resume()
 {
     if (fiber->finished())
         UNET_PANIC("resuming finished process '", _name, "'");
+    // Pure-history progress token: (id, nth-resume), mixed so distinct
+    // processes and distinct resume counts land far apart.
+    sim.noteFiberProgress(perturb::mix(_id, ++_resumeCount));
     Process *prev = currentProcess;
     currentProcess = this;
     try {

@@ -131,6 +131,7 @@ class Process
     std::size_t stackSize;
     std::unique_ptr<Fiber> fiber;
     bool started = false;
+    std::uint64_t _resumeCount = 0;
 
     // Wakeup bookkeeping for waitOn with timeout.
     bool wokenByNotify = false;

@@ -90,9 +90,21 @@ class Simulation
      */
     std::uint64_t nextProcessId() { return _nextProcessId++; }
 
+    /**
+     * Commutative fiber-progress accumulator: Process::resume() folds
+     * a (process id, resume count) token in on every resume. Two
+     * states that agree on time/events/metrics but differ in how far
+     * each fiber has run disagree here, so schedule-space explorers
+     * can mix it into their state digests. Addition keeps the sum
+     * independent of resume interleaving order within a tick.
+     */
+    void noteFiberProgress(std::uint64_t token) { _fiberProgress += token; }
+    std::uint64_t fiberProgress() const { return _fiberProgress; }
+
   private:
     EventQueue queue;
     std::uint64_t _nextProcessId = 0;
+    std::uint64_t _fiberProgress = 0;
     Random rng;
     // registry before tracer: the session deregisters its trace.*
     // metrics in its destructor, so it must die first.

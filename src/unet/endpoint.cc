@@ -5,7 +5,7 @@ namespace unet {
 Endpoint::Endpoint(sim::Simulation &sim, host::Memory &memory,
                    const EndpointConfig &config,
                    const sim::Process *owner, std::size_t id)
-    : sim(sim), _config(config), _owner(owner), _id(id),
+    : sim(sim), _id(id), _owner(owner), _config(config),
       _buffers(memory, config.bufferAreaBytes),
       _sendQueue(config.sendQueueDepth),
       _recvQueue(config.recvQueueDepth),
@@ -88,6 +88,31 @@ Endpoint::poll(RecvDescriptor &out)
             _ownership.consume(out.buffers[i]);
     auditTick();
     return true;
+}
+
+std::size_t
+Endpoint::pollv(RecvDescriptor *out, std::size_t max)
+{
+    check::ContextGuard::Scope scope(_recvGuard, "pollv");
+    std::size_t drained = 0;
+    while (drained < max) {
+        auto desc = _recvQueue.pop();
+        if (!desc)
+            break;
+        out[drained] = *desc;
+        RecvDescriptor &cur = out[drained];
+#if UNET_TRACE
+        if (auto *tr = sim.trace())
+            tr->hop(cur.trace, obs::SpanKind::RxQueue,
+                    _metrics.prefix(), sim.now());
+#endif
+        if (!cur.isSmall)
+            for (std::uint8_t i = 0; i < cur.bufferCount; ++i)
+                _ownership.consume(cur.buffers[i]);
+        auditTick();
+        ++drained;
+    }
+    return drained;
 }
 
 bool

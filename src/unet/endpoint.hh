@@ -98,6 +98,15 @@ class Endpoint
     bool poll(RecvDescriptor &out);
 
     /**
+     * Batched poll: pop up to @p max receive descriptors in one call.
+     * Per-descriptor effects (custody hop, ownership consume, audit
+     * cadence) are identical to @p max scalar poll() calls; the saving
+     * is one guard window and one call per batch.
+     * @return the number of descriptors written to @p out.
+     */
+    std::size_t pollv(RecvDescriptor *out, std::size_t max);
+
+    /**
      * Block until a message is available (select()-style), then pop it.
      * @return false if @p timeout expired first.
      */
@@ -134,27 +143,31 @@ class Endpoint
      *  config.checkIntervalOps operations (UNET_CHECK builds). */
     void auditTick();
 
+    // Layout: the members every poll/deliver touches (the sim handle,
+    // the per-op scalars, then the recv ring) sit together at the
+    // front; setup-time state (channel table, upcall plumbing) and the
+    // guards trail. Rings embed their own hot-cursor-first layout (see
+    // queues.hh).
     sim::Simulation &sim;
-    EndpointConfig _config;
-    const sim::Process *_owner;
+    std::size_t opsSinceAudit = 0;
+    sim::Tick upcallLatency = 0;
+    bool upcallPending = false;
     std::size_t _id;
+    const sim::Process *_owner;
+    EndpointConfig _config;
 
     BufferArea _buffers;
     Ring<SendDescriptor> _sendQueue;
     Ring<RecvDescriptor> _recvQueue;
     Ring<BufferRef> _freeQueue;
+    sim::WaitChannel _rxAvailable;
     check::OwnershipTracker _ownership;
     check::ContextGuard _sendGuard{"endpoint send queue"};
     check::ContextGuard _recvGuard{"endpoint recv queue"};
     check::ContextGuard _freeGuard{"endpoint free queue"};
-    std::size_t opsSinceAudit = 0;
 
     std::vector<ChannelInfo> channels;
-
-    sim::WaitChannel _rxAvailable;
     std::function<void(const RecvDescriptor &)> upcall;
-    sim::Tick upcallLatency = 0;
-    bool upcallPending = false;
 
     sim::Counter _rxQueueDrops;
 

@@ -27,7 +27,7 @@ class Ring
 {
   public:
     explicit Ring(std::size_t capacity)
-        : slots(capacity), _capacity(capacity)
+        : _capacity(capacity), slots(capacity)
     {
         if (capacity == 0)
             UNET_PANIC("ring with zero capacity");
@@ -121,11 +121,15 @@ class Ring
     /** @} */
 
   private:
-    std::vector<T> slots;
+    // Layout: every push/pop reads _capacity and writes one cursor, so
+    // the cursors and capacity share the leading cache line; the slot
+    // storage pointer follows; the statistics counters (written but
+    // never read on the hot path) trail.
     std::size_t _capacity;
     std::size_t head = 0;
     std::size_t tail = 0;
     std::size_t count = 0;
+    std::vector<T> slots;
     sim::Counter _pushed;
     sim::Counter _popped;
     sim::Counter _rejected;

@@ -62,6 +62,39 @@ class UNet
                       const SendDescriptor &desc) = 0;
 
     /**
+     * Batched submission: post @p n descriptors onto the endpoint's
+     * send queue and ring the doorbell ONCE for the whole batch, so
+     * the fixed per-operation cost (trap or PIO doorbell, service
+     * kick) is amortized over the batch.
+     *
+     * Semantics:
+     *  - sendv with n == 1 takes the exact scalar send() path — it is
+     *    trace- and digest-identical by construction;
+     *  - descriptors are accepted in order and submission stops at the
+     *    first rejection (full send queue, invalid channel);
+     *  - posting more descriptors than the send queue can ever hold is
+     *    a programming error and panics (the batch could never be
+     *    accepted — the caller's batching is broken, not backpressured).
+     *
+     * @return the number of descriptors accepted (0..n).
+     */
+    virtual std::size_t sendv(sim::Process &proc, Endpoint &ep,
+                              const SendDescriptor *descs,
+                              std::size_t n);
+
+    /**
+     * Batched completion: drain up to @p max receive descriptors from
+     * @p ep in one call (one custody window instead of max). The
+     * batch=1 case is semantically identical to Endpoint::poll().
+     * @return the number of descriptors written to @p out.
+     */
+    std::size_t
+    pollv(Endpoint &ep, RecvDescriptor *out, std::size_t max)
+    {
+        return ep.pollv(out, max);
+    }
+
+    /**
      * Hand a receive buffer to the free queue.
      * @return false if the free queue is full.
      */
@@ -112,6 +145,25 @@ class UNet
     std::vector<std::unique_ptr<Endpoint>> _endpoints;
     sim::Counter _protFaults;
 };
+
+/**
+ * Reference sendv: a scalar-send loop (one doorbell per descriptor).
+ * Implementations override it to coalesce the doorbell; they keep
+ * these exact accept-in-order / stop-at-first-rejection semantics.
+ */
+inline std::size_t
+UNet::sendv(sim::Process &proc, Endpoint &ep, const SendDescriptor *descs,
+            std::size_t n)
+{
+    if (n > ep.sendQueue().capacity())
+        UNET_PANIC("sendv of ", n, " descriptors exceeds the ",
+                   ep.sendQueue().capacity(),
+                   "-entry send queue window");
+    std::size_t accepted = 0;
+    while (accepted < n && send(proc, ep, descs[accepted]))
+        ++accepted;
+    return accepted;
+}
 
 } // namespace unet
 

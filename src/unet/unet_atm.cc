@@ -73,6 +73,76 @@ UNetAtm::sendImpl(sim::Process &proc, Endpoint &ep,
     return true;
 }
 
+std::size_t
+UNetAtm::sendv(sim::Process &proc, Endpoint &ep,
+               const SendDescriptor *descs, std::size_t n)
+{
+    if (n > ep.sendQueue().capacity())
+        UNET_PANIC("sendv of ", n, " descriptors exceeds the ",
+                   ep.sendQueue().capacity(),
+                   "-entry send queue window");
+    if (n == 0)
+        return 0;
+    // Batch of one IS a scalar send: same code path, so it is trace-
+    // and digest-identical by construction.
+    if (n == 1)
+        return send(proc, ep, descs[0]) ? 1 : 0;
+#if UNET_TRACE
+    if (auto *tr = _host.simulation().trace()) {
+        std::vector<SendDescriptor> traced(descs, descs + n);
+        for (auto &desc : traced)
+            if (!desc.trace)
+                tr->begin(desc.trace, _host.simulation().now());
+        return sendvImpl(proc, ep, traced.data(), n);
+    }
+#endif
+    return sendvImpl(proc, ep, descs, n);
+}
+
+std::size_t
+UNetAtm::sendvImpl(sim::Process &proc, Endpoint &ep,
+                   const SendDescriptor *descs, std::size_t n)
+{
+    check::assertCaller(proc, "UNetAtm::sendv");
+    if (!checkOwner(proc, ep))
+        return 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (descs[i].totalLength() > maxMessage)
+            UNET_PANIC("U-Net/ATM message of ", descs[i].totalLength(),
+                       " bytes exceeds the AAL5 maximum");
+    // Like the scalar path, an invalid channel rejects before any cost
+    // is charged; the burst stops at the first offender.
+    std::size_t planned = 0;
+    while (planned < n && ep.channelValid(descs[planned].channel))
+        ++planned;
+    if (planned < n)
+        UNET_WARN("U-Net/ATM: sendv on invalid channel ",
+                  descs[planned].channel);
+    if (planned == 0)
+        return 0;
+
+    // One PIO burst into the i960-resident queue: full double-word
+    // store cost for the head, write-combined follower stores after.
+    _host.cpu().busy(proc,
+                     _spec.sendPost +
+                         static_cast<sim::Tick>(planned - 1) *
+                             _spec.sendPostBatch);
+    ep.sendGuard().mutate("sendv");
+    std::size_t accepted = 0;
+    while (accepted < planned &&
+           ep.sendQueue().push(descs[accepted])) {
+        const SendDescriptor &desc = descs[accepted];
+        if (!desc.isInline)
+            for (std::uint8_t i = 0; i < desc.fragmentCount; ++i)
+                ep.ownership().postSend(desc.fragments[i]);
+        ++_posted;
+        ++accepted;
+    }
+    if (accepted)
+        _nic.doorbellTrain(&ep, accepted);
+    return accepted;
+}
+
 bool
 UNetAtm::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
 {

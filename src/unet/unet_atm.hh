@@ -31,6 +31,11 @@ struct UNetAtmSpec
      *  1.5 usec" on the SPARC, dominated by PIO across the bus). */
     sim::Tick sendPost = sim::microsecondsF(1.5);
 
+    /** Host cost of each descriptor after the first in a sendv burst:
+     *  the stores write-combine into one bus transaction train, so the
+     *  per-descriptor PIO round-trip is paid once per burst. */
+    sim::Tick sendPostBatch = sim::nanoseconds(600);
+
     /** Host cost of pushing a free buffer into NIC memory. */
     sim::Tick freePost = sim::nanoseconds(500);
 
@@ -57,6 +62,18 @@ class UNetAtm : public UNet
 
     bool send(sim::Process &proc, Endpoint &ep,
               const SendDescriptor &desc) override;
+
+    /**
+     * Batched submission: the descriptors are stored into the
+     * NIC-resident send queue as one PIO burst (first store at full
+     * sendPost cost, followers at sendPostBatch) and the firmware is
+     * handed ONE contiguous descriptor train — a single i960 poll
+     * drains the whole batch, with followers read at the cheap
+     * Pca200Spec::txPerMessageTrain rate.
+     */
+    std::size_t sendv(sim::Process &proc, Endpoint &ep,
+                      const SendDescriptor *descs,
+                      std::size_t n) override;
 
     bool postFree(sim::Process &proc, Endpoint &ep,
                   BufferRef buf) override;
@@ -126,6 +143,10 @@ class UNetAtm : public UNet
     /** send() once the descriptor carries its trace context. */
     bool sendImpl(sim::Process &proc, Endpoint &ep,
                   const SendDescriptor &desc);
+
+    /** sendv() once every descriptor carries its trace context. */
+    std::size_t sendvImpl(sim::Process &proc, Endpoint &ep,
+                          const SendDescriptor *descs, std::size_t n);
 
     UNetAtmSpec _spec;
     nic::Pca200 &_nic;

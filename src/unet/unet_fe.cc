@@ -1,5 +1,6 @@
 #include "unet/unet_fe.hh"
 
+#include <algorithm>
 #include <array>
 
 #include "check/access.hh"
@@ -61,7 +62,7 @@ Endpoint &
 UNetFe::createEndpoint(const sim::Process *owner,
                        const EndpointConfig &config)
 {
-    if (portMap.size() >= 256)
+    if (portsAssigned >= portTable.size())
         UNET_FATAL("U-Net/FE port space (one byte) exhausted");
     _endpoints.push_back(std::make_unique<Endpoint>(
         _host.simulation(), _host.memory(), config, owner,
@@ -71,7 +72,11 @@ UNetFe::createEndpoint(const sim::Process *owner,
     EpState &state = epState[ep->id()];
     state.ep = ep;
     state.port = nextPort++;
-    portMap[state.port] = &state;
+    ++portsAssigned;
+    portTable[state.port] = &state;
+    if (epIndex.size() <= ep->id())
+        epIndex.resize(ep->id() + 1, nullptr);
+    epIndex[ep->id()] = &state;
     return *ep;
 }
 
@@ -96,7 +101,17 @@ UNetFe::addChannelTo(Endpoint &ep, eth::MacAddress remote_mac,
     info.remoteMac = remote_mac;
     info.remotePort = remote_port;
     ChannelId id = ep.addChannel(info);
-    it->second.demux[tagKey(remote_mac, remote_port)] = id;
+    auto &demux = it->second.demux;
+    const std::uint64_t key = tagKey(remote_mac, remote_port);
+    auto pos = std::lower_bound(
+        demux.begin(), demux.end(), key,
+        [](const auto &entry, std::uint64_t k) {
+            return entry.first < k;
+        });
+    if (pos != demux.end() && pos->first == key)
+        pos->second = id;
+    else
+        demux.insert(pos, {key, id});
     return id;
 }
 
@@ -121,6 +136,83 @@ UNetFe::send(sim::Process &proc, Endpoint &ep, const SendDescriptor &desc)
     }
 #endif
     return sendImpl(proc, ep, desc);
+}
+
+std::size_t
+UNetFe::sendv(sim::Process &proc, Endpoint &ep,
+              const SendDescriptor *descs, std::size_t n)
+{
+    if (n > ep.sendQueue().capacity())
+        UNET_PANIC("sendv of ", n, " descriptors exceeds the ",
+                   ep.sendQueue().capacity(),
+                   "-entry send queue window");
+    if (n == 0)
+        return 0;
+    // Batch of one IS a scalar send: same code path, so it is trace-
+    // and digest-identical by construction.
+    if (n == 1)
+        return send(proc, ep, descs[0]) ? 1 : 0;
+#if UNET_TRACE
+    if (auto *tr = _host.simulation().trace()) {
+        std::vector<SendDescriptor> traced(descs, descs + n);
+        for (auto &desc : traced)
+            if (!desc.trace)
+                tr->begin(desc.trace, _host.simulation().now());
+        return sendvImpl(proc, ep, traced.data(), n);
+    }
+#endif
+    return sendvImpl(proc, ep, descs, n);
+}
+
+std::size_t
+UNetFe::sendvImpl(sim::Process &proc, Endpoint &ep,
+                  const SendDescriptor *descs, std::size_t n)
+{
+    check::assertCaller(proc, "UNetFe::sendv");
+    if (!checkOwner(proc, ep))
+        return 0;
+    ep.sendGuard().mutate("sendv");
+    for (std::size_t i = 0; i < n; ++i) {
+        if (descs[i].totalLength() >
+            maxMessage - _spec.extraHeaderBytes())
+            UNET_PANIC("U-Net/FE message of ", descs[i].totalLength(),
+                       " bytes exceeds the ",
+                       maxMessage - _spec.extraHeaderBytes(),
+                       "-byte maximum");
+        if (!descs[i].isInline && descs[i].fragmentCount > 1)
+            UNET_PANIC("U-Net/FE model supports one buffer fragment "
+                       "per send (plus the kernel header)");
+    }
+
+    auto &cpu = _host.cpu();
+    // The user still pushes each descriptor individually; only the
+    // kernel-crossing costs are batched.
+    cpu.busy(proc,
+             static_cast<sim::Tick>(n) * _spec.userDescriptorPush);
+    reapTx();
+    std::size_t accepted = 0;
+    while (accepted < n && ep.sendQueue().push(descs[accepted])) {
+        const SendDescriptor &desc = descs[accepted];
+        if (!desc.isInline)
+            for (std::uint8_t i = 0; i < desc.fragmentCount; ++i)
+                ep.ownership().postSend(desc.fragments[i]);
+        ++accepted;
+    }
+    if (accepted == 0)
+        return 0;
+
+    // ONE fast trap for the whole batch; the service routine coalesces
+    // the per-message poll demands into a single device kick.
+    sim::Tick trap_acc = 0;
+    step(descs[0].trace, _host.simulation().now(), "trap entry",
+         cpu.spec().trapEntryCost, trap_acc);
+    _host.trapEnter(proc);
+    serviceSendQueue(proc, ep, /*coalesce=*/true);
+    trap_acc = 0;
+    step(descs[0].trace, _host.simulation().now(), "return from trap",
+         cpu.spec().trapExitCost, trap_acc);
+    _host.trapExit(proc);
+    return accepted;
 }
 
 bool
@@ -167,7 +259,7 @@ UNetFe::sendImpl(sim::Process &proc, Endpoint &ep,
 }
 
 void
-UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
+UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep, bool coalesce)
 {
     // The kernel drains the send queue in the caller's context; the
     // scope spans the drain (including its cpu.busy yields), so any
@@ -176,7 +268,16 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
                                      "kernel tx service");
     auto &cpu = _host.cpu();
     auto &mem = _host.memory();
-    EpState &state = epState.at(ep.id());
+    if (ep.id() >= epIndex.size() || !epIndex[ep.id()])
+        UNET_PANIC("endpoint not created by this U-Net/FE instance");
+    EpState &state = *epIndex[ep.id()];
+
+    // Coalesced (sendv) drains accumulate every message's kernel cost
+    // against one base tick and pay it — plus ONE poll demand — after
+    // the last ring descriptor is published.
+    const sim::Tick batch_base = _host.simulation().now();
+    sim::Tick batch_acc = 0;
+    std::size_t filled = 0;
 
     while (!ep.sendQueue().empty()) {
         // Stop (leaving descriptors queued) when the device ring is
@@ -190,8 +291,10 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
         SendDescriptor desc = *ep.sendQueue().pop();
         if (!desc.isInline && desc.fragmentCount == 1)
             ep.ownership().claimSend(desc.fragments[0]);
-        const sim::Tick base = _host.simulation().now();
-        sim::Tick cost = 0;
+        const sim::Tick base =
+            coalesce ? batch_base : _host.simulation().now();
+        sim::Tick local = 0;
+        sim::Tick &cost = coalesce ? batch_acc : local;
 
         step(desc.trace, base, "check U-Net send parameters",
              _spec.txCheckParams, cost);
@@ -200,7 +303,8 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
                       desc.channel, "; dropped");
             if (!desc.isInline && desc.fragmentCount == 1)
                 ep.ownership().releaseSend(desc.fragments[0]);
-            cpu.busy(proc, cost);
+            if (!coalesce)
+                cpu.busy(proc, cost);
             continue;
         }
         const ChannelInfo &chan = ep.channel(desc.channel);
@@ -275,8 +379,9 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
             _nic.bumpTxTail();
         }
 
-        step(desc.trace, base, "issue poll demand", _spec.txPollDemand,
-             cost);
+        if (!coalesce)
+            step(desc.trace, base, "issue poll demand",
+                 _spec.txPollDemand, cost);
         step(desc.trace, base,
              "free send ring descriptor of previous message",
              _spec.txFreePrevRing, cost);
@@ -284,11 +389,27 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep)
              "free U-Net send queue entry of previous message",
              _spec.txFreePrevQueue, cost);
 
+        ++filled;
+        ++_sent;
+        if (coalesce)
+            continue;
         // Charge the accumulated kernel time, then kick the device at
         // the point the poll demand lands.
         cpu.busy(proc, cost);
         _nic.pollDemand();
-        ++_sent;
+    }
+
+    if (coalesce) {
+        // One poll demand covers every descriptor published above (the
+        // DC21140 walks the ring until it finds a slot it does not
+        // own), so the 920 ns register write is paid once per batch.
+        if (filled)
+            step({}, batch_base, "issue poll demand (batched)",
+                 _spec.txPollDemand, batch_acc);
+        if (batch_acc)
+            cpu.busy(proc, batch_acc);
+        if (filled)
+            _nic.pollDemand();
     }
 }
 
@@ -401,14 +522,19 @@ UNetFe::rxInterrupt()
 
         step(ctx, base, "demux to correct endpoint", _spec.rxDemux,
              cost);
-        auto pit = portMap.find(dst_port);
-        if (pit == portMap.end()) {
+        EpState *statep = portTable[dst_port];
+        if (!statep) {
             ++_unknownPort;
             continue;
         }
-        EpState &state = *pit->second;
-        auto cit = state.demux.find(tagKey(frame->src, src_port));
-        if (cit == state.demux.end()) {
+        EpState &state = *statep;
+        const std::uint64_t tag = tagKey(frame->src, src_port);
+        auto cit = std::lower_bound(
+            state.demux.begin(), state.demux.end(), tag,
+            [](const auto &entry, std::uint64_t k) {
+                return entry.first < k;
+            });
+        if (cit == state.demux.end() || cit->first != tag) {
             ++_noChannel;
             continue;
         }

@@ -25,6 +25,7 @@
 #ifndef UNET_UNET_UNET_FE_HH
 #define UNET_UNET_UNET_FE_HH
 
+#include <array>
 #include <map>
 #include <optional>
 #include <string>
@@ -131,6 +132,18 @@ class UNetFe : public UNet
     bool send(sim::Process &proc, Endpoint &ep,
               const SendDescriptor &desc) override;
 
+    /**
+     * Batched submission: one fast trap services the whole batch. The
+     * kernel drains the send queue under a single trap-entry/exit pair
+     * and issues ONE transmit poll demand after the last ring
+     * descriptor is published, so the Figure-3 fixed costs (trap entry,
+     * poll demand, trap exit) are paid once per batch instead of once
+     * per message.
+     */
+    std::size_t sendv(sim::Process &proc, Endpoint &ep,
+                      const SendDescriptor *descs,
+                      std::size_t n) override;
+
     bool postFree(sim::Process &proc, Endpoint &ep,
                   BufferRef buf) override;
 
@@ -173,8 +186,19 @@ class UNetFe : public UNet
     bool sendImpl(sim::Process &proc, Endpoint &ep,
                   const SendDescriptor &desc);
 
-    /** Kernel service routine for the send queue (runs in the trap). */
-    void serviceSendQueue(sim::Process &proc, Endpoint &ep);
+    /** sendv() once every descriptor carries its trace context. */
+    std::size_t sendvImpl(sim::Process &proc, Endpoint &ep,
+                          const SendDescriptor *descs, std::size_t n);
+
+    /**
+     * Kernel service routine for the send queue (runs in the trap).
+     * With @p coalesce the drain charges its accumulated cost in one
+     * lump and issues a single poll demand after the last descriptor;
+     * without it (the scalar path) each message is charged and kicked
+     * individually, exactly as before batching existed.
+     */
+    void serviceSendQueue(sim::Process &proc, Endpoint &ep,
+                          bool coalesce = false);
 
     /** DC21140 receive interrupt handler. */
     void rxInterrupt();
@@ -217,15 +241,24 @@ class UNetFe : public UNet
     {
         Endpoint *ep = nullptr;
         PortId port = 0;
-        /** (remote MAC << 8 | remote port) -> channel id. */
-        std::map<std::uint64_t, ChannelId> demux;
+        /** (remote MAC << 8 | remote port) -> channel id, kept sorted
+         *  by key: the rx demux binary-searches it, channel setup
+         *  inserts into it. */
+        std::vector<std::pair<std::uint64_t, ChannelId>> demux;
     };
 
     /** Keyed by Endpoint::id() — a stable integral key, so iteration
      *  order is schedule- and address-independent. std::map for node
-     *  stability: portMap holds pointers into the values. */
+     *  stability: portTable/epIndex hold pointers into the values. */
     std::map<std::size_t, EpState> epState;
-    std::map<PortId, EpState *> portMap;
+
+    /** Flat id-keyed handles onto epState nodes for the hot paths:
+     *  send-queue service indexes by Endpoint::id(), the rx interrupt
+     *  demuxes by the one-byte U-Net port (the port space IS the
+     *  array, so "unknown port" is a null entry, not a map miss). */
+    std::vector<EpState *> epIndex;
+    std::array<EpState *, 256> portTable{};
+    std::size_t portsAssigned = 0;
     PortId nextPort = 0;
 
     /** Kernel header buffers, one per TX ring slot. */

@@ -178,6 +178,33 @@ TEST(ExploreConfigs, DemuxExhausts)
     EXPECT_GT(res.prunedRuns, 0u) << "pruning should be doing work";
 }
 
+/** The batched-submission race — three fibers posting overlapping
+ *  sendv trains against the i960's tx polls — exhausts under digest
+ *  pruning with no violation: exactly-once, in-order, and credit
+ *  conservation hold on every schedule, not just the FIFO one. */
+TEST(ExploreConfigs, SendvRaceExhausts)
+{
+    explore::Result res = explore::explore(config("sendv-race"));
+    EXPECT_TRUE(res.complete);
+    EXPECT_TRUE(res.violations.empty());
+    EXPECT_GT(res.runs, 1u) << "the race should have real width";
+    EXPECT_GT(res.prunedRuns, 0u) << "pruning should be doing work";
+    EXPECT_GE(res.maxEligible, 2u);
+}
+
+/** Pruning soundness with the fiber-progress digest token: the
+ *  retransmit config (timer-driven go-back-N) must still exhaust
+ *  violation-free, and pruning must prune *something* — i.e. the new
+ *  token discriminates states without collapsing the search into
+ *  never-pruning (which would show up as a run-count blowup here). */
+TEST(ExploreConfigs, RetransmitExhaustsWithPruning)
+{
+    explore::Result res = explore::explore(config("retransmit"));
+    EXPECT_TRUE(res.complete);
+    EXPECT_TRUE(res.violations.empty());
+    EXPECT_GT(res.runs, 0u);
+}
+
 /** Salted runs of a violation-free config are one path each through
  *  the same space the explorer covers. */
 TEST(ExploreConfigs, DemuxSaltedRunsAreClean)

@@ -76,3 +76,67 @@ TEST(Crc32, DetectsSwappedBytes)
     std::swap(swapped[2], swapped[5]);
     EXPECT_NE(net::crc32(swapped), good);
 }
+
+TEST(Crc32, BackendNameMatchesEnum)
+{
+    if (net::crc32Backend() == net::Crc32Backend::pclmul)
+        EXPECT_STREQ(net::crc32BackendName(), "pclmul");
+    else
+        EXPECT_STREQ(net::crc32BackendName(), "software");
+}
+
+/** The hardware folding path must be bit-identical to the tables for
+ *  every length class: sub-threshold, fold-boundary (64, 128), every
+ *  tail residue 0..63 around them, and long buffers that exercise the
+ *  fold-by-4 main loop. Wrong folding constants fail every case. */
+TEST(Crc32, PclmulMatchesSoftwareAcrossLengths)
+{
+    if (net::crc32Backend() != net::Crc32Backend::pclmul)
+        GTEST_SKIP() << "no pclmul on this host/build";
+
+    sim::Random rng(1234);
+    std::vector<std::uint8_t> data(70000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.u32());
+
+    std::vector<std::size_t> lengths;
+    for (std::size_t n = 0; n <= 300; ++n)
+        lengths.push_back(n);
+    for (std::size_t n : {4096ul, 65536ul, 65543ul, 69999ul})
+        lengths.push_back(n);
+
+    for (std::size_t n : lengths) {
+        std::span<const std::uint8_t> view(data.data(), n);
+        std::uint32_t soft = net::crc32UpdateWith(
+            net::Crc32Backend::software, 0xFFFFFFFFu, view);
+        std::uint32_t hw = net::crc32UpdateWith(
+            net::Crc32Backend::pclmul, 0xFFFFFFFFu, view);
+        ASSERT_EQ(hw, soft) << "length " << n;
+    }
+}
+
+/** Chunked hardware updates must compose exactly like the software
+ *  incremental form (the AAL5 per-cell accumulation pattern). */
+TEST(Crc32, PclmulIncrementalComposition)
+{
+    if (net::crc32Backend() != net::Crc32Backend::pclmul)
+        GTEST_SKIP() << "no pclmul on this host/build";
+
+    sim::Random rng(77);
+    std::vector<std::uint8_t> data(9001);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.u32());
+
+    std::uint32_t whole = net::crc32(data);
+    for (std::size_t chunk : {48ul, 64ul, 100ul, 4096ul}) {
+        std::uint32_t st = 0xFFFFFFFFu;
+        for (std::size_t off = 0; off < data.size(); off += chunk) {
+            std::size_t n =
+                std::min(chunk, data.size() - off);
+            st = net::crc32UpdateWith(
+                net::Crc32Backend::pclmul, st,
+                std::span(data.data() + off, n));
+        }
+        EXPECT_EQ(net::crc32Finish(st), whole) << "chunk " << chunk;
+    }
+}

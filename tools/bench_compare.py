@@ -102,12 +102,14 @@ def compare(baseline, current, threshold):
             failures.append(line)
         else:
             print(line)
-    # New benches warn but never fail: adding a benchmark must not break
-    # CI until its baseline is recorded with --update.
+    # A measured metric with no baseline entry fails too: otherwise a
+    # key quietly dropped from the baseline file exempts that metric
+    # from the gate forever. Record new benches with --update in the
+    # same change that adds them.
     for name in sorted(set(cur) - set(base)):
-        print(f"WARN     {name}: {cur[name][0]:.4g} present in run but "
-              "missing from baseline (record it with --update)",
-              file=sys.stderr)
+        failures.append(
+            f"UNBASED  {name}: {cur[name][0]:.4g} present in run but "
+            "missing from baseline (record it with --update)")
     return failures
 
 
@@ -131,9 +133,12 @@ def main():
     try:
         baseline = load(args.baseline)
     except FileNotFoundError:
-        print(f"WARN     no baseline at {args.baseline}; nothing to "
-              "compare (record one with --update)", file=sys.stderr)
-        return 0
+        # A silently-skipped comparison reads as a pass in CI, which is
+        # exactly how a perf gate rots: fail loudly instead.
+        print(f"ERROR    no baseline at {args.baseline}; refusing to "
+              "skip the comparison (record one with --update)",
+              file=sys.stderr)
+        return 1
 
     failures = compare(baseline, load(args.current), args.threshold)
     if failures:
