@@ -22,6 +22,15 @@
  *               descriptor trains while the i960 firmware's tx polls
  *               race the doorbells; exactly-once, in-order,
  *               credit-conservation oracles
+ *   atm-cmdqueue
+ *               two fibers on one ATM host post scalar sends, one
+ *               doorbell command each, while the i960's per-endpoint
+ *               tx polls race the command queue; exactly-once,
+ *               in-order oracles
+ *   upcall      two sender nodes race into one receiving endpoint in
+ *               the upcall (signal-handler) receive model; per-lane
+ *               exactly-once, in-order oracles over the activation
+ *               batching
  */
 
 #include <memory>
@@ -709,6 +718,302 @@ class SendvRaceInstance : public ConfigInstance
     CreditWindow credits[lanes];
 };
 
+// -------------------------------------------------------- atm-cmdqueue
+
+/**
+ * The host-driver command queue racing the firmware's polling loop.
+ * Two fibers on one ATM host, each owning its own endpoint on the SAME
+ * PCA-200, wake at one tick and post scalar sends — each send followed
+ * by an explicit flush, i.e. one doorbell command per descriptor on
+ * the adapter's command queue. The i960 runs one weighted tx-poll
+ * event per endpoint; those polls race each other, the doorbells, and
+ * the second fiber's posts landing mid-drain. Oracles: per-lane
+ * exactly-once, in-order delivery at host B; ring audits and a
+ * no-drop invariant each step.
+ */
+class AtmCmdQueueInstance : public ConfigInstance
+{
+  public:
+    static constexpr int lanes = 2;
+    static constexpr std::uint32_t messages = 2;
+
+    static std::uint32_t
+    length(int lane, std::uint32_t k)
+    {
+        // Single-cell (<= 40 bytes), descriptor-inline on receive;
+        // distinct per-lane, per-position lengths expose misrouting
+        // and reordering.
+        return 20 + 8 * static_cast<std::uint32_t>(lane) + k;
+    }
+
+    AtmCmdQueueInstance()
+        : link(s, atm::LinkSpec::oc3()),
+          hostA(s, "a", host::CpuSpec::pentium120(),
+                host::BusSpec::pci()),
+          hostB(s, "b", host::CpuSpec::pentium120(),
+                host::BusSpec::pci()),
+          nicA(hostA, link), nicB(hostB, link), ua(hostA, nicA),
+          ub(hostB, nicB)
+    {
+        EndpointConfig cfg;
+        cfg.sendQueueDepth = 8;
+        cfg.recvQueueDepth = 8;
+        cfg.freeQueueDepth = 8;
+        cfg.bufferAreaBytes = 16 * 1024;
+        for (int i = 0; i < lanes; ++i) {
+            senders.push_back(std::make_unique<sim::Process>(
+                s, "cmd" + std::to_string(i),
+                [this, i](sim::Process &p) { senderBody(p, i); }));
+            epA.push_back(
+                &ua.createEndpoint(senders.back().get(), cfg));
+            // Receiver endpoints have no process: single-cell messages
+            // land descriptor-inline and are polled at the end.
+            epB.push_back(&ub.createEndpoint(nullptr, cfg));
+            ChannelId ca = invalidChannel, cb = invalidChannel;
+            UNetAtm::connectDirect(
+                ua, *epA.back(), ub, *epB.back(),
+                static_cast<atm::Vci>(20 + i), ca, cb);
+            chans.push_back(ca);
+        }
+        // Same tick: the wakeup order is the first choice point. Lane 1
+        // then delays past lane 0's PIO burst (one CPU), but well
+        // inside the i960's multi-microsecond drain of lane 0's
+        // commands, so its doorbells land mid-poll.
+        for (auto &proc : senders)
+            proc->start(sim::microseconds(10));
+    }
+
+    sim::Simulation &simulation() override { return s; }
+
+    void
+    checkStep() override
+    {
+        for (int i = 0; i < lanes; ++i) {
+            epA[static_cast<std::size_t>(i)]->auditRings();
+            epB[static_cast<std::size_t>(i)]->auditRings();
+            if (epB[static_cast<std::size_t>(i)]->rxQueueDrops())
+                UNET_PANIC("atm-cmdqueue: receive-queue drop in a "
+                           "lossless rig");
+        }
+    }
+
+    void
+    checkEnd() override
+    {
+        for (auto &proc : senders)
+            if (!proc->finished())
+                UNET_PANIC("atm-cmdqueue: sender ", proc->name(),
+                           " did not finish");
+        for (int i = 0; i < lanes; ++i) {
+            Endpoint &ep = *epB[static_cast<std::size_t>(i)];
+            RecvDescriptor out[messages + 1];
+            std::size_t got = ub.pollv(ep, out, messages + 1);
+            if (got != messages)
+                UNET_PANIC("atm-cmdqueue: lane ", i, " delivered ",
+                           got, " of ", messages, " messages");
+            for (std::uint32_t k = 0; k < messages; ++k) {
+                if (!out[k].isSmall || out[k].length != length(i, k))
+                    UNET_PANIC("atm-cmdqueue: lane ", i, " message ",
+                               k, " has length ", out[k].length,
+                               ", expected ", length(i, k),
+                               " (misrouted or reordered)");
+                if (out[k].inlineData[0] != k)
+                    UNET_PANIC("atm-cmdqueue: lane ", i, " position ",
+                               k, " carries sequence ",
+                               unsigned(out[k].inlineData[0]));
+            }
+        }
+    }
+
+    void
+    mixState(obs::Digest &d) const override
+    {
+        for (int i = 0; i < lanes; ++i) {
+            d.mix(static_cast<std::uint64_t>(
+                senders[static_cast<std::size_t>(i)]->finished()));
+            mixEndpoint(d, *epA[static_cast<std::size_t>(i)]);
+            mixEndpoint(d, *epB[static_cast<std::size_t>(i)]);
+        }
+        d.mix(nicA.messagesSent());
+        d.mix(nicB.messagesDelivered());
+    }
+
+  private:
+    void
+    senderBody(sim::Process &self, int i)
+    {
+        // Past lane 0's whole PIO burst (~7.5 us per posted command on
+        // one CPU), inside the i960's ~10 us-per-message drain of lane
+        // 0's commands: the doorbells land mid-poll.
+        if (i)
+            self.delay(sim::microseconds(16) *
+                       static_cast<sim::Tick>(i));
+        for (std::uint32_t k = 0; k < messages; ++k) {
+            SendDescriptor sd;
+            sd.channel = chans[static_cast<std::size_t>(i)];
+            sd.isInline = true;
+            sd.inlineLength =
+                static_cast<std::uint8_t>(length(i, k));
+            sd.inlineData[0] = static_cast<std::uint8_t>(k);
+            if (!ua.send(self, *epA[static_cast<std::size_t>(i)], sd))
+                UNET_PANIC("atm-cmdqueue: lane ", i, " send ", k,
+                           " refused");
+            // One doorbell command per descriptor: the command-queue
+            // traffic the firmware polls race against.
+            ua.flush(self, *epA[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    sim::Simulation s;
+    atm::AtmLink link;
+    host::Host hostA, hostB;
+    nic::Pca200 nicA, nicB;
+    UNetAtm ua, ub;
+    std::vector<std::unique_ptr<sim::Process>> senders;
+    std::vector<Endpoint *> epA, epB;
+    std::vector<ChannelId> chans;
+};
+
+// -------------------------------------------------------------- upcall
+
+/**
+ * The signal-handler receive model under racing arrivals. Two sender
+ * nodes wake at one tick and each posts two small messages through a
+ * switch into ONE receiving endpoint that uses setUpcall() — every
+ * activation pays the signal-delivery latency once, then consumes all
+ * pending messages. The explorer permutes which sender's frames reach
+ * the demux first and how arrivals batch into activations; whatever
+ * the interleaving, each lane's messages must arrive exactly once and
+ * in per-lane order.
+ */
+class UpcallInstance : public ConfigInstance
+{
+  public:
+    static constexpr int lanes = 2;
+    static constexpr std::uint32_t messages = 2;
+
+    static std::uint32_t
+    length(int lane, std::uint32_t k)
+    {
+        return 40 + 8 * static_cast<std::uint32_t>(lane) + k;
+    }
+
+    UpcallInstance() : sw(s), b(s, sw, lanes)
+    {
+        EndpointConfig cfg;
+        cfg.sendQueueDepth = 8;
+        cfg.recvQueueDepth = 8;
+        cfg.freeQueueDepth = 8;
+        cfg.bufferAreaBytes = 16 * 1024;
+        // The receiving endpoint has no process: the upcall IS the
+        // receive discipline.
+        epB = &b.unet.createEndpoint(nullptr, cfg);
+        epB->setUpcall(
+            [this](const RecvDescriptor &rd) {
+                ++handlerRuns;
+                seen.push_back(rd.length);
+            },
+            sim::microseconds(5));
+        for (int i = 0; i < lanes; ++i) {
+            nodes.push_back(std::make_unique<FeNodeRig>(s, sw, i));
+            senders.push_back(std::make_unique<sim::Process>(
+                s, "send" + std::to_string(i),
+                [this, i](sim::Process &p) { senderBody(p, i); }));
+            epA.push_back(&nodes[static_cast<std::size_t>(i)]
+                               ->unet.createEndpoint(
+                                   senders.back().get(), cfg));
+            ChannelId ca = invalidChannel, cb = invalidChannel;
+            UNetFe::connect(nodes[static_cast<std::size_t>(i)]->unet,
+                            *epA.back(), b.unet, *epB, ca, cb);
+            chans.push_back(ca);
+        }
+        for (auto &proc : senders)
+            proc->start(sim::microseconds(10)); // same tick: the race
+    }
+
+    sim::Simulation &simulation() override { return s; }
+
+    void
+    checkStep() override
+    {
+        epB->auditRings();
+        for (auto *ep : epA)
+            ep->auditRings();
+        if (epB->rxQueueDrops())
+            UNET_PANIC("upcall: receive-queue drop in a lossless rig");
+    }
+
+    void
+    checkEnd() override
+    {
+        for (auto &proc : senders)
+            if (!proc->finished())
+                UNET_PANIC("upcall: sender ", proc->name(),
+                           " did not finish");
+        if (seen.size() != lanes * messages)
+            UNET_PANIC("upcall: exactly-once violated: handler saw ",
+                       seen.size(), " of ", lanes * messages,
+                       " messages");
+        // Per-lane in-order: decode (lane, k) from the length and
+        // require each lane's sequence to be 0,1,... in seen order.
+        std::uint32_t nextInLane[lanes] = {};
+        for (std::uint32_t len : seen) {
+            std::uint32_t lane = (len - 40) / 8;
+            std::uint32_t k = (len - 40) % 8;
+            if (lane >= lanes || k >= messages)
+                UNET_PANIC("upcall: impossible length ", len);
+            if (k != nextInLane[lane])
+                UNET_PANIC("upcall: lane ", lane,
+                           " out of order: got sequence ", k,
+                           ", expected ", nextInLane[lane]);
+            ++nextInLane[lane];
+        }
+    }
+
+    void
+    mixState(obs::Digest &d) const override
+    {
+        d.mix(static_cast<std::uint64_t>(seen.size()));
+        for (std::uint32_t v : seen)
+            d.mix(static_cast<std::uint64_t>(v));
+        d.mix(handlerRuns);
+        for (auto &proc : senders)
+            d.mix(static_cast<std::uint64_t>(proc->finished()));
+        for (auto *ep : epA)
+            mixEndpoint(d, *ep);
+        mixEndpoint(d, *epB);
+    }
+
+  private:
+    void
+    senderBody(sim::Process &self, int i)
+    {
+        UNetFe &un = nodes[static_cast<std::size_t>(i)]->unet;
+        Endpoint &ep = *epA[static_cast<std::size_t>(i)];
+        for (std::uint32_t k = 0; k < messages; ++k) {
+            // Distinct gather regions: the first frame's buffer stays
+            // agent-owned until it leaves the NIC.
+            if (!sendFragment(un, self, ep,
+                              chans[static_cast<std::size_t>(i)],
+                              k * 4096, length(i, k)))
+                UNET_PANIC("upcall: sender ", i, " send ", k,
+                           " refused");
+            un.flush(self, ep);
+        }
+    }
+
+    sim::Simulation s;
+    eth::Switch sw;
+    FeNodeRig b;
+    std::vector<std::unique_ptr<FeNodeRig>> nodes;
+    std::vector<std::unique_ptr<sim::Process>> senders;
+    std::vector<Endpoint *> epA;
+    Endpoint *epB = nullptr;
+    std::vector<ChannelId> chans;
+    std::vector<std::uint32_t> seen;
+    std::uint64_t handlerRuns = 0;
+};
+
 // ------------------------------------------------------------ registry
 
 template <typename Instance>
@@ -758,6 +1063,18 @@ const SimpleConfig<SendvRaceInstance> sendvRaceConfig{
     "three overlapping sendv descriptor trains on one ATM adapter "
     "racing the firmware tx polls; exactly-once + credit oracles"};
 
+const SimpleConfig<AtmCmdQueueInstance> atmCmdQueueConfig{
+    "atm-cmdqueue",
+    "scalar doorbell commands from two fibers on one ATM adapter "
+    "racing the i960 command-queue polls; exactly-once + in-order "
+    "oracles"};
+
+const SimpleConfig<UpcallInstance> upcallConfig{
+    "upcall",
+    "two senders race into one endpoint in the upcall receive model; "
+    "per-lane exactly-once + in-order oracles over activation "
+    "batching"};
+
 } // namespace
 
 const std::vector<const Config *> &
@@ -765,7 +1082,7 @@ configs()
 {
     static const std::vector<const Config *> all = {
         &fig5Config, &retransmitConfig, &demuxConfig, &seededConfig,
-        &sendvRaceConfig};
+        &sendvRaceConfig, &atmCmdQueueConfig, &upcallConfig};
     return all;
 }
 

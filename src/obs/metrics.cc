@@ -87,6 +87,8 @@ histStat(const Histogram &h, std::string_view stat)
         return h.quantile(0.90);
     if (stat == "p99")
         return h.quantile(0.99);
+    if (stat == "p999")
+        return h.quantile(0.999);
     return 0.0;
 }
 
@@ -121,6 +123,7 @@ Registry::dump() const
 {
     static constexpr const char *histStats[] = {
         "count", "sum", "mean", "min", "max", "p50", "p90", "p99",
+        "p999",
     };
     std::vector<std::pair<std::string, double>> out;
     out.reserve(_entries.size());

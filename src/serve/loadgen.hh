@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Load generators for the serving plane.
+ *
+ * Two canonical client disciplines (the distinction "Fast Userspace
+ * Networking for the Rest of Us" insists on for serving metrics):
+ *
+ *  - open loop: requests arrive on a deterministic Poisson schedule
+ *    that does NOT react to completions. The latency epoch of every
+ *    request is its *intended* arrival tick, so client-side queueing
+ *    (AM window stalls when the server falls behind) counts against
+ *    the measured latency — the coordinated-omission-free measurement.
+ *
+ *  - closed loop: each client keeps at most `window` requests
+ *    outstanding and re-issues a slot only after the completion plus
+ *    an exponential think time, so offered load self-throttles to the
+ *    service rate.
+ *
+ * Determinism: every client draws inter-arrival gaps and think times
+ * from its own sim::Random, seeded from (experiment seed, client
+ * index) — never from the simulation's RNG — and every intended issue
+ * tick is aligned to the client's residue class modulo the client
+ * count, so no two clients ever share an issue tick. Same-tick event
+ * permutation under UNET_PERTURB therefore has no client-visible
+ * ordering to change at the generators, and the published curves stay
+ * digest-stable across salts.
+ */
+
+#ifndef UNET_SERVE_LOADGEN_HH
+#define UNET_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/rpc.hh"
+#include "sim/random.hh"
+
+namespace unet::serve {
+
+/** Open-loop (Poisson arrival) client discipline. */
+struct OpenLoopSpec
+{
+    /** Requests each client issues. */
+    int requests = 20;
+
+    /** Mean inter-arrival gap per client (offered load =
+     *  clients / meanGap). */
+    sim::Tick meanGap = sim::microseconds(400);
+};
+
+/** Closed-loop (window + think time) client discipline. */
+struct ClosedLoopSpec
+{
+    /** Requests each client issues. */
+    int requests = 20;
+
+    /** Outstanding-request window per client. */
+    int window = 1;
+
+    /** Mean exponential think time between a completion and the
+     *  replacement issue (0 = back-to-back). */
+    sim::Tick meanThink = sim::microseconds(100);
+};
+
+/** Shared per-client generator parameters. */
+struct GenParams
+{
+    std::uint32_t clientIndex = 0;
+
+    /** Residue-class modulus (the experiment's client count): every
+     *  intended issue tick satisfies tick % stride == clientIndex. */
+    std::uint32_t stride = 1;
+
+    /** Experiment seed; mixed with clientIndex for the private RNG. */
+    std::uint64_t seed = 1;
+
+    /** First intended arrival no earlier than this. */
+    sim::Tick start = sim::microseconds(100);
+
+    /** Method ids cycled round-robin across the client's requests. */
+    std::vector<MethodId> methods{0};
+
+    /** Request payload bytes (kept <= 20 so requests stay single-cell
+     *  on ATM: 20 payload + 20 AM header = one 40-byte cell). */
+    std::uint32_t requestBytes = 16;
+
+    /** Give-up bound while waiting for stragglers at the end. */
+    sim::Tick completionTimeout = sim::seconds(2);
+};
+
+/**
+ * Run one open-loop client to completion on the calling process.
+ * Issues spec.requests Poisson-spaced requests, polling for responses
+ * while idle, then waits (bounded) for the stragglers.
+ * @return true if every request completed.
+ */
+bool runOpenLoop(sim::Process &proc, RpcClient &client,
+                 const GenParams &params, const OpenLoopSpec &spec);
+
+/**
+ * Run one closed-loop client to completion on the calling process.
+ * Keeps at most spec.window requests outstanding; each completion
+ * schedules the replacement issue after an exponential think time.
+ * @return true if every request completed.
+ */
+bool runClosedLoop(sim::Process &proc, RpcClient &client,
+                   const GenParams &params, const ClosedLoopSpec &spec);
+
+/** Align @p t up to the client's residue class: the smallest
+ *  tick' >= t with tick' % stride == clientIndex. */
+inline sim::Tick
+alignToResidue(sim::Tick t, std::uint32_t stride, std::uint32_t index)
+{
+    if (stride <= 1)
+        return t;
+    sim::Tick s = static_cast<sim::Tick>(stride);
+    sim::Tick r = static_cast<sim::Tick>(index % stride);
+    sim::Tick m = t % s;
+    return m <= r ? t + (r - m) : t + (s - m) + r;
+}
+
+/** The private, perturbation-independent RNG seed of one client. */
+inline std::uint64_t
+clientSeed(std::uint64_t experiment_seed, std::uint32_t index)
+{
+    // Splitmix-style mix so adjacent indices land far apart.
+    std::uint64_t z = experiment_seed + 0x9E3779B97F4A7C15ULL *
+        (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace unet::serve
+
+#endif // UNET_SERVE_LOADGEN_HH

@@ -1,0 +1,302 @@
+#include "serve/rig.hh"
+
+#include <cstdio>
+#include <numeric>
+
+#include "fault/attach.hh"
+#include "sim/logging.hh"
+
+namespace unet::serve {
+
+namespace {
+
+/** Server endpoint: deep queues for fan-in, a channel per client. */
+EndpointConfig
+serverEndpointConfig(int clients)
+{
+    EndpointConfig ep;
+    ep.sendQueueDepth = 256;
+    ep.recvQueueDepth = 256;
+    ep.freeQueueDepth = 128;
+    ep.maxChannels = static_cast<std::size_t>(clients) + 8;
+    return ep;
+}
+
+} // namespace
+
+ServeRig::ServeRig(RigSpec s)
+    : spec(std::move(s)), sim(spec.seed),
+      plan(spec.faults.empty() ? fault::Plan{}
+                               : fault::Plan::parse(spec.faults))
+{
+    if (spec.clients < 1)
+        UNET_FATAL("serve rig needs at least one client");
+    if (spec.methods.empty())
+        UNET_FATAL("serve rig needs at least one method");
+
+    // Fabric first.
+    if (spec.nic == NicKind::Fe) {
+        eth::SwitchSpec sw = eth::SwitchSpec::bay28115();
+        // The paper's switch has 16 ports; serving incast wants
+        // hundreds. Model a stacked deployment: same per-port
+        // behaviour, no port cap.
+        sw.maxPorts = 0;
+        ethSwitch = std::make_unique<eth::Switch>(sim, sw);
+        fault::attach(plan, sim, *ethSwitch);
+    } else {
+        atmSwitch = std::make_unique<atm::Switch>(
+            sim, atm::SwitchSpec::asx200());
+        signalling = std::make_unique<atm::Signalling>(*atmSwitch);
+        fault::attach(plan, sim, *atmSwitch);
+    }
+
+    // Server node (MAC index 1 / first switch port).
+    serverHost = std::make_unique<host::Host>(
+        sim, "server", host::CpuSpec::pentium120(),
+        host::BusSpec::pci());
+    if (spec.nic == NicKind::Fe) {
+        serverNicFe = std::make_unique<nic::Dc21140>(
+            *serverHost, *ethSwitch, eth::MacAddress::fromIndex(1));
+        serverUnet = std::make_unique<UNetFe>(*serverHost,
+                                              *serverNicFe);
+        fault::attach(plan, sim, *serverNicFe, ".s");
+    } else {
+        serverLink = std::make_unique<atm::AtmLink>(sim,
+                                                    spec.atmLink);
+        serverNicAtm = std::make_unique<nic::Pca200>(*serverHost,
+                                                     *serverLink);
+        serverUnet = std::make_unique<UNetAtm>(*serverHost,
+                                               *serverNicAtm);
+        fault::attach(plan, sim, *serverLink, ".s");
+    }
+
+    // Client nodes.
+    for (int i = 0; i < spec.clients; ++i) {
+        auto node = std::make_unique<ClientNode>();
+        node->host = std::make_unique<host::Host>(
+            sim, "c" + std::to_string(i), host::CpuSpec::pentium120(),
+            host::BusSpec::pci());
+        if (spec.nic == NicKind::Fe) {
+            node->nicFe = std::make_unique<nic::Dc21140>(
+                *node->host, *ethSwitch,
+                eth::MacAddress::fromIndex(
+                    static_cast<std::uint32_t>(i + 2)));
+            node->unet = std::make_unique<UNetFe>(*node->host,
+                                                  *node->nicFe);
+            fault::attach(plan, sim, *node->nicFe,
+                          ".c" + std::to_string(i));
+        } else {
+            // Distinct per-client propagation delays (cable-length
+            // spread): with every node sharing cell-time and firmware
+            // quantization constants, identical delays would land
+            // independent clients' cells on the switch at the same
+            // tick — a physically arbitrary tie the perturbation
+            // auditor rightly flags. A picosecond per port breaks
+            // every such tie without measurable latency effect.
+            atm::LinkSpec link = spec.atmLink;
+            link.propDelay += i + 1;
+            node->link = std::make_unique<atm::AtmLink>(sim, link);
+            node->nicAtm = std::make_unique<nic::Pca200>(*node->host,
+                                                         *node->link);
+            node->unet = std::make_unique<UNetAtm>(*node->host,
+                                                   *node->nicAtm);
+            fault::attach(plan, sim, *node->link,
+                          ".c" + std::to_string(i));
+        }
+        clients.push_back(std::move(node));
+    }
+
+    // ATM ports: clients in index order, server last.
+    if (spec.nic == NicKind::Atm) {
+        for (auto &node : clients)
+            atmPorts.push_back(atmSwitch->addPort(*node->link));
+        atmPorts.push_back(atmSwitch->addPort(*serverLink));
+    }
+
+    // Processes, endpoints, RPC layers.
+    serverProc = std::make_unique<sim::Process>(
+        sim, "server",
+        [this](sim::Process &p) {
+            serverOk = _server->serve(p, [this] {
+                return finishedClients == spec.clients;
+            });
+            serverDone = true;
+        },
+        4 * 1024 * 1024);
+    serverEp = &serverUnet->createEndpoint(
+        serverProc.get(), serverEndpointConfig(spec.clients));
+
+    _stats = std::make_unique<ServeStats>(
+        sim.metrics(), spec.methods.size(), spec.slo);
+    _server = std::make_unique<RpcServer>(*serverUnet, *serverEp,
+                                          spec.serverAm, spec.seed);
+    for (const MethodSpec &m : spec.methods)
+        _server->addMethod(m);
+
+    clientOk.assign(static_cast<std::size_t>(spec.clients), false);
+    for (int i = 0; i < spec.clients; ++i) {
+        ClientNode &node = *clients[i];
+        node.proc = std::make_unique<sim::Process>(
+            sim, "client" + std::to_string(i),
+            [this, i](sim::Process &p) {
+                ClientNode &n = *clients[i];
+                GenParams params;
+                params.clientIndex = static_cast<std::uint32_t>(i);
+                params.stride =
+                    static_cast<std::uint32_t>(spec.clients);
+                params.seed = spec.seed;
+                params.methods.resize(spec.methods.size());
+                std::iota(params.methods.begin(),
+                          params.methods.end(), MethodId{0});
+                params.requestBytes = spec.requestBytes;
+                params.completionTimeout = workload.completionTimeout;
+
+                bool ok;
+                if (workload.closedLoop) {
+                    ClosedLoopSpec cl;
+                    cl.requests = workload.requestsPerClient;
+                    cl.window = workload.window;
+                    cl.meanThink = workload.meanThink;
+                    ok = runClosedLoop(p, *n.rpc, params, cl);
+                } else {
+                    OpenLoopSpec ol;
+                    ol.requests = workload.requestsPerClient;
+                    ol.meanGap = workload.meanGap;
+                    ok = runOpenLoop(p, *n.rpc, params, ol);
+                }
+                clientOk[static_cast<std::size_t>(i)] = ok;
+                n.finishedAt = p.simulation().now();
+                ++finishedClients;
+                // Two-phase shutdown: keep polling (ACKing the
+                // server's drain-phase retransmits) until the server
+                // finished its own drain. A client that exits first
+                // turns one lost final ACK into a dead channel.
+                n.rpc->am().pollUntil(
+                    p, [this] { return serverDone; }, sim::seconds(10));
+            },
+            512 * 1024);
+        node.endpoint =
+            &node.unet->createEndpoint(node.proc.get(), {});
+    }
+
+    // Channels: each client to the server.
+    for (int i = 0; i < spec.clients; ++i) {
+        ClientNode &node = *clients[i];
+        ChannelId at_server = invalidChannel;
+        if (spec.nic == NicKind::Atm) {
+            UNetAtm::connect(
+                static_cast<UNetAtm &>(*node.unet), *node.endpoint,
+                atmPorts[static_cast<std::size_t>(i)],
+                static_cast<UNetAtm &>(*serverUnet), *serverEp,
+                atmPorts.back(), *signalling, node.toServer,
+                at_server);
+        } else {
+            UNetFe::connect(static_cast<UNetFe &>(*node.unet),
+                            *node.endpoint,
+                            static_cast<UNetFe &>(*serverUnet),
+                            *serverEp, node.toServer, at_server);
+        }
+        _server->openChannel(at_server);
+        node.rpc = std::make_unique<RpcClient>(
+            *node.unet, *node.endpoint, node.toServer,
+            static_cast<std::uint32_t>(i), *_stats, spec.clientAm);
+    }
+}
+
+ServeRig::~ServeRig() = default;
+
+RunResult
+ServeRig::run(const Workload &w)
+{
+    if (ran)
+        UNET_FATAL("a ServeRig runs one workload; build another");
+    ran = true;
+    workload = w;
+
+    sim::Tick start = sim.now();
+    serverProc->start(sim::microseconds(1));
+    // Distinct start ticks: no two client fibers ever share a
+    // scheduling tick at startup (perturbation hygiene).
+    for (int i = 0; i < spec.clients; ++i)
+        clients[static_cast<std::size_t>(i)]->proc->start(
+            sim::microseconds(10) + i);
+
+    if (spec.simTimeLimit > 0)
+        sim.runUntil(start + spec.simTimeLimit);
+    else
+        sim.run();
+
+    RunResult r;
+    r.finished = serverProc->finished();
+    for (auto &node : clients)
+        r.finished = r.finished && node->proc->finished();
+    if (!r.finished) {
+        std::fprintf(stderr,
+                     "serve rig did not quiesce (%d/%d clients, "
+                     "server finished=%d):\n",
+                     finishedClients, spec.clients,
+                     serverProc->finished() ? 1 : 0);
+        std::fprintf(
+            stderr, "  server: served=%llu retx=%llu rxDrops=%llu\n",
+            static_cast<unsigned long long>(_server->served()),
+            static_cast<unsigned long long>(
+                _server->am().retransmits()),
+            static_cast<unsigned long long>(
+                serverEp->rxQueueDrops()));
+        for (auto &node : clients) {
+            if (node->proc->finished())
+                continue;
+            std::fprintf(
+                stderr,
+                "  %s: outstanding=%zu completions=%llu retx=%llu\n",
+                node->proc->name().c_str(), node->rpc->outstanding(),
+                static_cast<unsigned long long>(
+                    node->rpc->completions()),
+                static_cast<unsigned long long>(
+                    node->rpc->am().retransmits()));
+        }
+    }
+
+    for (auto &node : clients)
+        r.clientRetransmits += node->rpc->am().retransmits();
+    // Makespan ends at the last *completion*: the post-run drain and
+    // ACK grace are protocol housekeeping, not served load.
+    sim::Tick last = _stats->lastCompletion();
+    r.makespan = last > start ? last - start : 0;
+
+    r.issued = _stats->issued();
+    r.completed = _stats->completed();
+    r.dupResponses = _stats->dupResponses();
+    r.issuedLate = _stats->issuedLate();
+    r.giveUps = _stats->giveUps();
+    r.sloViolations = _stats->sloViolations();
+    r.served = _server->served();
+    r.serverRetransmits = _server->am().retransmits();
+    r.serverRxQueueDrops = serverEp->rxQueueDrops();
+
+    r.p50Us = _stats->latencyNs().quantile(0.50) / 1000.0;
+    r.p99Us = _stats->latencyNs().quantile(0.99) / 1000.0;
+    r.p999Us = _stats->latencyNs().quantile(0.999) / 1000.0;
+    if (!workload.closedLoop) {
+        // Open loop: the offered-load horizon is the natural goodput
+        // denominator — completed equals issued exactly when the plane
+        // keeps up, and the ratio to offered load reads directly.
+        // (Makespan would fold in the straggler tail of the slowest
+        // client's Poisson stream.)
+        sim::Tick horizon = static_cast<sim::Tick>(
+                                workload.requestsPerClient) *
+                            workload.meanGap;
+        if (horizon > 0)
+            r.goodputRps = static_cast<double>(r.completed) /
+                           (static_cast<double>(horizon) * 1e-12);
+    } else if (r.makespan > 0) {
+        r.goodputRps = static_cast<double>(r.completed) /
+                       (static_cast<double>(r.makespan) * 1e-12);
+    }
+    if (r.issued > 0)
+        r.sloViolationRate = static_cast<double>(r.sloViolations) /
+                             static_cast<double>(r.issued);
+    return r;
+}
+
+} // namespace unet::serve

@@ -1,0 +1,168 @@
+#include "serve/rpc.hh"
+
+#include "sim/logging.hh"
+
+namespace unet::serve {
+
+ServeStats::ServeStats(obs::Registry &reg, std::size_t methods,
+                       sim::Tick slo)
+    : _slo(slo), _methodLatencyNs(methods),
+      _metrics(reg, reg.uniquePrefix("serve"))
+{
+    _metrics.counter("issued", _issued);
+    _metrics.counter("completed", _completed);
+    _metrics.counter("dupResponses", _dupResponses);
+    _metrics.counter("issuedLate", _issuedLate);
+    _metrics.counter("giveUps", _giveUps);
+    _metrics.counter("sloViolations", _sloViolations);
+    _metrics.histogram("latency_ns", _latencyNs);
+    for (std::size_t m = 0; m < methods; ++m)
+        _metrics.histogram("m" + std::to_string(m) + ".latency_ns",
+                           _methodLatencyNs[m]);
+}
+
+am::AmSpec
+RpcServer::serverAmSpec()
+{
+    am::AmSpec spec;
+    // A reply rarely blocks inside a request handler: per-client
+    // traffic is capped by the *client's* window (8), so 16 covers it
+    // with slack for crossing ACKs.
+    spec.window = 16;
+    // The serving plane never bulk-transfers; small chunks let the
+    // default 256 KB buffer area fund the deep receive pool AND a
+    // window of TX chunks (replies ride descriptor-inline anyway).
+    spec.bulkMtu = 1024;
+    spec.rxBuffers = 64;
+    return spec;
+}
+
+RpcServer::RpcServer(UNet &unet, Endpoint &ep, am::AmSpec spec,
+                     std::uint64_t service_seed)
+    : unet(unet), _am(unet, ep, spec), rng(service_seed),
+      _metrics(unet.host().simulation().metrics(),
+               unet.host().simulation().metrics().uniquePrefix(
+                   "serve.server"))
+{
+    _metrics.counter("served", _served);
+    _metrics.counter("unknownMethods", _unknown);
+    _metrics.histogram("service_ns", _serviceNs);
+    _am.setHandler(requestHandler,
+                   [this](sim::Process &proc, am::Token token,
+                          const am::Args &args,
+                          std::span<const std::uint8_t> payload) {
+                       handle(proc, token, args, payload);
+                   });
+}
+
+MethodId
+RpcServer::addMethod(MethodSpec m)
+{
+    methods.push_back(std::move(m));
+    replyBytes.resize(
+        std::max<std::size_t>(replyBytes.size(),
+                              methods.back().responseBytes));
+    for (std::size_t i = 0; i < replyBytes.size(); ++i)
+        replyBytes[i] = static_cast<std::uint8_t>(0xA0 + i * 3);
+    return static_cast<MethodId>(methods.size() - 1);
+}
+
+void
+RpcServer::handle(sim::Process &proc, am::Token token,
+                  const am::Args &args,
+                  std::span<const std::uint8_t> payload)
+{
+    (void)payload;
+    MethodId method = args[0];
+    if (method >= methods.size()) {
+        ++_unknown;
+        return; // no reply: the client's give-up accounting sees it
+    }
+    const MethodSpec &m = methods[method];
+
+    sim::Tick cost = m.fixedCost;
+    if (m.expMeanCost > 0)
+        cost += rng.exponentialTicks(m.expMeanCost);
+    if (cost > 0)
+        unet.host().cpu().busy(proc, cost);
+    _serviceNs.record(static_cast<std::uint64_t>(cost / 1000));
+    ++_served;
+
+    _am.reply(proc, token, responseHandler,
+              {args[0], args[1], args[2], 0},
+              std::span<const std::uint8_t>(replyBytes.data(),
+                                            m.responseBytes));
+}
+
+bool
+RpcServer::serve(sim::Process &proc, const std::function<bool()> &done,
+                 sim::Tick timeout)
+{
+    bool finished = _am.pollUntil(proc, done, timeout);
+    // Retire outstanding replies (retransmitting through loss), then
+    // give the final cumulative ACKs a grace period to flush so the
+    // clients' drains succeed too.
+    _am.drain(proc, sim::seconds(5));
+    _am.pollUntil(proc, [] { return false; }, sim::milliseconds(5));
+    return finished;
+}
+
+RpcClient::RpcClient(UNet &unet, Endpoint &ep, ChannelId to_server,
+                     std::uint32_t client_id, ServeStats &stats,
+                     am::AmSpec spec)
+    : sim(unet.host().simulation()), _am(unet, ep, spec),
+      chan(to_server), _clientId(client_id), stats(stats)
+{
+    _am.openChannel(chan);
+    _am.setHandler(
+        responseHandler,
+        [this](sim::Process &, am::Token, const am::Args &args,
+               std::span<const std::uint8_t>) {
+            auto it = pending.find(args[1]);
+            if (it == pending.end()) {
+                // Duplicate (or post-give-up) response: suppressed.
+                this->stats.countDupResponse();
+                return;
+            }
+            sim::Tick now = this->sim.now();
+            MethodId method = it->second.method;
+            this->stats.recordCompletion(method, now - it->second.issued,
+                                         now);
+            pending.erase(it);
+            ++_completions;
+            if (onComplete)
+                onComplete(method, now);
+        });
+}
+
+bool
+RpcClient::issue(sim::Process &proc, MethodId method,
+                 sim::Tick issue_tick,
+                 std::span<const std::uint8_t> payload)
+{
+    std::uint32_t id = nextReq++;
+    pending.emplace(id, Pending{method, issue_tick});
+    stats.countIssue();
+    if (!_am.request(proc, chan, requestHandler,
+                     {method, id, _clientId, 0}, payload)) {
+        pending.erase(id);
+        stats.countGiveUp();
+        return false;
+    }
+    return true;
+}
+
+bool
+RpcClient::awaitAll(sim::Process &proc, sim::Tick timeout)
+{
+    bool ok = _am.pollUntil(proc, [this] { return pending.empty(); },
+                            timeout);
+    if (!ok) {
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            stats.countGiveUp();
+        pending.clear();
+    }
+    return ok;
+}
+
+} // namespace unet::serve

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Active-Message RPC: the request/response layer of the serving plane.
+ *
+ * The paper stops at ping-pong and bandwidth; the serving plane asks
+ * the question a datacenter operator would: what does U-Net's
+ * user-level path deliver as *tail latency under offered load* when
+ * hundreds of clients fan into one server through the switch? This
+ * layer gives requests an identity (a per-client request id), a
+ * server-side dispatch table with a configurable service-time model,
+ * and client-side correlation that measures issue-to-consume latency
+ * into obs histograms — all over the Active Message reliability layer,
+ * so burst loss under incast exercises exactly the Go-Back-N credit
+ * flow control the paper's AM layer provides.
+ *
+ * Wire format (one AM request or reply):
+ *   handler  requestHandler (client -> server) or
+ *            responseHandler (server -> client)
+ *   args[0]  method id
+ *   args[1]  request id (client-scoped, monotonically increasing)
+ *   args[2]  client id (diagnostics)
+ *   payload  request bytes / response bytes
+ */
+
+#ifndef UNET_SERVE_RPC_HH
+#define UNET_SERVE_RPC_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "am/active_messages.hh"
+#include "obs/metrics.hh"
+#include "sim/random.hh"
+
+namespace unet::serve {
+
+/** Index into the server's dispatch table. */
+using MethodId = std::uint32_t;
+
+/** AM handler ids the RPC plane claims on its endpoints. */
+constexpr am::HandlerId requestHandler = 1;
+constexpr am::HandlerId responseHandler = 2;
+
+/** One entry of the server's dispatch table. */
+struct MethodSpec
+{
+    std::string name = "echo";
+
+    /** Deterministic CPU cost charged per request. */
+    sim::Tick fixedCost = sim::microseconds(4);
+
+    /** Mean of an additional exponential cost component (0 = off),
+     *  drawn from the server's own seeded sim::Random. */
+    sim::Tick expMeanCost = sim::microseconds(2);
+
+    /** Reply payload size in bytes (kept small so responses ride the
+     *  small-message descriptor-inline path). */
+    std::uint32_t responseBytes = 8;
+};
+
+/**
+ * Client-side aggregate statistics for one serving experiment.
+ *
+ * Latency histograms are aggregated per method across all clients (a
+ * thousand per-client registrations would swamp the registry and the
+ * digest); counters cover the exactly-once accounting the tests
+ * reconcile against am.retransmits. Registered under "serve.*"
+ * (uniquified); declared before the simulation dies.
+ */
+class ServeStats
+{
+  public:
+    /**
+     * @param reg     Metrics registry (the simulation's).
+     * @param methods Dispatch-table size (one histogram each).
+     * @param slo     Latency SLO; completions above it count as
+     *                violations.
+     */
+    ServeStats(obs::Registry &reg, std::size_t methods, sim::Tick slo);
+
+    /** Record one completion: @p latency ticks for @p method,
+     *  consumed at @p now. */
+    void
+    recordCompletion(MethodId method, sim::Tick latency, sim::Tick now)
+    {
+        ++_completed;
+        if (now > _lastCompletion)
+            _lastCompletion = now;
+        if (latency > _slo)
+            ++_sloViolations;
+        // Ticks are picoseconds; histograms hold nanoseconds.
+        _latencyNs.record(static_cast<std::uint64_t>(latency / 1000));
+        if (method < _methodLatencyNs.size())
+            _methodLatencyNs[method].record(
+                static_cast<std::uint64_t>(latency / 1000));
+    }
+
+    void countIssue() { ++_issued; }
+    void countLate() { ++_issuedLate; }
+    void countDupResponse() { ++_dupResponses; }
+    void countGiveUp() { ++_giveUps; }
+
+    /** @name Accounting. @{ */
+    std::uint64_t issued() const { return _issued.value(); }
+    std::uint64_t completed() const { return _completed.value(); }
+    std::uint64_t dupResponses() const { return _dupResponses.value(); }
+    std::uint64_t issuedLate() const { return _issuedLate.value(); }
+    std::uint64_t giveUps() const { return _giveUps.value(); }
+    std::uint64_t sloViolations() const { return _sloViolations.value(); }
+    sim::Tick slo() const { return _slo; }
+
+    /** Tick of the last completion (goodput denominators should end
+     *  here, not after the post-run drain grace). */
+    sim::Tick lastCompletion() const { return _lastCompletion; }
+
+    const obs::Histogram &latencyNs() const { return _latencyNs; }
+    const obs::Histogram &
+    methodLatencyNs(MethodId m) const
+    {
+        return _methodLatencyNs.at(m);
+    }
+    /** @} */
+
+  private:
+    sim::Tick _slo;
+    sim::Tick _lastCompletion = 0;
+
+    sim::Counter _issued;
+    sim::Counter _completed;
+    sim::Counter _dupResponses;
+    sim::Counter _issuedLate;
+    sim::Counter _giveUps;
+    sim::Counter _sloViolations;
+
+    /** End-to-end issue-to-consume latency, all methods. */
+    obs::Histogram _latencyNs;
+
+    /** Per-method latency (sized once in construction; the registry
+     *  keeps pointers into this vector, so it never reallocates). */
+    std::vector<obs::Histogram> _methodLatencyNs;
+
+    /** Declared after the stats it registers. */
+    obs::MetricGroup _metrics;
+};
+
+/**
+ * The serving side: an AM dispatch table whose handlers charge a
+ * service-time model on the host CPU and reply to the requester.
+ *
+ * The service time is fixedCost plus an exponential component drawn
+ * from the server's own seeded Random — never the simulation's — so
+ * arming a different workload perturbs nothing else and the draw
+ * stream is a pure function of (seed, request order).
+ */
+class RpcServer
+{
+  public:
+    /** AM knobs sized for fan-in: a wide window so replies to many
+     *  clients rarely block inside a handler, and a deep free pool. */
+    static am::AmSpec serverAmSpec();
+
+    RpcServer(UNet &unet, Endpoint &ep,
+              am::AmSpec spec = serverAmSpec(),
+              std::uint64_t service_seed = 1);
+
+    /** Append a dispatch-table entry; returns its MethodId. */
+    MethodId addMethod(MethodSpec m);
+
+    /** Open reliability state for one accepted client channel. */
+    void openChannel(ChannelId chan) { _am.openChannel(chan); }
+
+    /**
+     * The server loop: poll (dispatching request handlers) until
+     * @p done holds, then drain outstanding replies and give the last
+     * ACKs a grace period to flush.
+     * @return false if @p timeout elapsed before @p done.
+     */
+    bool serve(sim::Process &proc, const std::function<bool()> &done,
+               sim::Tick timeout = sim::maxTick);
+
+    am::ActiveMessages &am() { return _am; }
+
+    /** @name Statistics. @{ */
+    std::uint64_t served() const { return _served.value(); }
+    std::uint64_t unknownMethods() const { return _unknown.value(); }
+    const obs::Histogram &serviceNs() const { return _serviceNs; }
+    /** @} */
+
+  private:
+    void handle(sim::Process &proc, am::Token token,
+                const am::Args &args,
+                std::span<const std::uint8_t> payload);
+
+    UNet &unet;
+    am::ActiveMessages _am;
+    sim::Random rng;
+    std::vector<MethodSpec> methods;
+    std::vector<std::uint8_t> replyBytes;
+
+    sim::Counter _served;
+    sim::Counter _unknown;
+
+    /** Service time actually charged (fixed + exponential), ns. */
+    obs::Histogram _serviceNs;
+
+    /** Declared after the stats it registers. */
+    obs::MetricGroup _metrics;
+};
+
+/**
+ * One client's view of the RPC plane: issues requests toward the
+ * server channel, correlates responses by request id, measures
+ * issue-to-consume latency, and suppresses duplicate responses (a
+ * response whose id is no longer outstanding increments the dup
+ * counter and is otherwise ignored — at-most-once completion per
+ * request id, whatever the wire replays).
+ */
+class RpcClient
+{
+  public:
+    RpcClient(UNet &unet, Endpoint &ep, ChannelId to_server,
+              std::uint32_t client_id, ServeStats &stats,
+              am::AmSpec spec = {});
+
+    /**
+     * Issue one request. @p issue_tick is the latency epoch: open-loop
+     * generators pass the *intended* arrival tick so client-side
+     * queueing (window stalls) counts against the measured latency.
+     * Blocks while the AM window is full.
+     * @return false if the channel died.
+     */
+    bool issue(sim::Process &proc, MethodId method, sim::Tick issue_tick,
+               std::span<const std::uint8_t> payload = {});
+
+    /** Outstanding (issued, uncompleted) requests. */
+    std::size_t outstanding() const { return pending.size(); }
+
+    /** Poll until every outstanding request completed.
+     *  @return false on timeout (the stragglers are counted as
+     *  give-ups in the stats). */
+    bool awaitAll(sim::Process &proc, sim::Tick timeout);
+
+    /** Invoked on each completion with (method, completion tick) —
+     *  closed-loop generators schedule the next think from here. */
+    std::function<void(MethodId, sim::Tick)> onComplete;
+
+    am::ActiveMessages &am() { return _am; }
+    ServeStats &serveStats() { return stats; }
+    std::uint32_t clientId() const { return _clientId; }
+    std::uint64_t completions() const { return _completions; }
+
+  private:
+    struct Pending
+    {
+        MethodId method;
+        sim::Tick issued;
+    };
+
+    sim::Simulation &sim;
+    am::ActiveMessages _am;
+    ChannelId chan;
+    std::uint32_t _clientId;
+    ServeStats &stats;
+    std::uint32_t nextReq = 1;
+    std::uint64_t _completions = 0;
+    std::map<std::uint32_t, Pending> pending;
+};
+
+} // namespace unet::serve
+
+#endif // UNET_SERVE_RPC_HH

@@ -10,6 +10,7 @@
 #ifndef UNET_SIM_RANDOM_HH
 #define UNET_SIM_RANDOM_HH
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -63,6 +64,35 @@ class Random
     {
         std::exponential_distribution<double> dist(1.0 / mean);
         return dist(engine);
+    }
+
+    /**
+     * Exponentially distributed inter-arrival gap in ticks, for
+     * deterministic Poisson arrival processes.
+     *
+     * Uses an explicit inverse-CDF transform over one raw engine draw
+     * rather than std::exponential_distribution, whose draw count per
+     * variate is implementation-defined: the stream is a pure function
+     * of the seed, so load generators stay bit-stable across library
+     * versions and under UNET_PERTURB (the salt permutes same-tick
+     * event order, never PRNG streams). Returns at least 1 tick so an
+     * arrival process always makes forward progress.
+     */
+    std::int64_t
+    exponentialTicks(std::int64_t meanTicks)
+    {
+        // (engine() >> 11) * 2^-53 is uniform on [0, 1); flip it to
+        // (0, 1] so log() never sees zero.
+        double u =
+            1.0 - std::ldexp(static_cast<double>(engine() >> 11), -53);
+        double gap = -static_cast<double>(meanTicks) * std::log(u);
+        // ~36.7 * mean caps the tail (probability ~1e-16 per draw);
+        // keeps the cast below well-defined for any sane mean.
+        double cap = static_cast<double>(meanTicks) * 53.0 * 0.6931471805599453;
+        if (gap > cap)
+            gap = cap;
+        auto ticks = static_cast<std::int64_t>(gap);
+        return ticks < 1 ? 1 : ticks;
     }
 
     /** Access the raw engine (for std::shuffle and friends). */

@@ -128,3 +128,47 @@ TEST(HistogramTest, BucketsAndQuantilesBehave)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.sum(), 0u);
 }
+
+TEST(HistogramTest, P999InterpolatesTheTailAccurately)
+{
+    // Every integer in [1, 16383] once: the top bucket [8192, 16383]
+    // is fully dense, so linear interpolation inside it must land
+    // within a couple of samples of the true order statistic
+    // (0.999 * 16383 = 16366.6).
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 16383; ++v)
+        h.record(v);
+    EXPECT_NEAR(h.quantile(0.999), 16367.0, 2.0);
+
+    // Tail quantiles stay monotone and inside the observed range.
+    EXPECT_LE(h.quantile(0.99), h.quantile(0.999));
+    EXPECT_LE(h.quantile(0.999), static_cast<double>(h.max()));
+
+    // Degenerate tail: one sample pins every quantile to it.
+    Histogram one;
+    one.record(7);
+    EXPECT_DOUBLE_EQ(one.quantile(0.999), 7.0);
+}
+
+TEST(Registry, HistogramStatTableExposesP999)
+{
+    Registry reg;
+    Histogram h;
+    reg.addHistogram("lat", &h);
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+
+    EXPECT_GT(reg.value("lat.p999"), 0.0);
+    EXPECT_GE(reg.value("lat.p999"), reg.value("lat.p99"));
+    EXPECT_LE(reg.value("lat.p999"), reg.value("lat.max"));
+
+    bool in_dump = false;
+    for (const auto &[path, value] : reg.dump())
+        if (path == "lat.p999")
+            in_dump = true;
+    EXPECT_TRUE(in_dump);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_NE(os.str().find("\"lat.p999\""), std::string::npos);
+}

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "sim/perturb.hh"
 #include "sim/random.hh"
+#include "sim/time.hh"
 
 using namespace unet::sim;
 
@@ -88,4 +92,42 @@ TEST(Random, ReseedRestartsSequence)
     r.u64();
     r.seed(21);
     EXPECT_EQ(r.u64(), first);
+}
+
+TEST(Random, ExponentialTicksStableAcrossPerturbSalts)
+{
+    // The draw stream is a pure function of the seed: the schedule
+    // perturbation salt must not reach it (UNET_PERTURB reorders
+    // same-tick events, never the measured randomness).
+    std::vector<Tick> base;
+    {
+        perturb::ScopedSalt salt(0);
+        Random r(42);
+        for (int i = 0; i < 256; ++i)
+            base.push_back(r.exponentialTicks(microseconds(1)));
+    }
+    for (std::uint64_t s : {1ull, 5ull, 123457ull}) {
+        perturb::ScopedSalt salt(s);
+        Random r(42);
+        for (int i = 0; i < 256; ++i)
+            EXPECT_EQ(r.exponentialTicks(microseconds(1)), base[i])
+                << "salt " << s << " draw " << i;
+    }
+}
+
+TEST(Random, ExponentialTicksMeanAndBounds)
+{
+    Random r(9);
+    const Tick mean = 250000; // 250 ns
+    const Tick cap = mean * 37; // 53 * ln 2 ~= 36.7 doublings
+    double sum = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        Tick g = r.exponentialTicks(mean);
+        ASSERT_GE(g, 1);
+        ASSERT_LE(g, cap);
+        sum += static_cast<double>(g);
+    }
+    EXPECT_NEAR(sum / trials, static_cast<double>(mean),
+                0.05 * static_cast<double>(mean));
 }
