@@ -197,6 +197,32 @@ class RawPair
             fault::attach(plan, s, *pcaB, ".b");
     }
 
+    /**
+     * Connect two caller-created endpoints (A-side @p ep_a to B-side
+     * @p ep_b) over the rig's fabric — the multi-endpoint analogue of
+     * wire() for rigs that open more than one endpoint per host.
+     */
+    void
+    connectExtra(Endpoint &ep_a, Endpoint &ep_b, ChannelId &chan_a,
+                 ChannelId &chan_b)
+    {
+        if (feA) {
+            UNetFe::connect(*feA, ep_a, *feB, ep_b, chan_a, chan_b);
+        } else {
+            UNetAtm::connect(*atmA, ep_a, portA, *atmB, ep_b, portB,
+                             *signalling, chan_a, chan_b);
+        }
+    }
+
+    /** The given side's NIC endpoint-residency cache. */
+    vep::ResidencyCache &
+    residency(int side)
+    {
+        if (feA)
+            return (side ? *feB : *feA).residency();
+        return (side ? *pcaB : *pcaA).residency();
+    }
+
     UNet &unetOf(int side) { return side ? *unetB : *unetA; }
     Endpoint &ep(int side) { return side ? *epB : *epA; }
     ChannelId chan(int side) const { return side ? chanB : chanA; }

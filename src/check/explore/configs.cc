@@ -31,6 +31,11 @@
  *               the upcall (signal-handler) receive model; per-lane
  *               exactly-once, in-order oracles over the activation
  *               batching
+ *   ep-evict    three senders fire into a node whose endpoint hot set
+ *               holds 2 of 3 endpoints while a local fiber sends from
+ *               the paged-out one: receive demux races LRU eviction,
+ *               the send races its own page-in; exactly-once,
+ *               capacity, and pin-safety oracles
  */
 
 #include <memory>
@@ -57,13 +62,14 @@ namespace {
 /** One Fast Ethernet node: host + DC21140 + in-kernel U-Net. */
 struct FeNodeRig
 {
-    FeNodeRig(sim::Simulation &s, eth::Network &net, int index)
+    FeNodeRig(sim::Simulation &s, eth::Network &net, int index,
+              UNetFeSpec fe_spec = {})
         : host(s, "node" + std::to_string(index),
                host::CpuSpec::pentium120(), host::BusSpec::pci()),
           nic(host, net,
               eth::MacAddress::fromIndex(
                   static_cast<std::uint32_t>(index + 1))),
-          unet(host, nic)
+          unet(host, nic, fe_spec)
     {}
 
     host::Host host;
@@ -1014,6 +1020,192 @@ class UpcallInstance : public ConfigInstance
     std::uint64_t handlerRuns = 0;
 };
 
+// ------------------------------------------------------------ ep-evict
+
+/**
+ * Endpoint-residency churn under concurrent traffic. The receiving
+ * node's hot set holds 2 of its 3 endpoints, so endpoint 0 starts
+ * paged out (creation order warms 0, 1, 2 and the third warm evicts
+ * the LRU). From one tick: three remote senders fire into endpoints
+ * 0/1/2 — the receive demux faults endpoint 0 back in and evicts a
+ * neighbour, racing the other arrivals — while a local fiber sends
+ * *from* endpoint 0, whose trap-side drain races the same page-in and
+ * holds a pin across the device TX ring. Whatever the interleaving:
+ * exactly-once per-lane delivery, the hot set never exceeds capacity,
+ * a pinned endpoint is never evicted (the cache panics if the LRU
+ * scan is wrong), at least one fault is charged (endpoint 0 cannot
+ * start resident), and every pin is released by quiescence.
+ */
+class EpEvictInstance : public ConfigInstance
+{
+  public:
+    static constexpr int lanes = 3;
+    static constexpr std::size_t hotCapacity = 2;
+
+    static std::uint32_t
+    length(int lane)
+    {
+        return 40 + static_cast<std::uint32_t>(lane);
+    }
+
+    static constexpr std::uint32_t beeLength = 52;
+
+    EpEvictInstance()
+        : sw(s), b(s, sw, lanes, receiverSpec()), c(s, sw, lanes + 1),
+          bee(s, "bee", [this](sim::Process &p) { beeBody(p); })
+    {
+        EndpointConfig cfg;
+        cfg.sendQueueDepth = 8;
+        cfg.recvQueueDepth = 8;
+        cfg.freeQueueDepth = 8;
+        cfg.bufferAreaBytes = 16 * 1024;
+        // Endpoint 0 first: the two later warms evict it, so it is
+        // the guaranteed-cold endpoint both race arms contend over.
+        for (int i = 0; i < lanes; ++i)
+            epB.push_back(&b.unet.createEndpoint(
+                i == 0 ? &bee : nullptr, cfg));
+        epC = &c.unet.createEndpoint(nullptr, cfg);
+        UNetFe::connect(b.unet, *epB[0], c.unet, *epC, chanBee,
+                        chanAtC);
+        for (int i = 0; i < lanes; ++i) {
+            nodes.push_back(std::make_unique<FeNodeRig>(s, sw, i));
+            senders.push_back(std::make_unique<sim::Process>(
+                s, "send" + std::to_string(i),
+                [this, i](sim::Process &p) { senderBody(p, i); }));
+            epA.push_back(&nodes[static_cast<std::size_t>(i)]
+                               ->unet.createEndpoint(
+                                   senders.back().get(), cfg));
+            ChannelId ca = invalidChannel, cb = invalidChannel;
+            UNetFe::connect(nodes[static_cast<std::size_t>(i)]->unet,
+                            *epA.back(),
+                            b.unet, *epB[static_cast<std::size_t>(i)],
+                            ca, cb);
+            chans.push_back(ca);
+        }
+        for (auto &proc : senders)
+            proc->start(sim::microseconds(10)); // same tick: the race
+        bee.start(sim::microseconds(10));
+    }
+
+    sim::Simulation &simulation() override { return s; }
+
+    void
+    checkStep() override
+    {
+        for (int i = 0; i < lanes; ++i) {
+            epA[static_cast<std::size_t>(i)]->auditRings();
+            epB[static_cast<std::size_t>(i)]->auditRings();
+            if (epB[static_cast<std::size_t>(i)]->rxQueueDrops())
+                UNET_PANIC("ep-evict: receive-queue drop in a "
+                           "lossless rig");
+        }
+        epC->auditRings();
+        const vep::ResidencyCache &cache = b.unet.residency();
+        if (cache.residentCount() > hotCapacity)
+            UNET_PANIC("ep-evict: ", cache.residentCount(),
+                       " endpoints resident in a ", hotCapacity,
+                       "-slot hot set");
+    }
+
+    void
+    checkEnd() override
+    {
+        for (auto &proc : senders)
+            if (!proc->finished())
+                UNET_PANIC("ep-evict: sender ", proc->name(),
+                           " did not finish");
+        if (!bee.finished())
+            UNET_PANIC("ep-evict: bee did not finish");
+        for (int i = 0; i < lanes; ++i) {
+            Endpoint &ep = *epB[static_cast<std::size_t>(i)];
+            RecvDescriptor rd;
+            if (!ep.poll(rd))
+                UNET_PANIC("ep-evict: endpoint ", i,
+                           " received nothing");
+            if (!rd.isSmall || rd.length != length(i))
+                UNET_PANIC("ep-evict: endpoint ", i, " got a ",
+                           rd.length, "-byte message, expected ",
+                           length(i), " (misrouted demux)");
+            if (ep.poll(rd))
+                UNET_PANIC("ep-evict: endpoint ", i,
+                           " received more than one message");
+        }
+        RecvDescriptor rd;
+        if (!epC->poll(rd) || rd.length != beeLength)
+            UNET_PANIC("ep-evict: bee's message never reached node c");
+        if (epC->poll(rd))
+            UNET_PANIC("ep-evict: node c received a duplicate");
+        const vep::ResidencyCache &cache = b.unet.residency();
+        if (cache.faults() == 0)
+            UNET_PANIC("ep-evict: no residency fault charged, but "
+                       "endpoint 0 started paged out");
+        if (cache.pinnedCount() != 0)
+            UNET_PANIC("ep-evict: ", cache.pinnedCount(),
+                       " pins still held at quiescence");
+    }
+
+    void
+    mixState(obs::Digest &d) const override
+    {
+        for (int i = 0; i < lanes; ++i) {
+            d.mix(static_cast<std::uint64_t>(
+                senders[static_cast<std::size_t>(i)]->finished()));
+            mixEndpoint(d, *epA[static_cast<std::size_t>(i)]);
+            mixEndpoint(d, *epB[static_cast<std::size_t>(i)]);
+        }
+        d.mix(static_cast<std::uint64_t>(bee.finished()));
+        mixEndpoint(d, *epC);
+        const vep::ResidencyCache &cache = b.unet.residency();
+        d.mix(cache.stateHash());
+        d.mix(cache.faults());
+        d.mix(cache.evictions());
+        d.mix(cache.hits());
+        d.mix(static_cast<std::uint64_t>(cache.residentCount()));
+        d.mix(static_cast<std::uint64_t>(cache.pinnedCount()));
+    }
+
+  private:
+    static UNetFeSpec
+    receiverSpec()
+    {
+        UNetFeSpec spec;
+        spec.vep.hotCapacity = hotCapacity;
+        return spec;
+    }
+
+    void
+    beeBody(sim::Process &self)
+    {
+        if (!sendFragment(b.unet, self, *epB[0], chanBee, 0,
+                          beeLength))
+            UNET_PANIC("ep-evict: bee send refused");
+        b.unet.flush(self, *epB[0]);
+    }
+
+    void
+    senderBody(sim::Process &self, int i)
+    {
+        UNetFe &un = nodes[static_cast<std::size_t>(i)]->unet;
+        Endpoint &ep = *epA[static_cast<std::size_t>(i)];
+        if (!sendFragment(un, self, ep,
+                          chans[static_cast<std::size_t>(i)], 0,
+                          length(i)))
+            UNET_PANIC("ep-evict: sender ", i, " refused");
+        un.flush(self, ep);
+    }
+
+    sim::Simulation s;
+    eth::Switch sw;
+    FeNodeRig b, c;
+    sim::Process bee;
+    std::vector<std::unique_ptr<FeNodeRig>> nodes;
+    std::vector<std::unique_ptr<sim::Process>> senders;
+    std::vector<Endpoint *> epA, epB;
+    Endpoint *epC = nullptr;
+    std::vector<ChannelId> chans;
+    ChannelId chanBee = invalidChannel, chanAtC = invalidChannel;
+};
+
 // ------------------------------------------------------------ registry
 
 template <typename Instance>
@@ -1075,6 +1267,12 @@ const SimpleConfig<UpcallInstance> upcallConfig{
     "per-lane exactly-once + in-order oracles over activation "
     "batching"};
 
+const SimpleConfig<EpEvictInstance> epEvictConfig{
+    "ep-evict",
+    "receive demux races LRU eviction of a 2-slot endpoint hot set "
+    "while a local send races its own page-in; exactly-once + "
+    "capacity + pin-safety oracles"};
+
 } // namespace
 
 const std::vector<const Config *> &
@@ -1082,7 +1280,8 @@ configs()
 {
     static const std::vector<const Config *> all = {
         &fig5Config, &retransmitConfig, &demuxConfig, &seededConfig,
-        &sendvRaceConfig, &atmCmdQueueConfig, &upcallConfig};
+        &sendvRaceConfig, &atmCmdQueueConfig, &upcallConfig,
+        &epEvictConfig};
     return all;
 }
 

@@ -99,6 +99,9 @@ Dc21140::txFetchNext()
                     if (desc.interruptOnComplete)
                         irq->assertLine();
                     --txInFlight;
+                    if (txCompleteFn)
+                        txCompleteFn(static_cast<std::size_t>(
+                            &desc - txRing.data()));
                     txFetchNext();
                 });
                 // Prefetch the next frame while this one serializes.

@@ -21,6 +21,7 @@
 #define UNET_NIC_DC21140_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -167,6 +168,20 @@ class Dc21140 : public eth::Station
      */
     void pollDemand();
 
+    /**
+     * Driver hook run right after a TX descriptor's status writeback
+     * (own bit cleared): lets the driver reap the slot — release the
+     * user fragment's ownership and the endpoint's residency pin — the
+     * moment the frame leaves, instead of lazily at the next trap.
+     * Costs nothing (the writeback already happened); purely a custody
+     * hand-back.
+     */
+    void
+    onTxComplete(std::function<void(std::size_t slot)> fn)
+    {
+        txCompleteFn = std::move(fn);
+    }
+
     /** @name Statistics. @{ */
     /** When the most recent frame began serializing onto the wire. */
     sim::Tick lastTxWireStart() const { return _lastTxWireStart; }
@@ -196,6 +211,7 @@ class Dc21140 : public eth::Station
     eth::Tap *tap;
     fault::Injector *rxFaultInjector = nullptr;
     std::unique_ptr<host::InterruptLine> irq;
+    std::function<void(std::size_t)> txCompleteFn;
 
     std::vector<TxDescriptor> txRing;
     std::vector<RxDescriptor> rxRing;

@@ -10,6 +10,8 @@ using namespace sim::literals;
 
 Pca200::Pca200(host::Host &host, atm::AtmLink &link, Pca200Spec spec)
     : host(host), _spec(spec), coproc(host.simulation()),
+      _residency(host.simulation(), spec.vep,
+                 "host." + host.name() + ".unet.vep"),
       tap(&link.attach(*this)),
       rxService(host.simulation().events(), [this] { serviceRxFifo(); }),
       _trackCpu(host.name() + ".cpu"), _trackFw(host.name() + ".fw"),
@@ -37,6 +39,29 @@ Pca200::attachEndpoint(Endpoint *ep)
     if (epIndex.size() <= ep->id())
         epIndex.resize(ep->id() + 1, nullptr);
     epIndex[ep->id()] = &state;
+    // Attachment loads the endpoint block into adapter SRAM (boot-time
+    // command-queue work, not a fault): rigs that fit the hot set
+    // never page at all.
+    _residency.warm(ep->id());
+}
+
+void
+Pca200::detachEndpoint(Endpoint &ep)
+{
+    auto it = endpoints.find(ep.id());
+    if (it == endpoints.end())
+        UNET_PANIC("detaching endpoint not attached to this PCA-200");
+    if (it->second.txScheduled)
+        UNET_FATAL("detaching endpoint ", ep.id(),
+                   " while the firmware services its send queue");
+    for (const auto &[vci, vc] : vcs)
+        if (vc.ep == &ep)
+            UNET_FATAL("detaching endpoint ", ep.id(), " with VCI ",
+                       vci, " still installed (removeVci first)");
+    // Panics if the endpoint still holds a pin (in-flight custody).
+    _residency.remove(ep.id());
+    epIndex[ep.id()] = nullptr;
+    endpoints.erase(it);
 }
 
 void
@@ -89,6 +114,13 @@ Pca200::scheduleTxService(EpState &state)
         return;
     state.txScheduled = true;
 
+    // A doorbell for a cold endpoint makes the firmware DMA its block
+    // back into adapter SRAM before servicing: the page-in rides the
+    // poll latency. The endpoint stays pinned — in-flight custody —
+    // until the drain finds the send queue empty.
+    sim::Tick fault = _residency.touch(state.ep->id());
+    _residency.pin(state.ep->id());
+
     // Weighted polling: "endpoints with recent activity are polled more
     // frequently given that they are most likely to correspond to a
     // running process".
@@ -96,7 +128,7 @@ Pca200::scheduleTxService(EpState &state)
     bool active = state.lastActive >= 0 &&
         now - state.lastActive < _spec.activityWindow;
     sim::Tick latency = active ? _spec.txPollActive : _spec.txPollIdle;
-    state.txService->scheduleIn(latency);
+    state.txService->scheduleIn(latency + fault);
 }
 
 void
@@ -111,6 +143,7 @@ Pca200::serviceTx(EpState &state, bool chained)
     if (!desc) {
         state.txScheduled = false;
         state.trainRemaining = 0; // any unread train followers are gone
+        _residency.unpin(state.ep->id());
         return;
     }
     // A self-chained pop inside a descriptor train skips the
@@ -282,17 +315,26 @@ Pca200::handleCell(const atm::Cell &cell)
     }
     VcState &vc = *vcp;
 
+    // The endpoint's adapter-SRAM block (free-queue head, reassembly
+    // state) must be resident before the cell can be steered into it;
+    // a miss pays the page-in on this cell's firmware cost.
+    sim::Tick fault = _residency.touch(vc.ep->id());
+
     // Single-cell fast path: "Receiving single-cell messages is
     // special-cased ... directly transferred into the next empty
     // receive queue entry".
     if (!vc.firstCellSeen && cell.endOfPdu &&
         _spec.singleCellOptimization) {
+        // Pinned across the firmware work + descriptor DMA: custody
+        // ends when the message is delivered (or the CRC drops it).
+        _residency.pin(vc.ep->id());
         auto payload = vc.reasm.addCell(cell);
-        coproc.run(_spec.rxSingleCell,
+        coproc.run(_spec.rxSingleCell + fault,
                    [this, &vc, payload = std::move(payload), next,
                     ctx = cell.trace]() mutable {
             if (!payload) {
                 ++_crcDrops;
+                _residency.unpin(vc.ep->id());
             } else if (payload->size() > smallMessageMax) {
                 // A single cell always fits the inline descriptor.
                 UNET_PANIC("single-cell PDU larger than inline area");
@@ -316,6 +358,7 @@ Pca200::handleCell(const atm::Cell &cell)
                     rd.trace = ctx;
                     if (vc.ep->deliver(rd))
                         ++_msgsDeliv;
+                    _residency.unpin(vc.ep->id());
                 });
             }
             next();
@@ -324,9 +367,12 @@ Pca200::handleCell(const atm::Cell &cell)
     }
 
     // Multi-cell path.
-    sim::Tick cost = _spec.rxPerCell;
+    sim::Tick cost = _spec.rxPerCell + fault;
     if (!vc.firstCellSeen) {
         vc.firstCellSeen = true;
+        // Reassembly in progress: the endpoint's buffer chain lives in
+        // its SRAM block — pinned until the PDU completes or aborts.
+        _residency.pin(vc.ep->id());
         cost += _spec.rxFirstCellExtra;
     }
     if (cell.endOfPdu)
@@ -382,6 +428,7 @@ Pca200::handleCell(const atm::Cell &cell)
             vc.firstCellSeen = false;
             vc.poisoned = false;
             vc.trace = {};
+            _residency.unpin(vc.ep->id());
         }
         next();
     });

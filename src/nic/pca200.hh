@@ -35,6 +35,7 @@
 #include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "unet/endpoint.hh"
+#include "unet/vep/vep.hh"
 
 namespace unet::nic {
 
@@ -88,6 +89,11 @@ struct Pca200Spec
     /** Single-cell receives bypass buffer allocation and go straight
      *  into the receive-queue entry (ablation knob). */
     bool singleCellOptimization = true;
+
+    /** Endpoint virtualization: hot-set capacity in adapter SRAM and
+     *  page-in/out fault costs (the i960 DMAs cold endpoint state in
+     *  from host memory on a doorbell or demux miss). */
+    vep::VepSpec vep;
 };
 
 /** The adapter + firmware. */
@@ -107,6 +113,14 @@ class Pca200 : public atm::CellSink
 
     /** Make the firmware service this endpoint's queues. */
     void attachEndpoint(Endpoint *ep);
+
+    /** Forget an endpoint (destroy). Panics while the firmware is
+     *  servicing its send queue or a VCI still routes to it. */
+    void detachEndpoint(Endpoint &ep);
+
+    /** Endpoint hot set in adapter SRAM (residency, faults, pins). */
+    vep::ResidencyCache &residency() { return _residency; }
+    const vep::ResidencyCache &residency() const { return _residency; }
 
     /** Install receive demux: cells on @p vci go to (@p ep, @p chan). */
     void installVci(atm::Vci vci, Endpoint *ep, ChannelId chan);
@@ -211,6 +225,7 @@ class Pca200 : public atm::CellSink
     host::Host &host;
     Pca200Spec _spec;
     I960 coproc;
+    vep::ResidencyCache _residency;
     atm::CellTap *tap;
     fault::Injector *rxFaultInjector = nullptr;
 

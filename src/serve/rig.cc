@@ -123,8 +123,11 @@ ServeRig::ServeRig(RigSpec s)
             serverDone = true;
         },
         4 * 1024 * 1024);
-    serverEp = &serverUnet->createEndpoint(
-        serverProc.get(), serverEndpointConfig(spec.clients));
+    serverOs = std::make_unique<OsService>(*serverUnet, spec.osLimits);
+    serverEp = serverOs->createEndpoint(
+        *serverProc, serverEndpointConfig(spec.clients));
+    if (!serverEp)
+        UNET_FATAL("serve rig: OS service denied the server endpoint");
 
     _stats = std::make_unique<ServeStats>(
         sim.metrics(), spec.methods.size(), spec.slo);
@@ -175,8 +178,12 @@ ServeRig::ServeRig(RigSpec s)
                     p, [this] { return serverDone; }, sim::seconds(10));
             },
             512 * 1024);
-        node.endpoint =
-            &node.unet->createEndpoint(node.proc.get(), {});
+        node.os = std::make_unique<OsService>(*node.unet,
+                                              spec.osLimits);
+        node.endpoint = node.os->createEndpoint(*node.proc, {});
+        if (!node.endpoint)
+            UNET_FATAL("serve rig: OS service denied client endpoint ",
+                       i);
     }
 
     // Channels: each client to the server.

@@ -29,6 +29,7 @@
 #include "fault/fault.hh"
 #include "serve/loadgen.hh"
 #include "serve/rpc.hh"
+#include "unet/os_service.hh"
 #include "unet/unet_atm.hh"
 #include "unet/unet_fe.hh"
 
@@ -75,6 +76,12 @@ struct RigSpec
 
     am::AmSpec clientAm{};
     am::AmSpec serverAm = RpcServer::serverAmSpec();
+
+    /** OS-service limits for every node. Endpoints are created through
+     *  the OS service (boot-time, so the syscall cost is not charged);
+     *  the channel ceiling is wide by default so the server endpoint
+     *  can fan in past the stock 64-channel limit. */
+    OsLimits osLimits{8, 4096};
 
     /** ATM rigs: per-node link (OC-3c, matching the PCA-200 rig). */
     atm::LinkSpec atmLink = atm::LinkSpec::oc3();
@@ -159,6 +166,7 @@ class ServeRig
         std::unique_ptr<nic::Dc21140> nicFe; ///< FE only
         std::unique_ptr<nic::Pca200> nicAtm; ///< ATM only
         std::unique_ptr<UNet> unet;
+        std::unique_ptr<OsService> os;
         std::unique_ptr<sim::Process> proc;
         Endpoint *endpoint = nullptr;
         std::unique_ptr<RpcClient> rpc;
@@ -181,6 +189,7 @@ class ServeRig
     std::unique_ptr<nic::Dc21140> serverNicFe;
     std::unique_ptr<nic::Pca200> serverNicAtm;
     std::unique_ptr<UNet> serverUnet;
+    std::unique_ptr<OsService> serverOs;
     std::unique_ptr<sim::Process> serverProc;
     Endpoint *serverEp = nullptr;
 

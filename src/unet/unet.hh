@@ -20,6 +20,7 @@
 #include "sim/stats.hh"
 #include "unet/endpoint.hh"
 #include "unet/types.hh"
+#include "unet/vep/vep.hh"
 
 namespace unet {
 
@@ -49,6 +50,20 @@ class UNet
      */
     virtual Endpoint &createEndpoint(const sim::Process *owner,
                                      const EndpointConfig &config) = 0;
+
+    /**
+     * Destroy @p ep: the implementation tears down its NIC-side state
+     * (port/VCI demux entries, residency) and the table retires the
+     * id. Destroying an endpoint with in-flight custody (a device ring
+     * slot or the firmware mid-message) is a model bug and panics.
+     * Called via the OS service, like createEndpoint.
+     */
+    void
+    destroyEndpoint(Endpoint &ep)
+    {
+        onDestroyEndpoint(ep);
+        _table.destroy(ep.id());
+    }
 
     /**
      * Post a send: push @p desc onto the endpoint's send queue and ring
@@ -122,14 +137,14 @@ class UNet
     /** Sends rejected because the caller does not own the endpoint. */
     std::uint64_t protectionFaults() const { return _protFaults.value(); }
 
-    /** Endpoints created on this instance. */
-    const std::vector<std::unique_ptr<Endpoint>> &
-    endpoints() const
-    {
-        return _endpoints;
-    }
+    /** Every endpoint on this instance (materialized and cold). */
+    vep::EndpointTable &table() { return _table; }
+    const vep::EndpointTable &table() const { return _table; }
 
   protected:
+    /** Implementation hook run before the table retires the id. */
+    virtual void onDestroyEndpoint(Endpoint &ep) { (void)ep; }
+
     /** Owner check shared by implementations. */
     bool
     checkOwner(const sim::Process &proc, const Endpoint &ep)
@@ -142,7 +157,7 @@ class UNet
     }
 
     host::Host &_host;
-    std::vector<std::unique_ptr<Endpoint>> _endpoints;
+    vep::EndpointTable _table;
     sim::Counter _protFaults;
 };
 

@@ -19,14 +19,18 @@ Endpoint &
 UNetAtm::createEndpoint(const sim::Process *owner,
                         const EndpointConfig &config)
 {
-    _endpoints.push_back(std::make_unique<Endpoint>(
-        _host.simulation(), _host.memory(), config, owner,
-        _endpoints.size()));
-    Endpoint *ep = _endpoints.back().get();
+    Endpoint &ep = _table.create(_host.simulation(), _host.memory(),
+                                 config, owner);
     // Command-queue registration: the driver tells the firmware about
     // the endpoint's queues and buffer area.
-    _nic.attachEndpoint(ep);
-    return *ep;
+    _nic.attachEndpoint(&ep);
+    return ep;
+}
+
+void
+UNetAtm::onDestroyEndpoint(Endpoint &ep)
+{
+    _nic.detachEndpoint(ep);
 }
 
 bool

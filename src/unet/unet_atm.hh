@@ -140,6 +140,9 @@ class UNetAtm : public UNet
     /** @} */
 
   private:
+    /** Detach the endpoint from the firmware before the id retires. */
+    void onDestroyEndpoint(Endpoint &ep) override;
+
     /** send() once the descriptor carries its trace context. */
     bool sendImpl(sim::Process &proc, Endpoint &ep,
                   const SendDescriptor &desc);

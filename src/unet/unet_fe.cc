@@ -20,6 +20,8 @@ tagKey(const eth::MacAddress &mac, PortId port)
 
 UNetFe::UNetFe(host::Host &host, nic::Dc21140 &nic, UNetFeSpec spec)
     : UNet(host), _spec(spec), _nic(nic),
+      _residency(host.simulation(), spec.vep,
+                 "host." + host.name() + ".unet.vep"),
       _trackCpu(host.name() + ".cpu"),
       _metrics(host.simulation().metrics(),
                host.simulation().metrics().uniquePrefix(
@@ -56,28 +58,61 @@ UNetFe::UNetFe(host::Host &host, nic::Dc21140 &nic, UNetFeSpec spec)
     }
 
     nic.interrupt().connect([this] { rxInterrupt(); });
+    // Eager reap: release a slot's fragment (and its endpoint pin) the
+    // moment the device writes the completion back, instead of at the
+    // next trap. Keeps pin windows tight so eviction is never blocked
+    // by a frame that already left the wire.
+    nic.onTxComplete([this](std::size_t slot) { reapTxSlot(slot); });
 }
 
 Endpoint &
 UNetFe::createEndpoint(const sim::Process *owner,
                        const EndpointConfig &config)
 {
-    if (portsAssigned >= portTable.size())
+    PortId port;
+    if (!_freePorts.empty()) {
+        port = _freePorts.back();
+        _freePorts.pop_back();
+    } else if (portsAssigned >= portTable.size()) {
         UNET_FATAL("U-Net/FE port space (one byte) exhausted");
-    _endpoints.push_back(std::make_unique<Endpoint>(
-        _host.simulation(), _host.memory(), config, owner,
-        _endpoints.size()));
-    Endpoint *ep = _endpoints.back().get();
+    } else {
+        port = nextPort++;
+    }
+    Endpoint *ep = &_table.create(_host.simulation(), _host.memory(),
+                                  config, owner);
 
     EpState &state = epState[ep->id()];
     state.ep = ep;
-    state.port = nextPort++;
+    state.port = port;
     ++portsAssigned;
     portTable[state.port] = &state;
     if (epIndex.size() <= ep->id())
         epIndex.resize(ep->id() + 1, nullptr);
     epIndex[ep->id()] = &state;
+    // Creation pre-loads the state it just built (boot-time work, not
+    // a fault): rigs that fit the hot set never page at all.
+    _residency.warm(ep->id());
     return *ep;
+}
+
+void
+UNetFe::onDestroyEndpoint(Endpoint &ep)
+{
+    auto it = epState.find(ep.id());
+    if (it == epState.end())
+        UNET_PANIC("endpoint not created by this U-Net/FE instance");
+    for (const auto &record : txSlotFrag)
+        if (record && record->first == &ep)
+            UNET_FATAL("destroying endpoint ", ep.id(),
+                       " with frames still in the device TX ring");
+    // Panics if the endpoint still holds a pin (in-flight custody).
+    _residency.remove(ep.id());
+    EpState &state = it->second;
+    portTable[state.port] = nullptr;
+    _freePorts.push_back(state.port);
+    --portsAssigned;
+    epIndex[ep.id()] = nullptr;
+    epState.erase(it);
 }
 
 PortId
@@ -296,6 +331,18 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep, bool coalesce)
         sim::Tick local = 0;
         sim::Tick &cost = coalesce ? batch_acc : local;
 
+        // The kernel's per-endpoint state (port, demux table, queue
+        // registration) must be resident before it can service the
+        // endpoint; a miss pages it in from host memory. Re-checked
+        // per message: the non-coalesced path yields in cpu.busy()
+        // between messages, and a concurrent interrupt touching other
+        // endpoints may have evicted this one meanwhile. Resident hits
+        // cost zero and record no span — the fixed-endpoint fast path
+        // is byte-identical.
+        if (sim::Tick fault = _residency.touch(ep.id()))
+            step(desc.trace, base, "page in endpoint state", fault,
+                 cost);
+
         step(desc.trace, base, "check U-Net send parameters",
              _spec.txCheckParams, cost);
         if (!ep.channelValid(desc.channel)) {
@@ -368,6 +415,10 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep, bool coalesce)
                     ep.buffers().baseOffset() + frag.offset);
                 ring_desc.buf2Length = frag.length;
                 txSlotFrag[slot] = {&ep, frag};
+                // The device ring now references the endpoint's buffer
+                // area: in-flight custody pins it against eviction
+                // until the completion writeback reaps the slot.
+                _residency.pin(ep.id());
             } else {
                 ring_desc.buf2Length = 0;
                 txSlotFrag[slot].reset();
@@ -420,6 +471,7 @@ UNetFe::reapTxSlot(std::size_t slot)
     if (!record || _nic.txDesc(slot).own)
         return;
     record->first->ownership().releaseSend(record->second);
+    _residency.unpin(record->first->id());
     record.reset();
 }
 
@@ -528,6 +580,13 @@ UNetFe::rxInterrupt()
             continue;
         }
         EpState &state = *statep;
+        // The channel-tag table the demux searches next is part of the
+        // endpoint's paged kernel state; a cold endpoint pays the
+        // page-in before the handler can translate the tag. (Delivery
+        // itself writes host-resident rings and buffers, so no pin is
+        // needed beyond the handler.)
+        if (sim::Tick fault = _residency.touch(state.ep->id()))
+            step(ctx, base, "page in endpoint state", fault, cost);
         const std::uint64_t tag = tagKey(frame->src, src_port);
         auto cit = std::lower_bound(
             state.demux.begin(), state.demux.end(), tag,

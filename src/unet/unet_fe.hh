@@ -70,6 +70,10 @@ struct UNetFeSpec
     /** Signal-delivery latency for the upcall receive model. */
     sim::Tick upcallLatency = sim::microseconds(30);
 
+    /** Endpoint virtualization: hot-set capacity in the kernel's
+     *  pinned NIC-adjacent memory and page-in/out fault costs. */
+    vep::VepSpec vep;
+
     /** EtherType carried by U-Net/FE frames. */
     std::uint16_t etherType = 0x88B5;
 
@@ -172,6 +176,10 @@ class UNetFe : public UNet
     const UNetFeSpec &spec() const { return _spec; }
     nic::Dc21140 &nic() { return _nic; }
 
+    /** Endpoint hot set (residency, faults, pins). */
+    vep::ResidencyCache &residency() { return _residency; }
+    const vep::ResidencyCache &residency() const { return _residency; }
+
     /** @name Statistics. @{ */
     std::uint64_t messagesSent() const { return _sent.value(); }
     std::uint64_t messagesDelivered() const { return _delivered.value(); }
@@ -182,6 +190,9 @@ class UNetFe : public UNet
     /** @} */
 
   private:
+    /** Tear down port/demux/residency state before the id retires. */
+    void onDestroyEndpoint(Endpoint &ep) override;
+
     /** send() once the descriptor carries its trace context. */
     bool sendImpl(sim::Process &proc, Endpoint &ep,
                   const SendDescriptor &desc);
@@ -260,6 +271,12 @@ class UNetFe : public UNet
     std::array<EpState *, 256> portTable{};
     std::size_t portsAssigned = 0;
     PortId nextPort = 0;
+
+    /** Ports released by destroyed endpoints, reused LIFO. */
+    std::vector<PortId> _freePorts;
+
+    /** Which endpoints' kernel state is resident right now. */
+    vep::ResidencyCache _residency;
 
     /** Kernel header buffers, one per TX ring slot. */
     std::vector<std::size_t> headerBufOffset;

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The endpoint-virtualization scaling experiment is a determinism
+ * surface: its digest folds every round-trip tick and the final
+ * residency counters, so any salt-dependent victim choice, fault
+ * charge, or schedule drift in the paging machinery shows up as a
+ * digest mismatch. One thrashing cell (working set 64 over a 16-slot
+ * hot set) and one resident cell run under salts 0..5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/ep_scale.hh"
+#include "sim/perturb.hh"
+
+using namespace unet;
+using namespace unet::bench;
+
+namespace {
+
+EpScaleResult
+runUnderSalt(std::uint64_t salt, Fabric fabric, std::size_t total,
+             std::size_t hot)
+{
+    sim::perturb::ScopedSalt scoped(salt);
+    return runEpScale(fabric, total, hot, 2);
+}
+
+void
+expectDigestStable(Fabric fabric, std::size_t total, std::size_t hot)
+{
+    EpScaleResult base = runUnderSalt(0, fabric, total, hot);
+    ASSERT_TRUE(base.ok);
+    for (std::uint64_t salt = 1; salt <= 5; ++salt) {
+        EpScaleResult got = runUnderSalt(salt, fabric, total, hot);
+        ASSERT_TRUE(got.ok) << "salt " << salt;
+        EXPECT_EQ(got.digest, base.digest) << "salt " << salt;
+        EXPECT_EQ(got.faults, base.faults) << "salt " << salt;
+        EXPECT_EQ(got.evictions, base.evictions) << "salt " << salt;
+    }
+}
+
+} // namespace
+
+TEST(EpScaleDeterminism, FeThrashingCellStableAcrossSalts)
+{
+    expectDigestStable(Fabric::FeBay, 100, 16);
+}
+
+TEST(EpScaleDeterminism, FeResidentCellStableAcrossSalts)
+{
+    expectDigestStable(Fabric::FeBay, 100, 256);
+}
+
+TEST(EpScaleDeterminism, AtmThrashingCellStableAcrossSalts)
+{
+    expectDigestStable(Fabric::AtmOc3, 100, 16);
+}
+
+/** The regimes the curve rests on really are distinct: the thrashing
+ *  cell faults on the sender NIC, the resident cell never does and
+ *  matches the fixed-endpoint round-trip budget. */
+TEST(EpScaleDeterminism, RegimesAreDistinct)
+{
+    EpScaleResult thrash = runEpScale(Fabric::FeBay, 100, 16, 2);
+    EpScaleResult resident = runEpScale(Fabric::FeBay, 100, 256, 2);
+    ASSERT_TRUE(thrash.ok);
+    ASSERT_TRUE(resident.ok);
+    EXPECT_GT(thrash.faults, 0u);
+    EXPECT_EQ(resident.faults, 0u);
+    EXPECT_GT(thrash.rttUs, resident.rttUs);
+    // The cold tail is bookkeeping, not state: both tables carry all
+    // 100 ids.
+    EXPECT_EQ(thrash.tableSize, 100u);
+    EXPECT_EQ(resident.tableSize, 100u);
+}

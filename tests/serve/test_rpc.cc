@@ -328,3 +328,29 @@ TEST(RpcServe, CustodySpansTileReportedLatency)
 }
 
 #endif // UNET_TRACE
+
+/**
+ * Fan-in wider than the old fixed-endpoint ceiling: 72 clients is more
+ * channels than one paper-era NIC table (64) could hold. The OS
+ * service's id-keyed quota table and the rig's boot-time channel
+ * ceiling admit the whole fleet, and the virtualized endpoint layer
+ * keeps the traffic exactly-once.
+ */
+TEST(RpcServe, FanInBeyondSixtyFourClients)
+{
+    serve::RigSpec spec = feSpec(72);
+    serve::ServeRig rig(spec);
+    serve::Workload w;
+    w.closedLoop = true;
+    w.requestsPerClient = 2;
+    w.window = 1;
+    w.meanThink = sim::microseconds(100);
+    serve::RunResult r = rig.run(w);
+
+    ASSERT_TRUE(r.finished);
+    EXPECT_EQ(r.issued, 144u);
+    EXPECT_EQ(r.completed, 144u);
+    EXPECT_EQ(r.giveUps, 0u);
+    EXPECT_EQ(r.dupResponses, 0u);
+    EXPECT_EQ(rig.stats().latencyNs().count(), 144u);
+}

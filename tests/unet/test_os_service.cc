@@ -98,3 +98,74 @@ TEST(OsService, DefaultAuthorizerAllows)
     Endpoint &ep = a.unet.createEndpoint(&p, {});
     EXPECT_TRUE(os.authorize(p, ep));
 }
+
+TEST(OsService, DestroyReturnsQuota)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    OsLimits limits;
+    limits.maxEndpointsPerProcess = 1;
+    OsService os(a.unet, limits);
+
+    sim::Process app(s, "app", [&](sim::Process &self) {
+        Endpoint *first = os.createEndpoint(self);
+        ASSERT_NE(first, nullptr);
+        // At the quota ceiling the next create is refused...
+        EXPECT_EQ(os.createEndpoint(self), nullptr);
+        // ...until the slot is returned, after which the id itself is
+        // retired but the quota is free again.
+        std::size_t retired = first->id();
+        os.destroyEndpoint(self, *first);
+        EXPECT_FALSE(a.unet.table().known(retired));
+        Endpoint *second = os.createEndpoint(self);
+        ASSERT_NE(second, nullptr);
+        EXPECT_NE(second->id(), retired);
+    });
+    app.start();
+    s.run();
+    ASSERT_TRUE(app.finished());
+}
+
+/**
+ * The quota table is keyed by process id, not bounded by any dense
+ * process registry: a rig with hundreds of processes (the serve rig's
+ * wide fan-in) charges and releases quota per process independently.
+ */
+TEST(OsService, QuotaIsPerProcessAcrossManyProcesses)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    OsLimits limits;
+    limits.maxEndpointsPerProcess = 1;
+    OsService os(a.unet, limits);
+
+    // Small endpoints: 80 of the default 256KB buffer areas would
+    // exhaust the host's 4MB arena.
+    EndpointConfig small;
+    small.sendQueueDepth = small.recvQueueDepth = 4;
+    small.freeQueueDepth = 4;
+    small.bufferAreaBytes = 4096;
+    small.maxChannels = 2;
+
+    constexpr int n = 80;
+    int created = 0;
+    std::vector<std::unique_ptr<sim::Process>> procs;
+    for (int i = 0; i < n; ++i)
+        procs.push_back(std::make_unique<sim::Process>(
+            s, "app" + std::to_string(i), [&](sim::Process &self) {
+                if (os.createEndpoint(self, small))
+                    ++created;
+                // The per-process ceiling still binds.
+                EXPECT_EQ(os.createEndpoint(self, small), nullptr);
+            }));
+    // One syscall at a time: single-CPU hosts panic on overlap.
+    sim::Tick at = 0;
+    for (auto &p : procs) {
+        p->start(at);
+        at += 100_us;
+    }
+    s.run();
+    EXPECT_EQ(created, n);
+}

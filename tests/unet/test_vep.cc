@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Endpoint virtualization: table lifecycle, LRU victim determinism
+ * (bit-identical under perturbation salts), pin/custody safety panics,
+ * and paging integration on both NIC paths with a hot set smaller than
+ * the working set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/perturb.hh"
+#include "tests/unet/fixtures.hh"
+#include "unet/vep/vep.hh"
+
+using namespace unet;
+using namespace unet::test;
+using namespace unet::sim::literals;
+
+TEST(VepTable, LifecycleColdAndMaterialized)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0), b(s, link, 1);
+    vep::EndpointTable &t = a.unet.table();
+
+    sim::Process app(s, "app", [](sim::Process &) {});
+    Endpoint &ep = a.unet.createEndpoint(&app, {});
+    EXPECT_EQ(t.materialized(), 1u);
+    EXPECT_EQ(t.cold(), 0u);
+    EXPECT_TRUE(t.known(ep.id()));
+    EXPECT_EQ(t.get(ep.id()), &ep);
+
+    // The cold tier: the id exists, no Endpoint object backs it.
+    std::size_t cold_id = t.registerCold();
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.cold(), 1u);
+    EXPECT_TRUE(t.known(cold_id));
+    EXPECT_EQ(t.get(cold_id), nullptr);
+
+    // Retiring either kind never reuses the id.
+    t.destroy(cold_id);
+    EXPECT_EQ(t.cold(), 0u);
+    EXPECT_FALSE(t.known(cold_id));
+    std::size_t ep_id = ep.id();
+    a.unet.destroyEndpoint(ep);
+    EXPECT_EQ(t.materialized(), 0u);
+    EXPECT_FALSE(t.known(ep_id));
+    EXPECT_EQ(t.size(), 2u);
+    std::size_t next = t.registerCold();
+    EXPECT_NE(next, cold_id);
+    EXPECT_NE(next, ep_id);
+}
+
+TEST(VepResidency, FaultCostsAndLruVictim)
+{
+    sim::Simulation s;
+    vep::VepSpec spec;
+    spec.hotCapacity = 3;
+    vep::ResidencyCache c(s, spec, "test.vep");
+
+    // Cold misses with free slots: page-in only, no eviction.
+    EXPECT_EQ(c.touch(0), spec.pageInLatency);
+    EXPECT_EQ(c.touch(1), spec.pageInLatency);
+    EXPECT_EQ(c.touch(2), spec.pageInLatency);
+    EXPECT_EQ(c.faults(), 3u);
+    EXPECT_EQ(c.evictions(), 0u);
+
+    // A hit is free and refreshes recency.
+    EXPECT_EQ(c.touch(0), 0);
+    EXPECT_EQ(c.hits(), 1u);
+
+    // Full set: the least-recently-touched (1, not the refreshed 0)
+    // pays the way out, and the faulting caller is charged both sides.
+    EXPECT_EQ(c.touch(3), spec.pageInLatency + spec.pageOutLatency);
+    EXPECT_EQ(c.evictions(), 1u);
+    EXPECT_FALSE(c.resident(1));
+    EXPECT_TRUE(c.resident(0));
+    EXPECT_TRUE(c.resident(2));
+    EXPECT_TRUE(c.resident(3));
+    EXPECT_EQ(c.residentCount(), 3u);
+}
+
+TEST(VepResidency, WarmPreloadsWithoutFault)
+{
+    sim::Simulation s;
+    vep::VepSpec spec;
+    spec.hotCapacity = 2;
+    vep::ResidencyCache c(s, spec, "test.vep");
+
+    c.warm(7);
+    EXPECT_TRUE(c.resident(7));
+    EXPECT_EQ(c.faults(), 0u);
+    // The subsequent fast-path access is a plain hit.
+    EXPECT_EQ(c.touch(7), 0);
+    EXPECT_EQ(c.hits(), 1u);
+    // Warming over a full set still evicts LRU (and counts it).
+    c.warm(8);
+    c.warm(9);
+    EXPECT_FALSE(c.resident(7));
+    EXPECT_EQ(c.evictions(), 1u);
+    EXPECT_EQ(c.faults(), 0u);
+}
+
+TEST(VepResidency, PinnedEndpointIsNeverTheVictim)
+{
+    sim::Simulation s;
+    vep::VepSpec spec;
+    spec.hotCapacity = 2;
+    vep::ResidencyCache c(s, spec, "test.vep");
+
+    c.touch(0);
+    c.touch(1);
+    c.pin(0);
+    EXPECT_EQ(c.pinnedCount(), 1u);
+    // LRU would pick 0; custody forces the scan past it to 1.
+    c.touch(2);
+    EXPECT_TRUE(c.resident(0));
+    EXPECT_FALSE(c.resident(1));
+    c.unpin(0);
+    EXPECT_EQ(c.pinnedCount(), 0u);
+    // With the pin released, 0 is the oldest touch and goes first.
+    c.touch(3);
+    EXPECT_FALSE(c.resident(0));
+    EXPECT_TRUE(c.resident(2));
+    EXPECT_TRUE(c.resident(3));
+}
+
+/**
+ * Victim choice is a function of the logical touch sequence alone —
+ * never an address or clock — so the same access script produces the
+ * same hot set, hash, and counters under every perturbation salt.
+ */
+TEST(VepResidency, VictimChoiceStableAcrossSalts)
+{
+    auto script = [] {
+        sim::Simulation s;
+        vep::VepSpec spec;
+        spec.hotCapacity = 4;
+        vep::ResidencyCache c(s, spec, "test.vep");
+        const std::size_t accesses[] = {0, 1, 2, 3, 1, 4, 0,
+                                        5, 2, 6, 1, 7, 3};
+        for (std::size_t id : accesses) {
+            c.touch(id);
+            if (id % 3 == 0) {
+                c.pin(id);
+                c.unpin(id);
+            }
+        }
+        struct
+        {
+            std::uint64_t hash, faults, evictions, hits;
+        } out{c.stateHash(), c.faults(), c.evictions(), c.hits()};
+        return out;
+    };
+
+    auto baseline = script();
+    EXPECT_GT(baseline.evictions, 0u);
+    for (std::uint64_t salt = 1; salt <= 5; ++salt) {
+        sim::perturb::ScopedSalt scoped(salt);
+        auto got = script();
+        EXPECT_EQ(got.hash, baseline.hash) << "salt " << salt;
+        EXPECT_EQ(got.faults, baseline.faults) << "salt " << salt;
+        EXPECT_EQ(got.evictions, baseline.evictions) << "salt " << salt;
+        EXPECT_EQ(got.hits, baseline.hits) << "salt " << salt;
+    }
+}
+
+TEST(VepResidencyDeathTest, EvictingPinnedEndpointPanics)
+{
+    sim::Simulation s;
+    vep::ResidencyCache c(s, {}, "test.vep");
+    c.touch(0);
+    c.pin(0);
+    EXPECT_DEATH(c.evict(0), "in-flight custody");
+}
+
+TEST(VepResidencyDeathTest, RemovingPinnedEndpointPanics)
+{
+    sim::Simulation s;
+    vep::ResidencyCache c(s, {}, "test.vep");
+    c.touch(0);
+    c.pin(0);
+    EXPECT_DEATH(c.remove(0), "in-flight custody");
+}
+
+TEST(VepResidencyDeathTest, AllResidentsPinnedPanicsOnMiss)
+{
+    sim::Simulation s;
+    vep::VepSpec spec;
+    spec.hotCapacity = 1;
+    vep::ResidencyCache c(s, spec, "test.vep");
+    c.touch(0);
+    c.pin(0);
+    EXPECT_DEATH(c.touch(1), "full of pinned");
+}
+
+namespace {
+
+/**
+ * Alternating-traffic script shared by both NIC integration tests:
+ * one message to each of the receiver's two endpoints in turn, with
+ * gaps long enough that custody windows never overlap. Lengths differ
+ * per endpoint so a misrouted demux cannot pass.
+ */
+constexpr int kRounds = 3;
+
+std::uint32_t
+lengthFor(int e)
+{
+    return 24u + 8u * static_cast<unsigned>(e);
+}
+
+} // namespace
+
+TEST(VepFe, ReceiverPagesUnderUndersizedHotSet)
+{
+    sim::Simulation s;
+    eth::FullDuplexLink link(s);
+    FeNode a(s, link, 0);
+
+    // Receiver NIC holds one endpoint's state; two are live.
+    UNetFeSpec tiny;
+    tiny.vep.hotCapacity = 1;
+    host::Host host_b(s, "node1", host::CpuSpec::pentium120(),
+                      host::BusSpec::pci());
+    nic::Dc21140 nic_b(host_b, link, eth::MacAddress::fromIndex(2));
+    UNetFe unet_b(host_b, nic_b, tiny);
+
+    Endpoint *eps_a[2] = {}, *eps_b[2] = {};
+    ChannelId chans_a[2] = {invalidChannel, invalidChannel};
+    std::vector<std::uint32_t> lengths;
+
+    sim::Process rx(s, "rx", [&](sim::Process &self) {
+        for (int r = 0; r < kRounds; ++r)
+            for (int e = 0; e < 2; ++e) {
+                RecvDescriptor got;
+                if (!eps_b[e]->wait(self, got, 10_ms))
+                    return;
+                lengths.push_back(got.length);
+            }
+    });
+    sim::Process tx(s, "tx", [&](sim::Process &self) {
+        for (int r = 0; r < kRounds; ++r)
+            for (int e = 0; e < 2; ++e) {
+                EXPECT_TRUE(a.unet.send(
+                    self, *eps_a[e],
+                    inlineSend(chans_a[e], pattern(lengthFor(e)))));
+                self.delay(300_us);
+            }
+    });
+
+    for (int e = 0; e < 2; ++e) {
+        eps_a[e] = &a.unet.createEndpoint(&tx, {});
+        eps_b[e] = &unet_b.createEndpoint(&rx, {});
+        ChannelId cb = invalidChannel;
+        UNetFe::connect(a.unet, *eps_a[e], unet_b, *eps_b[e],
+                        chans_a[e], cb);
+    }
+    rx.start();
+    tx.start(10_us);
+    s.run();
+
+    ASSERT_EQ(lengths.size(), 6u);
+    for (std::size_t i = 0; i < lengths.size(); ++i)
+        EXPECT_EQ(lengths[i], 24u + 8u * (i % 2));
+    EXPECT_EQ(unet_b.messagesDelivered(), 6u);
+    // Every demux alternation missed the one-slot hot set.
+    EXPECT_EQ(unet_b.residency().faults(), 6u);
+    EXPECT_GE(unet_b.residency().evictions(), 5u);
+    EXPECT_EQ(unet_b.residency().pinnedCount(), 0u);
+    // The sender's default-capacity hot set never paged.
+    EXPECT_EQ(a.unet.residency().faults(), 0u);
+}
+
+TEST(VepAtm, ReceiverPagesUnderUndersizedHotSet)
+{
+    sim::Simulation s;
+    atm::Switch sw(s);
+    atm::Signalling signalling(sw);
+
+    AtmNode a(s, 0);
+    std::size_t port_a = sw.addPort(a.link);
+
+    // Receiver adapter SRAM holds one endpoint's state; two are live.
+    host::Host host_b(s, "node1", host::CpuSpec::pentium120(),
+                      host::BusSpec::pci());
+    atm::AtmLink link_b(s, atm::LinkSpec::oc3());
+    nic::Pca200Spec tiny;
+    tiny.vep.hotCapacity = 1;
+    nic::Pca200 nic_b(host_b, link_b, tiny);
+    UNetAtm unet_b(host_b, nic_b);
+    std::size_t port_b = sw.addPort(link_b);
+
+    Endpoint *eps_a[2] = {}, *eps_b[2] = {};
+    ChannelId chans_a[2] = {invalidChannel, invalidChannel};
+    std::vector<std::uint32_t> lengths;
+
+    sim::Process rx(s, "rx", [&](sim::Process &self) {
+        for (int r = 0; r < kRounds; ++r)
+            for (int e = 0; e < 2; ++e) {
+                RecvDescriptor got;
+                if (!eps_b[e]->wait(self, got, 10_ms))
+                    return;
+                lengths.push_back(got.length);
+            }
+    });
+    sim::Process tx(s, "tx", [&](sim::Process &self) {
+        for (int r = 0; r < kRounds; ++r)
+            for (int e = 0; e < 2; ++e) {
+                EXPECT_TRUE(a.unet.send(
+                    self, *eps_a[e],
+                    inlineSend(chans_a[e], pattern(lengthFor(e)))));
+                self.delay(300_us);
+            }
+    });
+
+    for (int e = 0; e < 2; ++e) {
+        eps_a[e] = &a.unet.createEndpoint(&tx, {});
+        eps_b[e] = &unet_b.createEndpoint(&rx, {});
+        ChannelId cb = invalidChannel;
+        UNetAtm::connect(a.unet, *eps_a[e], port_a, unet_b, *eps_b[e],
+                         port_b, signalling, chans_a[e], cb);
+    }
+    rx.start();
+    tx.start(10_us);
+    s.run();
+
+    ASSERT_EQ(lengths.size(), 6u);
+    for (std::size_t i = 0; i < lengths.size(); ++i)
+        EXPECT_EQ(lengths[i], 24u + 8u * (i % 2));
+    EXPECT_EQ(nic_b.messagesDelivered(), 6u);
+    // Every i960 demux alternation paged endpoint state in.
+    EXPECT_EQ(nic_b.residency().faults(), 6u);
+    EXPECT_GE(nic_b.residency().evictions(), 5u);
+    EXPECT_EQ(nic_b.residency().pinnedCount(), 0u);
+    EXPECT_EQ(a.nic.residency().faults(), 0u);
+}
