@@ -9,7 +9,6 @@
 
 namespace unet::apps {
 
-using splitc::GlobalPtr;
 using splitc::HeapAddr;
 
 SampleStats

@@ -2,6 +2,7 @@
 
 #if defined(UNET_CHECK) && UNET_CHECK
 
+#include "check/hb/auditor.hh"
 #include "sim/logging.hh"
 #include "sim/process.hh"
 
@@ -27,15 +28,27 @@ contextName()
 
 } // namespace
 
-void
-ContextGuard::mutate(const char *op) const
+ContextGuard::~ContextGuard()
 {
+    hb::noteGuardDestroyed(*this);
+}
+
+void
+ContextGuard::mutate(const char *op, std::source_location site) const
+{
+    hb::noteGuardAccess(*this, op, /*write=*/true, site);
     const sim::Process *p = context();
     if (p == nullptr)
         return; // agents/harnesses in the main context hold custody
     if (_owner == nullptr || p == _owner)
         return;
     panicForeign(op);
+}
+
+void
+ContextGuard::observe(const char *op, std::source_location site) const
+{
+    hb::noteGuardAccess(*this, op, /*write=*/false, site);
 }
 
 void
@@ -57,10 +70,11 @@ ContextGuard::panicInterleaved(const char *op) const
                "mutation sequence yielded mid-update");
 }
 
-ContextGuard::Scope::Scope(ContextGuard &guard, const char *op)
+ContextGuard::Scope::Scope(ContextGuard &guard, const char *op,
+                           std::source_location site)
     : guard(guard)
 {
-    guard.mutate(op);
+    guard.mutate(op, site);
     const void *ctx = context();
     if (guard.depth > 0 && guard.holder != ctx)
         guard.panicInterleaved(op);

@@ -37,6 +37,11 @@
 #ifndef UNET_CHECK_ACCESS_HH
 #define UNET_CHECK_ACCESS_HH
 
+#include <source_location>
+#include <string>
+
+#include "check/enroll.hh"
+
 namespace unet::sim {
 class Process;
 }
@@ -45,16 +50,37 @@ namespace unet::check {
 
 #if defined(UNET_CHECK) && UNET_CHECK
 
-/** Shadow custody state for one cooperatively shared structure. */
-class ContextGuard
+/**
+ * Shadow custody state for one cooperatively shared structure.
+ *
+ * Besides the custody checks below, every guard doubles as an
+ * instrumentation point for the happens-before race auditor
+ * (src/check/hb/): when an Auditor is attached, each mutate()/
+ * observe()/Scope records the calling context's vector clock and
+ * source location against this guard's shadow state, and unordered
+ * cross-domain access pairs are flagged as latent cross-shard races.
+ * Enrollment (check/enroll.hh) lets the shardability report enumerate
+ * every live guard, including ones a run never touched.
+ */
+class ContextGuard : public Enrolled<ContextGuard>
 {
   public:
     /** @param what Static description of the guarded structure (a
      *  string literal; the guard stores only the pointer). */
-    explicit ContextGuard(const char *what) : what(what) {}
+    explicit ContextGuard(const char *what) : what(what), _label(what) {}
+
+    ~ContextGuard();
 
     ContextGuard(const ContextGuard &) = delete;
     ContextGuard &operator=(const ContextGuard &) = delete;
+
+    /**
+     * Name this guard for the shardability report. Instance-unique
+     * labels ("node0.ep0.sendq") aggregate better than the static
+     * description; unset, the description is the label.
+     */
+    void setLabel(std::string label) { _label = std::move(label); }
+    const std::string &label() const { return _label; }
 
     /**
      * Record the owning process. Mutations from any *other* process
@@ -68,9 +94,23 @@ class ContextGuard
      * Check a single mutation of the guarded structure. Panics when
      * the calling context is a process fiber that is not the bound
      * owner. The main/event context always passes (agents and
-     * harnesses hold custody by construction).
+     * harnesses hold custody by construction). The defaulted
+     * source_location captures the *call site*, which the
+     * happens-before auditor reports as the access site of a race.
      */
-    void mutate(const char *op) const;
+    void mutate(const char *op,
+                std::source_location site =
+                    std::source_location::current()) const;
+
+    /**
+     * Record a read of the guarded structure for the happens-before
+     * auditor (read/write race pairs). No custody check: reads from
+     * the wrong context are not a protection violation in the
+     * cooperative model, only a sharding hazard.
+     */
+    void observe(const char *op,
+                 std::source_location site =
+                     std::source_location::current()) const;
 
     /**
      * RAII span of exclusive access for multi-step mutations. Entering
@@ -83,7 +123,9 @@ class ContextGuard
     class Scope
     {
       public:
-        Scope(ContextGuard &guard, const char *op);
+        Scope(ContextGuard &guard, const char *op,
+              std::source_location site =
+                  std::source_location::current());
         ~Scope();
 
         Scope(const Scope &) = delete;
@@ -100,6 +142,7 @@ class ContextGuard
     [[noreturn]] void panicInterleaved(const char *op) const;
 
     const char *what;
+    std::string _label;
     const sim::Process *_owner = nullptr;
 
     // Scope bookkeeping: the context currently inside a Scope (the
@@ -131,7 +174,15 @@ class ContextGuard
 
     void bindOwner(const sim::Process *) {}
     const sim::Process *owner() const { return nullptr; }
+    void setLabel(const std::string &) {}
+    const std::string &
+    label() const
+    {
+        static const std::string empty;
+        return empty;
+    }
     void mutate(const char *) const {}
+    void observe(const char *) const {}
 
     class Scope
     {

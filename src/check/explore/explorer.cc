@@ -64,6 +64,12 @@ stateDigest(ConfigInstance &inst)
     // (pure history in the digest sense — adding it only weakens
     // pruning, which is always sound).
     d.mix(sim.fiberProgress());
+    // Suspension points: *why* each parked fiber is parked. A fiber
+    // sleeping in delay() and one blocked in waitOn() with a timeout
+    // can leave identical queues, resume counts, and metrics, yet a
+    // future notifyAll() wakes only the latter — states that conflate
+    // them would over-prune (ROADMAP item closed in PR 10).
+    d.mix(sim.suspensionDigest());
     for (const auto &[dt, order] : q.pendingProfile()) {
         d.mix(static_cast<std::uint64_t>(dt));
         d.mix(static_cast<std::uint64_t>(order));

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Audited topologies for the happens-before race auditor.
+ *
+ * Each topology is a small closed rig — nodes, processes, traffic —
+ * run start-to-finish under an Auditor with every process bound to a
+ * shard domain. Three are clean reference topologies (the auditor
+ * must report zero races on them); two carry planted cross-shard
+ * races proving the detector actually fires, with both access sites
+ * attributed:
+ *
+ *   fig5        two-node FE ping-pong over a hub (the Figure 5 rig)
+ *   fault       bidirectional AM traffic over a lossy full-duplex
+ *               link; Go-Back-N recovery under a planted drop burst
+ *   serve       a small RPC serving cluster (clients -> switch ->
+ *               server) from the serving plane
+ *   planted-ww  two fibers on different shard domains write one
+ *               ResidencyCache with no ordering edge between them
+ *   planted-rw  a foreign-shard fiber peeks an endpoint send ring
+ *               that the owning node's shard wrote (read/write)
+ */
+
+#ifndef UNET_CHECK_HB_TOPOS_HH
+#define UNET_CHECK_HB_TOPOS_HH
+
+#include <string>
+#include <vector>
+
+#include "check/hb/auditor.hh"
+
+namespace unet::check::hb {
+
+/** What one audited topology run produced. */
+struct TopoResult
+{
+    std::vector<RaceRecord> races;
+    std::map<std::string, ObjectSummary> objects;
+    std::string report;        ///< canonical shardability report
+    std::string reportVerbose; ///< + counts and salt (non-canonical)
+    std::size_t chains = 0;    ///< clock chains the run needed
+};
+
+/** One registered topology. */
+struct Topo
+{
+    std::string name;
+    std::string summary;
+    /** True when the topology carries a planted race (the auditor is
+     *  expected to fire; a clean result is a detector failure). */
+    bool planted = false;
+};
+
+/** All registered topologies, in a fixed order. */
+const std::vector<Topo> &topologies();
+
+/** Look up one topology by name; nullptr when unknown. */
+const Topo *findTopo(const std::string &name);
+
+/** Build, audit, and run @p name to completion. Panics on unknown
+ *  names (callers route through findTopo first). */
+TopoResult runTopo(const std::string &name);
+
+} // namespace unet::check::hb
+
+#endif // UNET_CHECK_HB_TOPOS_HH

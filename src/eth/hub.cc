@@ -1,5 +1,6 @@
 #include "eth/hub.hh"
 
+#include "check/hb/auditor.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
 
@@ -61,6 +62,9 @@ Hub::attach(Station &station)
 void
 Hub::tryStart(const std::shared_ptr<Attempt> &attempt)
 {
+    // Shard attribution for the happens-before auditor: the shared
+    // medium is fabric state, not any station's shard.
+    check::hb::ScopedTaskDomain shard("fabric.eth");
     sim::Tick now = sim.now();
 
     if (current) {
@@ -136,6 +140,7 @@ Hub::backoff(const std::shared_ptr<Attempt> &attempt)
 void
 Hub::finish(const std::shared_ptr<Attempt> &attempt)
 {
+    check::hb::ScopedTaskDomain shard("fabric.eth");
     current = nullptr;
     busyUntil = sim.now() + spec.ifgTime();
 

@@ -1,5 +1,6 @@
 #include "eth/switch.hh"
 
+#include "check/hb/auditor.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
 
@@ -161,6 +162,9 @@ Switch::uplinkDue(std::size_t index)
 void
 Switch::frameIn(std::size_t in_port, const Frame &frame)
 {
+    // Shard attribution: switch state (MAC table, lookup/uplink
+    // queues) is fabric-shard work from ingress onward.
+    check::hb::ScopedTaskDomain shard("fabric.eth");
     // Learn the source address.
     macTable[frame.src.toU64()] = in_port;
 

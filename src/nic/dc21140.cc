@@ -16,6 +16,7 @@ Dc21140::Dc21140(host::Host &host, eth::Network &network,
                host.simulation().metrics().uniquePrefix(
                    "host." + host.name() + ".nic.dc21140"))
 {
+    _txFillGuard.setLabel(host.name() + ".dc21140.txring");
     _metrics.counter("framesSent", _framesSent);
     _metrics.counter("framesReceived", _framesRecv);
     _metrics.counter("rxMissed", _rxMissed);

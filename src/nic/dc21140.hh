@@ -205,28 +205,30 @@ class Dc21140 : public eth::Station
     /** Fetch and process the next TX descriptor, or idle. */
     void txFetchNext();
 
-    host::Host &host;
-    Dc21140Spec _spec;
-    eth::MacAddress _address;
-    eth::Tap *tap;
-    fault::Injector *rxFaultInjector = nullptr;
-    std::unique_ptr<host::InterruptLine> irq;
-    std::function<void(std::size_t)> txCompleteFn;
+    host::Host &host;               // hb-exempt(reference, set once)
+    Dc21140Spec _spec;              // hb-exempt(const after ctor)
+    eth::MacAddress _address;       // hb-exempt(const after ctor)
+    eth::Tap *tap;                  // hb-exempt(set once at attach)
+    fault::Injector *rxFaultInjector = nullptr; // hb-exempt(setup-time only)
+    std::unique_ptr<host::InterruptLine> irq;   // hb-exempt(set once)
+    std::function<void(std::size_t)> txCompleteFn; // hb-exempt(setup-time only)
 
-    std::vector<TxDescriptor> txRing;
-    std::vector<RxDescriptor> rxRing;
+    std::vector<TxDescriptor> txRing; // hb-guarded(_txFillGuard)
+    std::vector<RxDescriptor> rxRing; // hb-exempt(device rx pipeline, one event chain)
     check::ContextGuard _txFillGuard{"dc21140 tx descriptor ring"};
+    // hb-guarded(_txFillGuard)
     std::size_t txHead = 0;  ///< next descriptor the NIC processes
-    std::size_t _txTail = 0; ///< next descriptor the driver fills
-    std::size_t _rxHead = 0; ///< next descriptor the NIC fills
-    bool txActive = false;
-    bool txFetching = false;    ///< a descriptor fetch is in progress
-    std::size_t txInFlight = 0; ///< frames handed to the wire
+    std::size_t _txTail = 0; ///< next descriptor the driver fills // hb-guarded(_txFillGuard)
+    std::size_t _rxHead = 0; ///< next descriptor the NIC fills // hb-exempt(device rx pipeline)
+    bool txActive = false;      // hb-guarded(_txFillGuard)
+    bool txFetching = false;    ///< a descriptor fetch is in progress // hb-guarded(_txFillGuard)
+    std::size_t txInFlight = 0; ///< frames handed to the wire // hb-guarded(_txFillGuard)
 
     /** TX gather/staging buffers, reused across frames (txFetching
      *  serializes the gather stage, so one of each suffices). */
+    // hb-guarded(_txFillGuard)
     std::vector<std::uint8_t> txGather;
-    eth::Frame txFrame;
+    eth::Frame txFrame;             // hb-guarded(_txFillGuard)
 
     /** An RX frame between the wire tail and descriptor writeback. */
     struct PendingRx
@@ -238,20 +240,21 @@ class Dc21140 : public eth::Station
 
     /** RX frames in the residual-DMA / bus pipeline (FIFO: constant
      *  residual latency, then the serial bus). */
+    // hb-exempt(device rx pipeline, one event chain)
     sim::SlotRing<PendingRx> rxPending;
-    std::size_t rxStaged = 0; ///< entries already past the residual
+    std::size_t rxStaged = 0; ///< entries already past the residual // hb-exempt(device rx pipeline)
 
-    sim::Tick _lastTxWireStart = 0;
-    sim::Counter _framesSent;
-    sim::Counter _framesRecv;
-    sim::Counter _rxMissed;
-    sim::Counter _txAborted;
+    sim::Tick _lastTxWireStart = 0; // hb-guarded(_txFillGuard)
+    sim::Counter _framesSent;       // hb-exempt(commutative metrics sink)
+    sim::Counter _framesRecv;       // hb-exempt(commutative metrics sink)
+    sim::Counter _rxMissed;         // hb-exempt(commutative metrics sink)
+    sim::Counter _txAborted;        // hb-exempt(commutative metrics sink)
 
     /** Trace track names (interned lazily by the session). */
-    std::string _trackCpu;
-    std::string _trackNic;
+    std::string _trackCpu;          // hb-exempt(const after ctor)
+    std::string _trackNic;          // hb-exempt(const after ctor)
 
-    obs::MetricGroup _metrics;
+    obs::MetricGroup _metrics;      // hb-exempt(registration RAII)
 };
 
 } // namespace unet::nic

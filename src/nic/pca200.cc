@@ -1,6 +1,7 @@
 #include "nic/pca200.hh"
 
 #include "check/access.hh"
+#include "check/hb/auditor.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
 
@@ -134,6 +135,8 @@ Pca200::scheduleTxService(EpState &state)
 void
 Pca200::serviceTx(EpState &state, bool chained)
 {
+    // Shard attribution: i960 firmware work belongs to this host.
+    check::hb::ScopedTaskDomain shard(host.name());
     // Firmware-side custody of the send ring: runs in the i960 event
     // context (always legal), but the scope catches a user fiber that
     // yielded mid-push while we pop.
@@ -304,6 +307,9 @@ Pca200::serviceRxFifo()
 void
 Pca200::handleCell(const atm::Cell &cell)
 {
+    // Cells arrive on a chain that started on the remote sender's
+    // shard; reassembly and delivery are this host's firmware work.
+    check::hb::ScopedTaskDomain shard(host.name());
     auto next = [this] { serviceRxFifo(); };
 
     VcState *vcp =

@@ -8,6 +8,7 @@ namespace unet::obs {
 void
 Registry::add(std::string path, Entry e)
 {
+    audit("register metric", /*write=*/true);
     // Colliding registrations indicate a component that should have used
     // uniquePrefix(); the later registration wins so the registry never
     // points at a stale object.
@@ -48,6 +49,7 @@ Registry::addHistogram(std::string path, const Histogram *h)
 void
 Registry::remove(const std::string &path)
 {
+    audit("remove metric", /*write=*/true);
     _entries.erase(path);
 }
 
@@ -125,6 +127,7 @@ Registry::dump() const
         "count", "sum", "mean", "min", "max", "p50", "p90", "p99",
         "p999",
     };
+    audit("dump sweep", /*write=*/false);
     std::vector<std::pair<std::string, double>> out;
     out.reserve(_entries.size());
     for (const auto &[path, e] : _entries) {

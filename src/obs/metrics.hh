@@ -136,6 +136,18 @@ class Registry
   public:
     using GaugeFn = std::function<double()>;
 
+    /**
+     * Structural-access hook for the happens-before auditor
+     * (src/check/hb/): fires on every registration, removal, and
+     * whole-registry sweep with (operation, is-mutation). A hook
+     * rather than a check::ContextGuard member because obs sits
+     * *below* the check library in the link order; the auditor owns
+     * the guard and forwards. Null (the default) costs one branch.
+     */
+    using AuditHook = std::function<void(const char *op, bool write)>;
+
+    void setAuditHook(AuditHook hook) { _auditHook = std::move(hook); }
+
     void addCounter(std::string path, const sim::Counter *c);
     void addGauge(std::string path, GaugeFn fn);
     void addHistogram(std::string path, const Histogram *h);
@@ -177,8 +189,16 @@ class Registry
 
     void add(std::string path, Entry e);
 
+    void
+    audit(const char *op, bool write) const
+    {
+        if (_auditHook)
+            _auditHook(op, write);
+    }
+
     std::map<std::string, Entry, std::less<>> _entries;
     std::map<std::string, int, std::less<>> _prefixes;
+    AuditHook _auditHook;
 };
 
 /**

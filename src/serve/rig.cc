@@ -123,6 +123,9 @@ ServeRig::ServeRig(RigSpec s)
             serverDone = true;
         },
         4 * 1024 * 1024);
+    // Shard attribution for the happens-before auditor: the server
+    // fiber's work belongs to the server host's shard.
+    serverProc->bindShardDomain(serverHost->name());
     serverOs = std::make_unique<OsService>(*serverUnet, spec.osLimits);
     serverEp = serverOs->createEndpoint(
         *serverProc, serverEndpointConfig(spec.clients));
@@ -178,6 +181,7 @@ ServeRig::ServeRig(RigSpec s)
                     p, [this] { return serverDone; }, sim::seconds(10));
             },
             512 * 1024);
+        node.proc->bindShardDomain(node.host->name());
         node.os = std::make_unique<OsService>(*node.unet,
                                               spec.osLimits);
         node.endpoint = node.os->createEndpoint(*node.proc, {});

@@ -44,6 +44,7 @@ RpcServer::RpcServer(UNet &unet, Endpoint &ep, am::AmSpec spec,
                unet.host().simulation().metrics().uniquePrefix(
                    "serve.server"))
 {
+    _dispatchGuard.setLabel(unet.host().name() + ".rpc.dispatch");
     _metrics.counter("served", _served);
     _metrics.counter("unknownMethods", _unknown);
     _metrics.histogram("service_ns", _serviceNs);
@@ -58,6 +59,7 @@ RpcServer::RpcServer(UNet &unet, Endpoint &ep, am::AmSpec spec,
 MethodId
 RpcServer::addMethod(MethodSpec m)
 {
+    _dispatchGuard.mutate("addMethod");
     methods.push_back(std::move(m));
     replyBytes.resize(
         std::max<std::size_t>(replyBytes.size(),
@@ -73,6 +75,9 @@ RpcServer::handle(sim::Process &proc, am::Token token,
                   std::span<const std::uint8_t> payload)
 {
     (void)payload;
+    // A dispatch reads the table but advances the service-draw RNG,
+    // so it counts as a mutation of the guarded dispatch state.
+    _dispatchGuard.mutate("dispatch");
     MethodId method = args[0];
     if (method >= methods.size()) {
         ++_unknown;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "am/active_messages.hh"
+#include "check/access.hh"
 #include "obs/metrics.hh"
 #include "sim/random.hh"
 
@@ -194,20 +195,26 @@ class RpcServer
                 const am::Args &args,
                 std::span<const std::uint8_t> payload);
 
-    UNet &unet;
-    am::ActiveMessages _am;
-    sim::Random rng;
-    std::vector<MethodSpec> methods;
-    std::vector<std::uint8_t> replyBytes;
+    UNet &unet;                      // hb-exempt(reference, set once)
+    am::ActiveMessages _am;          // hb-exempt(own per-channel custody)
+    sim::Random rng;                 // hb-guarded(_dispatchGuard)
+    std::vector<MethodSpec> methods; // hb-guarded(_dispatchGuard)
+    std::vector<std::uint8_t> replyBytes; // hb-guarded(_dispatchGuard)
 
-    sim::Counter _served;
-    sim::Counter _unknown;
+    sim::Counter _served;            // hb-exempt(commutative metrics sink)
+    sim::Counter _unknown;           // hb-exempt(commutative metrics sink)
 
     /** Service time actually charged (fixed + exponential), ns. */
-    obs::Histogram _serviceNs;
+    obs::Histogram _serviceNs;       // hb-exempt(commutative metrics sink)
+
+    /** Custody/HB instrumentation over the dispatch table: mutated by
+     *  addMethod at setup, swept by every dispatch. The shardability
+     *  report decides whether it can be server-shard-local or must be
+     *  replicated read-only. */
+    check::ContextGuard _dispatchGuard{"rpc dispatch table"};
 
     /** Declared after the stats it registers. */
-    obs::MetricGroup _metrics;
+    obs::MetricGroup _metrics;       // hb-exempt(registration RAII)
 };
 
 /**

@@ -42,6 +42,7 @@
 namespace unet::sim {
 
 class EventQueue;
+class Process;
 
 /**
  * A cancellable reference to a scheduled event.
@@ -108,6 +109,40 @@ class ScheduleArbiter
      */
     virtual std::size_t
     pick(Tick now, const std::vector<Candidate> &candidates) = 0;
+};
+
+/**
+ * Observer of the scheduler's true ordering edges.
+ *
+ * Where ScheduleArbiter *decides* same-tick order, a TaskObserver
+ * merely *watches* the edges that order work: an event's scheduling
+ * context happens-before its firing, and a fiber's resume/suspend
+ * brackets nest inside the event that resumed it. The happens-before
+ * race auditor (src/check/hb/) implements this interface to maintain
+ * vector clocks; the hooks are null-checked pointers, so an
+ * uninstrumented run pays one branch per site.
+ *
+ * Hook contract: onEventScheduled() fires inside schedule(), in the
+ * scheduling context; onEventFireBegin()/onEventFireEnd() bracket the
+ * callback (End fires even when the callback throws); cancelled events
+ * get onEventCancelled() instead of the fire pair. The fiber hooks
+ * bracket Process::resume()'s transfer into the fiber and receive the
+ * process so the observer can read its id and shard domain.
+ */
+class TaskObserver
+{
+  public:
+    virtual ~TaskObserver() = default;
+
+    virtual void onEventScheduled(std::uint64_t seq, Tick when,
+                                  Order order) = 0;
+    virtual void onEventFireBegin(std::uint64_t seq, Tick when,
+                                  Order order) = 0;
+    virtual void onEventFireEnd(std::uint64_t seq) = 0;
+    virtual void onEventCancelled(std::uint64_t seq) = 0;
+
+    virtual void onFiberResume(Process &proc) = 0;
+    virtual void onFiberSuspend(Process &proc) = 0;
 };
 
 /**
@@ -192,6 +227,8 @@ class EventQueue
                 : perturb::mix(_perturbSalt, rec.seq);
         pushHeap(HeapEntry{when, key, rec.seq, slot});
         ++_livePending;
+        if (_taskObserver) [[unlikely]]
+            _taskObserver->onEventScheduled(rec.seq, when, order);
         return EventHandle(this, slot, rec.seq);
     }
 
@@ -267,6 +304,19 @@ class EventQueue
      * same-tick order.
      */
     void setArbiter(ScheduleArbiter *arbiter) { _arbiter = arbiter; }
+
+    /** The installed ordering-edge observer, or nullptr. */
+    TaskObserver *taskObserver() const { return _taskObserver; }
+
+    /**
+     * Install (or clear, with nullptr) the ordering-edge observer.
+     * Composes with an arbiter: arbitrated fires report through the
+     * same fireEntry() bracket as salted ones.
+     */
+    void setTaskObserver(TaskObserver *observer)
+    {
+        _taskObserver = observer;
+    }
 
     /**
      * The multiset of live pending events as (when - now, order)
@@ -418,6 +468,25 @@ class EventQueue
         }
     };
 
+    /**
+     * Closes the observer's fire bracket on both exits, so the
+     * happens-before auditor's task stack stays balanced when a
+     * callback throws (panic-capture mode). Declared after
+     * FiringGuard in fireEntry(): the end hook runs before the
+     * record's captures are destroyed.
+     */
+    struct ObserverFireGuard
+    {
+        TaskObserver *observer;
+        std::uint64_t seq;
+
+        ~ObserverFireGuard()
+        {
+            if (observer) [[unlikely]]
+                observer->onEventFireEnd(seq);
+        }
+    };
+
     /** Advance the clock to @p entry and fire its record. */
     void
     fireEntry(const HeapEntry &entry)
@@ -432,6 +501,10 @@ class EventQueue
         // executing from; its captures are destroyed after it returns
         // (or after an exception escapes it).
         FiringGuard guard{*this, entry.slot};
+        ObserverFireGuard obsGuard{_taskObserver, entry.seq};
+        if (_taskObserver) [[unlikely]]
+            _taskObserver->onEventFireBegin(entry.seq, entry.when,
+                                            rec.order);
         rec.call(rec);
     }
 
@@ -499,6 +572,8 @@ class EventQueue
     {
         if (!handlePending(slot, seq))
             return; // stale: fired, already cancelled, or slot reused
+        if (_taskObserver) [[unlikely]]
+            _taskObserver->onEventCancelled(seq);
         Record &rec = recordAt(slot);
         destroyAction(rec);
         releaseSlot(slot);
@@ -526,6 +601,7 @@ class EventQueue
 
     Tick _now = 0;
     ScheduleArbiter *_arbiter = nullptr;
+    TaskObserver *_taskObserver = nullptr;
     std::uint64_t _perturbSalt = perturb::salt();
     std::uint64_t nextSeq = 0;
     std::uint64_t _firedCount = 0;

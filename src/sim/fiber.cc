@@ -25,6 +25,25 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+/*
+ * TSan has the same blindness with its own cure: every fiber gets a
+ * TSan context, and __tsan_switch_to_fiber is called immediately
+ * before each swapcontext. Without it TSan attributes one fiber's
+ * accesses to another's vector clock and every cross-fiber hand-off
+ * looks like a race.
+ */
+#if defined(__SANITIZE_THREAD__)
+#define UNET_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define UNET_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef UNET_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace unet::sim {
 
 namespace {
@@ -58,6 +77,43 @@ asanFinishSwitch([[maybe_unused]] void *fake_stack_save,
 #endif
 }
 
+inline void *
+tsanCreateFiber()
+{
+#ifdef UNET_TSAN_FIBERS
+    return __tsan_create_fiber(0);
+#else
+    return nullptr;
+#endif
+}
+
+inline void
+tsanDestroyFiber([[maybe_unused]] void *fiber)
+{
+#ifdef UNET_TSAN_FIBERS
+    if (fiber)
+        __tsan_destroy_fiber(fiber);
+#endif
+}
+
+inline void *
+tsanCurrentFiber()
+{
+#ifdef UNET_TSAN_FIBERS
+    return __tsan_get_current_fiber();
+#else
+    return nullptr;
+#endif
+}
+
+inline void
+tsanSwitchTo([[maybe_unused]] void *fiber)
+{
+#ifdef UNET_TSAN_FIBERS
+    __tsan_switch_to_fiber(fiber, 0);
+#endif
+}
+
 } // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
@@ -65,6 +121,7 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
 {
     if (!this->body)
         UNET_PANIC("fiber constructed with empty body");
+    tsanFiber = tsanCreateFiber();
 #if defined(UNET_CHECK) && UNET_CHECK
     // The stack grows down from stack.data() + size; an overflow tramples
     // the low end first. Seed it so checkCanary() can tell.
@@ -73,7 +130,7 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
 #endif
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() { tsanDestroyFiber(tsanFiber); }
 
 Fiber *
 Fiber::current()
@@ -118,6 +175,7 @@ Fiber::trampoline()
     currentFiber = nullptr;
     asanStartSwitch(nullptr, self->asanCallerStack,
                     self->asanCallerSize);
+    tsanSwitchTo(self->tsanCaller);
     swapcontext(&self->context, &self->returnContext);
 }
 
@@ -142,6 +200,8 @@ Fiber::run()
     currentFiber = this;
     void *main_fake = nullptr;
     asanStartSwitch(&main_fake, stack.data(), stack.size());
+    tsanCaller = tsanCurrentFiber();
+    tsanSwitchTo(tsanFiber);
     swapcontext(&returnContext, &context);
     asanFinishSwitch(main_fake, nullptr, nullptr);
     currentFiber = nullptr;
@@ -159,6 +219,7 @@ Fiber::yield()
     currentFiber = nullptr;
     asanStartSwitch(&self->asanFakeStack, self->asanCallerStack,
                     self->asanCallerSize);
+    tsanSwitchTo(self->tsanCaller);
     swapcontext(&self->context, &self->returnContext);
     asanFinishSwitch(self->asanFakeStack, &self->asanCallerStack,
                      &self->asanCallerSize);

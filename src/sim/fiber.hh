@@ -100,6 +100,18 @@ class Fiber
     const void *asanCallerStack = nullptr; ///< resuming context's stack
     std::size_t asanCallerSize = 0;
     /** @} */
+
+    /** @name TSan fiber bookkeeping (unused without TSan).
+     *
+     * TSan likewise cannot follow a raw swapcontext: each fiber needs
+     * its own TSan context (__tsan_create_fiber) and every switch must
+     * be announced with __tsan_switch_to_fiber, or the race detector
+     * attributes one fiber's accesses to another's vector clock and
+     * floods the run with false reports.
+     * @{ */
+    void *tsanFiber = nullptr;  ///< this fiber's TSan context
+    void *tsanCaller = nullptr; ///< TSan context run() switched from
+    /** @} */
 };
 
 } // namespace unet::sim

@@ -67,6 +67,9 @@ Process::resume()
     // Pure-history progress token: (id, nth-resume), mixed so distinct
     // processes and distinct resume counts land far apart.
     sim.noteFiberProgress(perturb::mix(_id, ++_resumeCount));
+    TaskObserver *observer = sim.events().taskObserver();
+    if (observer) [[unlikely]]
+        observer->onFiberResume(*this);
     Process *prev = currentProcess;
     currentProcess = this;
     try {
@@ -76,9 +79,24 @@ Process::resume()
         // propagating toward the explorer's run loop; restore the
         // current-process slot on the way through.
         currentProcess = prev;
+        if (observer) [[unlikely]]
+            observer->onFiberSuspend(*this);
         throw;
     }
     currentProcess = prev;
+    if (observer) [[unlikely]]
+        observer->onFiberSuspend(*this);
+}
+
+Process::SuspendToken::SuspendToken(Process &p, SuspendKind kind)
+    : p(p), token(perturb::mix(p._id, kind))
+{
+    p.sim.noteSuspendPoint(token);
+}
+
+Process::SuspendToken::~SuspendToken()
+{
+    p.sim.clearSuspendPoint(token);
 }
 
 void
@@ -95,6 +113,7 @@ Process::delay(Tick d)
     if (d < 0)
         UNET_PANIC("negative delay in process '", _name, "'");
     sim.scheduleIn(d, [this] { resume(); });
+    SuspendToken tok(*this, suspendDelay);
     suspend();
 }
 
@@ -105,6 +124,7 @@ Process::waitOn(WaitChannel &ch)
         UNET_PANIC("waitOn() called from outside process '", _name, "'");
     wokenByNotify = false;
     ch.waiters.push_back(this);
+    SuspendToken tok(*this, suspendWait);
     suspend();
 }
 
@@ -121,7 +141,10 @@ Process::waitOn(WaitChannel &ch, Tick timeout)
         w.erase(std::remove(w.begin(), w.end(), this), w.end());
         resume();
     });
-    suspend();
+    {
+        SuspendToken tok(*this, suspendWaitTimeout);
+        suspend();
+    }
     timeoutEvent.cancel();
     return wokenByNotify;
 }

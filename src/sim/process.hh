@@ -88,6 +88,21 @@ class Process
      */
     std::uint64_t id() const { return _id; }
 
+    /**
+     * Declare which shard of the planned parallel simulation this
+     * fiber belongs to (by convention the host name, or a "fabric.*"
+     * name for switch/hub-side work). The happens-before auditor
+     * treats unordered accesses from two *different* non-empty domains
+     * as latent cross-shard races; an unbound fiber (empty domain) is
+     * a benign wildcard. Purely diagnostic — no simulation behavior
+     * reads it.
+     */
+    void bindShardDomain(std::string domain)
+    {
+        _shardDomain = std::move(domain);
+    }
+    const std::string &shardDomain() const { return _shardDomain; }
+
     Simulation &simulation() { return sim; }
 
     /** The process currently executing, or nullptr. */
@@ -124,9 +139,40 @@ class Process
     /** Yield out of the fiber back to the event loop. */
     void suspend();
 
+    /**
+     * Why the fiber is currently suspended, as a digest token mixed
+     * into Simulation::suspensionDigest() (0 while running/unstarted).
+     * Distinct suspension reasons at the same point of progress —
+     * delay() vs waitOn() with a timeout — leave identical event
+     * queues and resume counters; this token is what still tells them
+     * apart in the explorer's pruning digest.
+     */
+    enum SuspendKind : std::uint64_t
+    {
+        suspendDelay = 1,
+        suspendWait = 2,
+        suspendWaitTimeout = 3,
+    };
+
+    /** RAII suspension-point token around a suspend() call. */
+    class SuspendToken
+    {
+      public:
+        SuspendToken(Process &p, SuspendKind kind);
+        ~SuspendToken();
+
+        SuspendToken(const SuspendToken &) = delete;
+        SuspendToken &operator=(const SuspendToken &) = delete;
+
+      private:
+        Process &p;
+        std::uint64_t token;
+    };
+
     Simulation &sim;
     std::string _name;
     std::uint64_t _id;
+    std::string _shardDomain;
     std::function<void(Process &)> body;
     std::size_t stackSize;
     std::unique_ptr<Fiber> fiber;

@@ -101,10 +101,27 @@ class Simulation
     void noteFiberProgress(std::uint64_t token) { _fiberProgress += token; }
     std::uint64_t fiberProgress() const { return _fiberProgress; }
 
+    /**
+     * Commutative suspension-point accumulator: each fiber blocked
+     * inside delay()/waitOn() holds a (process id, suspension kind)
+     * token here for exactly the duration of the suspension
+     * (Process::SuspendToken). fiberProgress() counts *how often* each
+     * fiber has run; this digest captures *why* each suspended fiber
+     * is parked — two states identical in time, pending events, and
+     * resume counts can still differ in whether a fiber is sleeping or
+     * awaiting a notify, and schedule-space pruning must not conflate
+     * them (a notifyAll() resumes one and not the other). Addition
+     * keeps the sum independent of suspension interleaving order.
+     */
+    void noteSuspendPoint(std::uint64_t token) { _suspendDigest += token; }
+    void clearSuspendPoint(std::uint64_t token) { _suspendDigest -= token; }
+    std::uint64_t suspensionDigest() const { return _suspendDigest; }
+
   private:
     EventQueue queue;
     std::uint64_t _nextProcessId = 0;
     std::uint64_t _fiberProgress = 0;
+    std::uint64_t _suspendDigest = 0;
     Random rng;
     // registry before tracer: the session deregisters its trace.*
     // metrics in its destructor, so it must die first.

@@ -62,6 +62,7 @@ UdpStack::UdpStack(host::Host &host, nic::Dc21140 &nic,
                host.simulation().metrics().uniquePrefix(
                    "host." + host.name() + ".sockets.udp"))
 {
+    txGuard.setLabel(host.name() + ".udp.txring");
     _metrics.counter("packetsSent", _sent);
     _metrics.counter("packetsDelivered", _delivered);
     _metrics.counter("noPortDrops", _noPort);
@@ -94,6 +95,8 @@ UdpStack::createSocket(const sim::Process *owner, std::uint16_t port)
     if (!inserted)
         UNET_FATAL("UDP port ", port, " already bound");
     it->second->bufGuard.bindOwner(owner);
+    it->second->bufGuard.setLabel(_host.name() + ".udp.sock"
+                                  + std::to_string(port) + ".rxbuf");
     _metrics.counter("socket." + std::to_string(port) + ".drops",
                      it->second->_drops);
     return *it->second;

@@ -110,13 +110,13 @@ class Socket
         : stack(stack), owner(owner), _port(port)
     {}
 
-    UdpStack &stack;
-    const sim::Process *owner;
-    std::uint16_t _port;
-    std::deque<Datagram> queue;
-    std::size_t queuedBytes = 0;
-    sim::WaitChannel readable;
-    sim::Counter _drops;
+    UdpStack &stack;            // hb-exempt(reference, set once)
+    const sim::Process *owner;  // hb-exempt(const after ctor)
+    std::uint16_t _port;        // hb-exempt(const after ctor)
+    std::deque<Datagram> queue; // hb-guarded(bufGuard)
+    std::size_t queuedBytes = 0; // hb-guarded(bufGuard)
+    sim::WaitChannel readable;  // hb-exempt(notify is a scheduler edge)
+    sim::Counter _drops;        // hb-exempt(commutative metrics sink)
 
     /** Custody over the socket receive buffer (queue + queuedBytes):
      *  filled by the kernel rx path (event context), drained by the
@@ -156,29 +156,29 @@ class UdpStack
     /** DC21140 receive interrupt handler. */
     void rxInterrupt();
 
-    host::Host &_host;
-    nic::Dc21140 &_nic;
-    UdpStackSpec _spec;
+    host::Host &_host;          // hb-exempt(reference, set once)
+    nic::Dc21140 &_nic;         // hb-exempt(reference, set once)
+    UdpStackSpec _spec;         // hb-exempt(const after ctor)
 
-    std::map<std::uint16_t, std::unique_ptr<Socket>> sockets;
-    std::uint16_t nextEphemeral = 32768;
+    std::map<std::uint16_t, std::unique_ptr<Socket>> sockets; // hb-exempt(setup-time only)
+    std::uint16_t nextEphemeral = 32768; // hb-exempt(setup-time only)
 
     /** Kernel packet buffers, one per TX ring slot. */
-    std::vector<std::size_t> mbufOffset;
+    std::vector<std::size_t> mbufOffset; // hb-guarded(txGuard)
 
     /** Custody over the TX descriptor claim/fill/hand-off sequence —
      *  shared by every socket on this stack, so it stays unbound; the
      *  Scope in transmit() catches any yield introduced mid-sequence. */
     check::ContextGuard txGuard{"udp kernel tx ring"};
 
-    std::size_t kernelRxHead = 0;
+    std::size_t kernelRxHead = 0; // hb-exempt(kernel rx path, one event chain)
 
-    sim::Counter _sent;
-    sim::Counter _delivered;
-    sim::Counter _noPort;
+    sim::Counter _sent;         // hb-exempt(commutative metrics sink)
+    sim::Counter _delivered;    // hb-exempt(commutative metrics sink)
+    sim::Counter _noPort;       // hb-exempt(commutative metrics sink)
 
     /** Declared after the counters (and sockets) it registers. */
-    obs::MetricGroup _metrics;
+    obs::MetricGroup _metrics;  // hb-exempt(registration RAII)
 };
 
 } // namespace unet::sockets

@@ -14,6 +14,8 @@ Runtime::Runtime(UNet &unet, Endpoint &ep, int self, int nprocs,
       _am(unet, ep, am_spec), heap(heap_bytes, 0),
       channels(static_cast<std::size_t>(nprocs), invalidChannel)
 {
+    stateGuard.setLabel(unet.host().name() + ".splitc.state");
+
     // Bulk-store payloads land directly in the heap.
     _am.setBulkSink([this](std::uint32_t addr,
                            std::span<const std::uint8_t> data) {

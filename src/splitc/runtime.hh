@@ -238,36 +238,37 @@ class Runtime
     /** Lazily allocated, call-site-symmetric scratch regions. */
     HeapAddr scratchFor(const std::string &key, std::size_t bytes);
 
-    UNet &unet;
-    Endpoint &ep;
-    int _self;
-    int _procs;
-    am::ActiveMessages _am;
-    Profile _profile;
+    UNet &unet;                 // hb-exempt(reference, set once)
+    Endpoint &ep;               // hb-exempt(reference, set once)
+    int _self;                  // hb-exempt(const after ctor)
+    int _procs;                 // hb-exempt(const after ctor)
+    am::ActiveMessages _am;     // hb-exempt(own per-channel custody)
+    Profile _profile;           // hb-exempt(commutative metrics sink)
 
-    std::vector<std::uint8_t> heap;
-    std::size_t heapBrk = 0;
+    std::vector<std::uint8_t> heap; // hb-guarded(stateGuard)
+    std::size_t heapBrk = 0;        // hb-guarded(stateGuard)
 
-    std::vector<ChannelId> channels;
+    std::vector<ChannelId> channels; // hb-exempt(setup-time only)
 
     /** @name Reserved handler state. @{ */
-    am::HandlerId hGetReq;
-    am::HandlerId hGetDone;
-    am::HandlerId hBarrier;
-    am::HandlerId nextHandler = 1;
+    am::HandlerId hGetReq;      // hb-exempt(const after ctor)
+    am::HandlerId hGetDone;     // hb-exempt(const after ctor)
+    am::HandlerId hBarrier;     // hb-exempt(const after ctor)
+    am::HandlerId nextHandler = 1; // hb-exempt(setup-time only)
 
     /** Bounce-buffer size for blocking reads. */
     static constexpr std::size_t readStageBytes = 256 * 1024;
     /** @} */
 
-    std::uint64_t getsIssued = 0;
-    std::uint64_t getsDone = 0;
+    std::uint64_t getsIssued = 0; // hb-guarded(stateGuard)
+    std::uint64_t getsDone = 0;   // hb-guarded(stateGuard)
 
-    std::uint64_t barrierEpoch = 0;
+    std::uint64_t barrierEpoch = 0; // hb-guarded(stateGuard)
+    // hb-guarded(stateGuard)
     std::map<std::pair<std::uint64_t, std::uint32_t>, int> barrierSeen;
 
-    std::map<std::string, HeapAddr> scratch;
-    int commDepth = 0;
+    std::map<std::string, HeapAddr> scratch; // hb-guarded(stateGuard)
+    int commDepth = 0;            // hb-guarded(stateGuard)
 
     /** Custody over heap/getsDone/barrierSeen/scratch: mutated by the
      *  node's own fiber directly and via AM handlers it polls. */

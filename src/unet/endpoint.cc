@@ -24,6 +24,14 @@ Endpoint::Endpoint(sim::Simulation &sim, host::Memory &memory,
 }
 
 void
+Endpoint::labelGuards(const std::string &prefix)
+{
+    _sendGuard.setLabel(prefix + ".sendq");
+    _recvGuard.setLabel(prefix + ".recvq");
+    _freeGuard.setLabel(prefix + ".freeq");
+}
+
+void
 Endpoint::auditRings() const
 {
     _sendQueue.check();

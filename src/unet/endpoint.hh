@@ -82,6 +82,14 @@ class Endpoint
     check::ContextGuard &freeGuard() { return _freeGuard; }
     /** @} */
 
+    /**
+     * Name the ring guards for the shardability report, e.g.
+     * "node0.ep0" -> "node0.ep0.sendq". Called by the owning U-Net
+     * instance at creation; instance-distinct labels keep one
+     * endpoint's rings from aggregating with another's.
+     */
+    void labelGuards(const std::string &prefix);
+
     /** Audit send/recv/free ring consistency now; panics on violation. */
     void auditRings() const;
 
@@ -148,33 +156,34 @@ class Endpoint
     // front; setup-time state (channel table, upcall plumbing) and the
     // guards trail. Rings embed their own hot-cursor-first layout (see
     // queues.hh).
-    sim::Simulation &sim;
-    std::size_t opsSinceAudit = 0;
-    sim::Tick upcallLatency = 0;
-    bool upcallPending = false;
-    std::size_t _id;
-    const sim::Process *_owner;
-    EndpointConfig _config;
+    sim::Simulation &sim;           // hb-exempt(reference, set once)
+    std::size_t opsSinceAudit = 0;  // hb-exempt(audit cadence, any context)
+    sim::Tick upcallLatency = 0;    // hb-exempt(setup-time only)
+    bool upcallPending = false;     // hb-guarded(_recvGuard)
+    std::size_t _id;                // hb-exempt(const after ctor)
+    const sim::Process *_owner;     // hb-exempt(const after ctor)
+    EndpointConfig _config;         // hb-exempt(const after ctor)
 
-    BufferArea _buffers;
-    Ring<SendDescriptor> _sendQueue;
-    Ring<RecvDescriptor> _recvQueue;
-    Ring<BufferRef> _freeQueue;
-    sim::WaitChannel _rxAvailable;
-    check::OwnershipTracker _ownership;
+    BufferArea _buffers;            // hb-guarded(_freeGuard)
+    Ring<SendDescriptor> _sendQueue; // hb-guarded(_sendGuard)
+    Ring<RecvDescriptor> _recvQueue; // hb-guarded(_recvGuard)
+    Ring<BufferRef> _freeQueue;      // hb-guarded(_freeGuard)
+    sim::WaitChannel _rxAvailable;   // hb-exempt(notify is a scheduler edge)
+    check::OwnershipTracker _ownership; // hb-guarded(_freeGuard)
     check::ContextGuard _sendGuard{"endpoint send queue"};
     check::ContextGuard _recvGuard{"endpoint recv queue"};
     check::ContextGuard _freeGuard{"endpoint free queue"};
 
-    std::vector<ChannelInfo> channels;
+    std::vector<ChannelInfo> channels; // hb-exempt(setup-time only)
+    // hb-exempt(setup-time only)
     std::function<void(const RecvDescriptor &)> upcall;
 
-    sim::Counter _rxQueueDrops;
+    sim::Counter _rxQueueDrops;     // hb-exempt(commutative metrics sink)
 
     /** Registered under "unet.ep<N>" (uniquified across instances);
      *  the prefix doubles as this endpoint's trace track. Declared
      *  last so it deregisters before the counters it references. */
-    obs::MetricGroup _metrics;
+    obs::MetricGroup _metrics;      // hb-exempt(registration RAII)
 };
 
 } // namespace unet

@@ -28,7 +28,10 @@ namespace unet {
 class UNet
 {
   public:
-    explicit UNet(host::Host &host) : _host(host) {}
+    explicit UNet(host::Host &host) : _host(host)
+    {
+        _table.guard().setLabel(host.name() + ".eptable");
+    }
     virtual ~UNet() = default;
 
     UNet(const UNet &) = delete;

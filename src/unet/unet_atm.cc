@@ -21,6 +21,7 @@ UNetAtm::createEndpoint(const sim::Process *owner,
 {
     Endpoint &ep = _table.create(_host.simulation(), _host.memory(),
                                  config, owner);
+    ep.labelGuards(_host.name() + ".ep" + std::to_string(ep.id()));
     // Command-queue registration: the driver tells the firmware about
     // the endpoint's queues and buffer area.
     _nic.attachEndpoint(&ep);

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "check/access.hh"
+#include "check/hb/auditor.hh"
 #include "sim/logging.hh"
 
 namespace unet {
@@ -80,6 +81,7 @@ UNetFe::createEndpoint(const sim::Process *owner,
     }
     Endpoint *ep = &_table.create(_host.simulation(), _host.memory(),
                                   config, owner);
+    ep->labelGuards(_host.name() + ".ep" + std::to_string(ep->id()));
 
     EpState &state = epState[ep->id()];
     state.ep = ep;
@@ -296,6 +298,9 @@ UNetFe::sendImpl(sim::Process &proc, Endpoint &ep,
 void
 UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep, bool coalesce)
 {
+    // Shard attribution: the trap handler belongs to this host's
+    // shard no matter whose context charged it here.
+    check::hb::ScopedTaskDomain shard(_host.name());
     // The kernel drains the send queue in the caller's context; the
     // scope spans the drain (including its cpu.busy yields), so any
     // other context mutating the send queue mid-drain is flagged.
@@ -467,6 +472,9 @@ UNetFe::serviceSendQueue(sim::Process &proc, Endpoint &ep, bool coalesce)
 void
 UNetFe::reapTxSlot(std::size_t slot)
 {
+    // Completion reaping is host-shard work, whether reached from the
+    // device's writeback event or a trap-time reapTx() sweep.
+    check::hb::ScopedTaskDomain shard(_host.name());
     auto &record = txSlotFrag[slot];
     if (!record || _nic.txDesc(slot).own)
         return;
@@ -527,6 +535,10 @@ UNetFe::postFree(sim::Process &proc, Endpoint &ep, BufferRef buf)
 void
 UNetFe::rxInterrupt()
 {
+    // The interrupt handler fires from a device-completion event whose
+    // scheduling chain started on the *sender's* shard; everything it
+    // touches from here down belongs to this host.
+    check::hb::ScopedTaskDomain shard(_host.name());
     auto &cpu = _host.cpu();
     auto &mem = _host.memory();
 

@@ -9,6 +9,7 @@ EndpointTable::create(sim::Simulation &sim, host::Memory &memory,
                       const EndpointConfig &config,
                       const sim::Process *owner)
 {
+    _guard.mutate("materialize endpoint");
     const std::size_t id = _slots.size();
     _slots.push_back(std::make_unique<Endpoint>(sim, memory, config,
                                                 owner, id));
@@ -20,6 +21,7 @@ EndpointTable::create(sim::Simulation &sim, host::Memory &memory,
 std::size_t
 EndpointTable::registerCold()
 {
+    _guard.mutate("register cold endpoint");
     const std::size_t id = _slots.size();
     _slots.emplace_back();
     _states.push_back(State::cold);
@@ -37,6 +39,7 @@ EndpointTable::reserve(std::size_t n)
 void
 EndpointTable::destroy(std::size_t id)
 {
+    _guard.mutate("destroy endpoint");
     if (id >= _states.size() || _states[id] == State::destroyed)
         UNET_FATAL("destroying unknown endpoint id ", id);
     if (_states[id] == State::live) {
@@ -53,6 +56,9 @@ ResidencyCache::ResidencyCache(sim::Simulation &sim, const VepSpec &spec,
     : _sim(sim), _spec(spec),
       _metrics(sim.metrics(), sim.metrics().uniquePrefix(metric_prefix))
 {
+    // The unique metric prefix doubles as the shardability-report
+    // label: instance-distinct and already host-scoped by convention.
+    _guard.setLabel(_metrics.prefix());
     if (_spec.hotCapacity == 0)
         UNET_FATAL("residency cache needs room for at least one "
                    "endpoint");
@@ -115,6 +121,7 @@ ResidencyCache::insertResident(Entry &e, std::size_t id)
 sim::Tick
 ResidencyCache::touch(std::size_t id)
 {
+    _guard.mutate("touch");
     Entry &e = entryFor(id);
     e.lastTouch = ++_touchSeq;
     if (e.resident) {
@@ -131,6 +138,7 @@ ResidencyCache::touch(std::size_t id)
 void
 ResidencyCache::warm(std::size_t id)
 {
+    _guard.mutate("warm");
     Entry &e = entryFor(id);
     e.lastTouch = ++_touchSeq;
     if (e.resident)
@@ -141,6 +149,7 @@ ResidencyCache::warm(std::size_t id)
 void
 ResidencyCache::pin(std::size_t id)
 {
+    _guard.mutate("pin");
     Entry &e = entryFor(id);
     if (!e.resident)
         UNET_PANIC("pinning non-resident endpoint ", id,
@@ -154,6 +163,7 @@ ResidencyCache::pin(std::size_t id)
 void
 ResidencyCache::unpin(std::size_t id)
 {
+    _guard.mutate("unpin");
     Entry &e = entryFor(id);
     if (e.pins == 0)
         UNET_PANIC("unpinning endpoint ", id, " with no pin held");
@@ -167,6 +177,7 @@ ResidencyCache::unpin(std::size_t id)
 void
 ResidencyCache::evict(std::size_t id)
 {
+    _guard.mutate("evict");
     if (id >= _entries.size() || !_entries[id].resident)
         return;
     if (_entries[id].pins)
@@ -187,6 +198,7 @@ ResidencyCache::evict(std::size_t id)
 void
 ResidencyCache::remove(std::size_t id)
 {
+    _guard.mutate("remove");
     if (id >= _entries.size())
         return;
     if (_entries[id].pins)
@@ -208,6 +220,7 @@ ResidencyCache::remove(std::size_t id)
 std::uint64_t
 ResidencyCache::stateHash() const
 {
+    _guard.observe("state hash sweep");
     // Commutative mix (sum of per-entry hashes): the _resident vector's
     // internal order is a swap-erase artifact, not model state.
     std::uint64_t h = 0x9e3779b97f4a7c15ULL * (_resident.size() + 1);

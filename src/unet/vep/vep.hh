@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "check/access.hh"
 #include "obs/metrics.hh"
 #include "sim/simulation.hh"
 #include "unet/endpoint.hh"
@@ -101,6 +102,7 @@ class EndpointTable
     Endpoint *
     get(std::size_t id) const
     {
+        _guard.observe("demux lookup");
         return id < _slots.size() ? _slots[id].get() : nullptr;
     }
 
@@ -121,13 +123,20 @@ class EndpointTable
     /** Cold registrations outstanding. */
     std::size_t cold() const { return _cold; }
 
+    /** Shardability instrumentation over the slot/state vectors. */
+    check::ContextGuard &guard() { return _guard; }
+
   private:
     enum class State : std::uint8_t { cold, live, destroyed };
 
-    std::vector<std::unique_ptr<Endpoint>> _slots;
-    std::vector<State> _states;
-    std::size_t _materialized = 0;
-    std::size_t _cold = 0;
+    std::vector<std::unique_ptr<Endpoint>> _slots;   // hb-guarded(_guard)
+    std::vector<State> _states;                      // hb-guarded(_guard)
+    std::size_t _materialized = 0;                   // hb-guarded(_guard)
+    std::size_t _cold = 0;                           // hb-guarded(_guard)
+
+    /** Custody/HB instrumentation for the table (create, cold
+     *  registration, destroy, demux lookups). */
+    check::ContextGuard _guard{"endpoint table"};
 };
 
 /**
@@ -204,6 +213,9 @@ class ResidencyCache
      */
     std::uint64_t stateHash() const;
 
+    /** Shardability instrumentation over the hot-set state. */
+    check::ContextGuard &guard() { return _guard; }
+
   private:
     struct Entry
     {
@@ -219,20 +231,24 @@ class ResidencyCache
      *  evicted to make room. */
     bool insertResident(Entry &e, std::size_t id);
 
-    sim::Simulation &_sim;
-    VepSpec _spec;
-    std::vector<Entry> _entries;
+    sim::Simulation &_sim;                // hb-exempt(reference, set once)
+    VepSpec _spec;                        // hb-exempt(const after ctor)
+    std::vector<Entry> _entries;          // hb-guarded(_guard)
     /** Resident ids, unordered; eviction min-scans lastTouch. */
-    std::vector<std::size_t> _resident;
-    std::uint64_t _touchSeq = 0;
-    std::size_t _pinnedCount = 0;
+    std::vector<std::size_t> _resident;   // hb-guarded(_guard)
+    std::uint64_t _touchSeq = 0;          // hb-guarded(_guard)
+    std::size_t _pinnedCount = 0;         // hb-guarded(_guard)
 
-    sim::Counter _faults;
-    sim::Counter _evictions;
-    sim::Counter _hits;
-    obs::Histogram _pinNs;
+    sim::Counter _faults;                 // hb-exempt(commutative metrics sink)
+    sim::Counter _evictions;              // hb-exempt(commutative metrics sink)
+    sim::Counter _hits;                   // hb-exempt(commutative metrics sink)
+    obs::Histogram _pinNs;                // hb-exempt(commutative metrics sink)
 
-    obs::MetricGroup _metrics;
+    obs::MetricGroup _metrics;            // hb-exempt(registration RAII)
+
+    /** Custody/HB instrumentation for the hot set (touch, warm, pin,
+     *  evict — the paths the parallel plan must keep shard-local). */
+    check::ContextGuard _guard{"endpoint residency cache"};
 };
 
 } // namespace unet::vep

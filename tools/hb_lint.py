@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""Happens-before coverage lint for instrumented classes.
+
+The happens-before auditor (src/check/hb/) can only see state that is
+covered by a check::ContextGuard. A class that declares a guard is
+*instrumented*: its shared state is audited for cross-shard races, and
+its shardability classification in the `unet-hb --report` output is
+only as trustworthy as the guard's coverage. The failure mode this
+lint closes: someone adds a mutable member to an instrumented class,
+forgets to route its accesses through a guard, and the auditor
+silently under-reports — the object looks shard-local while the new
+member races.
+
+Rule: in any class that declares a check::ContextGuard member, every
+non-static, non-const data member must carry one of
+
+    // hb-guarded(<guard-member>)   state covered by that guard
+    // hb-exempt(<why it needs no guard>)
+
+on its declaration line or within the two preceding lines. The
+hb-guarded form must name a guard member declared in the same class.
+A bare annotation without a guard name / reason is itself an error.
+
+Two stages:
+
+ 1. A regex stage (always runs, stdlib only) over src/: brace-matched
+    class bodies, statement-level member extraction.
+ 2. A clang-query stage (runs when `clang-query` and a compilation
+    database are available) that finds every ContextGuard field in
+    the AST and cross-checks stage 1 saw the same instrumented
+    classes — so a parsing miss in stage 1 is an error, not silent
+    under-coverage.
+
+Exit status: 0 when clean, 1 when any finding remains, 2 on usage
+errors (or --require-ast with no clang-query).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+GUARD_DECL = re.compile(
+    r"(?:check::)?ContextGuard\s+([_a-zA-Z]\w*)\s*[{;]"
+)
+
+ANNOTATION = re.compile(
+    r"hb-(guarded|exempt)\(([^()]*)\)"
+)
+
+# Statement openers that are never data-member declarations.
+NON_MEMBER = re.compile(
+    r"^\s*(public|private|protected)\s*:"
+    r"|^\s*(using|typedef|friend|template|static_assert|enum|class"
+    r"|struct|union|return|if|for|while|switch|case|default|explicit"
+    r"|virtual|operator|~|UNET_)\b"
+)
+
+LINE_COMMENT = re.compile(r"//.*$")
+BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_comments(text):
+    """Blank comments and string literals, preserving line structure
+    (strings could hold braces or semicolons)."""
+    def blank(m):
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = BLOCK_COMMENT.sub(blank, text)
+    lines = [LINE_COMMENT.sub("", line) for line in text.split("\n")]
+    return [STRING.sub('""', line) for line in lines]
+
+
+def strip_angles(text):
+    """Remove balanced <...> groups so template argument lists (and the
+    parentheses inside std::function<...>) cannot masquerade as call
+    or parameter parentheses."""
+    prev = None
+    while prev != text:
+        prev = text
+        text = re.sub(r"<[^<>]*>", "", text)
+    return text
+
+
+def is_member_decl(stmt):
+    """Heuristic: does this class-body statement declare a data member?
+
+    Under-matching is acceptable (a missed member is not flagged);
+    over-matching is not (a false positive blocks the build). The AST
+    cross-check bounds how much stage 1 can silently miss.
+    """
+    if NON_MEMBER.search(stmt):
+        return False
+    flat = strip_angles(" ".join(stmt.split()))
+    if not flat.endswith(";"):
+        return False
+    # Immutable state needs no ordering: nothing races on it.
+    if re.search(r"\b(const|constexpr)\b", flat.split("=")[0]):
+        return False
+    # Statics are not per-instance audited state; the nondet lint and
+    # code review own those (rare, and usually constexpr tables).
+    if flat.startswith("static "):
+        return False
+    # Any parenthesis left after angle-stripping means a function
+    # declaration or a paren-initialised member; both are out of
+    # scope for the annotation rule.
+    if "(" in flat:
+        return False
+    # Require a declarator: an identifier directly before the
+    # terminating ';', or before an initialiser.
+    return re.search(r"[_a-zA-Z]\w*\s*(\[[^\]]*\]\s*)?(=[^;]*|\{[^;]*\})?;$",
+                     flat) is not None
+
+
+def annotations_near(raw_lines, code_lines, start, end):
+    """Annotations covering a statement spanning lines [start, end]
+    (0-based, inclusive), or up to two comment-only lines directly
+    above it. Lines above that hold code don't count — their
+    annotation belongs to the previous member, and letting it bleed
+    downward would silently cover a freshly added member below."""
+    covered = list(range(start, end + 1))
+    j = start - 1
+    while j >= max(0, start - 2) and not code_lines[j].strip():
+        covered.append(j)
+        j -= 1
+    found, malformed = [], []
+    for j in covered:
+        for m in ANNOTATION.finditer(raw_lines[j]):
+            kind, arg = m.group(1), m.group(2).strip()
+            if not arg:
+                malformed.append((j + 1, kind))
+            else:
+                found.append((kind, arg))
+    return found, malformed
+
+
+class ClassScope:
+    def __init__(self, name, depth):
+        self.name = name
+        self.depth = depth          # brace depth of the class body
+        self.statements = []        # (text, start_line, end_line)
+        self.guards = set()
+
+
+def scan_file(path, rel, findings, instrumented_at):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.split("\n")
+    code_lines = strip_comments(text)
+
+    depth = 0
+    stack = []                      # innermost ClassScope last
+    pending = None                  # class name awaiting its '{'
+    stmt, stmt_start = "", 0
+    init_depth = 0                  # inside a brace initializer
+
+    def brace_is_initializer(text):
+        """A '{' opens a member initializer (not a scope) when the
+        statement so far is a plain declarator: ends in an identifier,
+        '=', ']' or '>' and holds no parameter-list parentheses."""
+        flat = strip_angles(text).rstrip()
+        if not flat or "(" in flat or NON_MEMBER.search(flat):
+            return False
+        return flat[-1] == "=" or flat[-1] == "]" or flat[-1] == ">" \
+            or flat[-1] == "," or re.search(r"[\w]$", flat)
+
+    for idx, line in enumerate(code_lines):
+        m = re.search(r"\b(class|struct)\s+([_a-zA-Z]\w*)", line)
+        if m and ";" not in line.split(m.group(0))[-1].split("{")[0]:
+            pending = m.group(2)
+        for ch in line:
+            if init_depth:
+                # Inside a brace initializer: keep the text, track
+                # nesting, and fall back to normal scanning at the
+                # closing brace (the ';' then ends the statement).
+                stmt += ch
+                if ch == "{":
+                    init_depth += 1
+                elif ch == "}":
+                    init_depth -= 1
+                continue
+            if ch == "{":
+                if pending is None and stack \
+                        and depth == stack[-1].depth \
+                        and brace_is_initializer(stmt):
+                    stmt += ch
+                    init_depth = 1
+                    continue
+                if pending is not None:
+                    stack.append(ClassScope(pending, depth + 1))
+                    pending = None
+                depth += 1
+                stmt, stmt_start = "", idx
+            elif ch == "}":
+                depth -= 1
+                while stack and depth < stack[-1].depth:
+                    finish_class(stack.pop(), rel, raw_lines,
+                                 code_lines, findings,
+                                 instrumented_at)
+                stmt, stmt_start = "", idx
+            elif ch == ";":
+                stmt += ";"
+                if stack and depth == stack[-1].depth:
+                    stack[-1].statements.append(
+                        (stmt, stmt_start, idx))
+                stmt, stmt_start = "", idx
+            else:
+                if not stmt.strip():
+                    stmt_start = idx
+                stmt += ch
+        stmt += "\n"
+
+
+def finish_class(scope, rel, raw_lines, code_lines, findings,
+                 instrumented_at):
+    for stmt, _, _ in scope.statements:
+        g = GUARD_DECL.search(stmt)
+        if g:
+            scope.guards.add(g.group(1))
+    if not scope.guards:
+        return
+    for stmt, start, end in scope.statements:
+        if GUARD_DECL.search(stmt):
+            instrumented_at.add((rel, start + 1))
+            continue
+        if not is_member_decl(stmt):
+            continue
+        near, malformed = annotations_near(raw_lines, code_lines,
+                                           start, end)
+        for line_no, kind in malformed:
+            findings.append(
+                (rel, line_no, "annotation",
+                 f"hb-{kind} annotation without a "
+                 + ("guard name" if kind == "guarded" else "reason"))
+            )
+        guarded = [arg for kind, arg in near if kind == "guarded"]
+        exempt = [arg for kind, arg in near if kind == "exempt"]
+        if not guarded and not exempt:
+            findings.append(
+                (rel, start + 1, "unannotated-member",
+                 f"mutable member of instrumented class "
+                 f"'{scope.name}' has neither hb-guarded(<guard>) "
+                 f"nor hb-exempt(<reason>)")
+            )
+            continue
+        for name in guarded:
+            if name not in scope.guards:
+                findings.append(
+                    (rel, start + 1, "unknown-guard",
+                     f"hb-guarded({name}) names no ContextGuard "
+                     f"member of '{scope.name}' "
+                     f"(has: {', '.join(sorted(scope.guards))})")
+                )
+
+
+def source_files(root):
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for name in sorted(names):
+            if name.endswith((".cc", ".hh", ".h")):
+                yield os.path.join(dirpath, name)
+
+
+def clang_query_stage(root, build_dir, instrumented_at, findings,
+                      require):
+    """Cross-check: every ContextGuard field the AST knows about must
+    have been seen by the regex stage. Returns False only when
+    @p require is set and the stage could not run."""
+    tool = shutil.which("clang-query")
+    ccdb = os.path.join(build_dir, "compile_commands.json")
+    for missing, what in ((tool, "clang-query not installed"),
+                          (os.path.isfile(ccdb), f"no {ccdb}")):
+        if not missing:
+            print("hb-lint: " + what + "; "
+                  + ("AST stage REQUIRED but unavailable" if require
+                     else "skipping AST cross-check (use "
+                          "--require-ast to make this an error)"))
+            return not require
+
+    commands = [
+        "set bind-root true",
+        'match fieldDecl(hasType(cxxRecordDecl(hasName('
+        '"ContextGuard"))))',
+    ]
+    files = [f for f in source_files(root) if f.endswith(".cc")]
+    cmd = [tool, "-p", build_dir]
+    for command in commands:
+        cmd += ["-c", command]
+    proc = subprocess.run(cmd + files, capture_output=True, text=True,
+                          check=False)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        print(f"hb-lint: clang-query failed (exit {proc.returncode});"
+              " AST stage did not run")
+        return False
+    loc = re.compile(r"^(\S+?):(\d+):\d+: note:")
+    seen = set()
+    for line in proc.stdout.splitlines():
+        m = loc.match(line)
+        if not m:
+            continue
+        rel = os.path.relpath(m.group(1), root)
+        key = (rel, int(m.group(2)))
+        if key in seen or not rel.startswith("src/"):
+            continue
+        seen.add(key)
+        if key not in instrumented_at:
+            findings.append(
+                (rel, key[1], "ast-mismatch",
+                 "clang-query found a ContextGuard field the regex "
+                 "stage missed; its class is not being linted")
+            )
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="happens-before coverage lint (see module "
+                    "docstring)"
+    )
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--no-ast", action="store_true",
+                        help="skip the clang-query cross-check")
+    parser.add_argument("--require-ast", action="store_true",
+                        help="fail (exit 2) when the clang-query "
+                             "stage cannot run")
+    args = parser.parse_args()
+    if args.no_ast and args.require_ast:
+        parser.error("--no-ast and --require-ast are contradictory")
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+    instrumented_at = set()
+    ast_ok = True
+    for path in source_files(root):
+        scan_file(path, os.path.relpath(path, root), findings,
+                  instrumented_at)
+    if not args.no_ast:
+        ast_ok = clang_query_stage(root, args.build_dir,
+                                   instrumented_at, findings,
+                                   args.require_ast)
+
+    for rel, line_no, rule, message in sorted(findings):
+        print(f"{rel}:{line_no}: [{rule}] {message}")
+    if findings:
+        print(f"hb-lint: {len(findings)} finding(s)")
+        return 1
+    if not ast_ok:
+        return 2
+    print(f"hb-lint: clean "
+          f"({len(instrumented_at)} guard member(s) covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

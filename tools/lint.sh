@@ -48,6 +48,18 @@ if ! python3 tools/nondet_lint.py "${NONDET_ARGS[@]}"; then
     FAILED=1
 fi
 
+# --- happens-before coverage lint ------------------------------------
+echo "== happens-before coverage lint =="
+HB_ARGS=(--build-dir "$BUILD_DIR")
+if [ "$ALLOW_MISSING" != "1" ]; then
+    # The clang-query cross-check bounds what the regex stage can
+    # silently miss, so in CI it must actually run.
+    HB_ARGS+=(--require-ast)
+fi
+if ! python3 tools/hb_lint.py "${HB_ARGS[@]}"; then
+    FAILED=1
+fi
+
 # --- clang-format ----------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
     echo "== clang-format (dry run) =="
